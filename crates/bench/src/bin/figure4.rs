@@ -1,0 +1,75 @@
+//! Regenerates **Figure 4** of the paper: model predictions w.r.t.
+//! execution in isolation, for both deployment scenarios and the three
+//! contender load levels — plus the observed co-run execution time the
+//! bounds must dominate.
+//!
+//! ```text
+//! cargo run -p contention-bench --bin figure4
+//! cargo run -p contention-bench --bin figure4 -- --low-traffic
+//! ```
+//!
+//! `--low-traffic` runs the §4.2 closing-remark variant: a realistic
+//! scratchpad-dominant application whose contention bounds drop to the
+//! ~10% range the paper reports for real automotive use cases.
+
+use contention::Platform;
+use contention_bench::fig4_cell;
+use mbta::report::{ratio, Table};
+use tc27x_sim::DeploymentScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let low_traffic = std::env::args().any(|a| a == "--low-traffic");
+    let platform = Platform::tc277_reference();
+
+    let scenarios: &[(DeploymentScenario, &str)] = if low_traffic {
+        &[(DeploymentScenario::LowTraffic, "real-world-like (low SRI traffic)")]
+    } else {
+        &[
+            (DeploymentScenario::Scenario1, "Scenario 1"),
+            (DeploymentScenario::Scenario2, "Scenario 2"),
+        ]
+    };
+
+    println!("Figure 4: model predictions w.r.t. execution in isolation");
+    println!("(ratios are bound/isolation; 'observed' is the measured co-run)\n");
+
+    for (scenario, label) in scenarios {
+        let panel = mbta::figure4_panel(*scenario, &platform, 42)?;
+        println!(
+            "{label}  —  isolation CCNT = {} cycles",
+            panel.app.counters().ccnt
+        );
+        let mut t = Table::new(vec![
+            "contender", "fTC", "ILP-PTAC", "ideal", "observed",
+        ]);
+        for cell in panel.cells.iter().rev() {
+            t.row(vec![
+                cell.level.to_string(),
+                fig4_cell(&cell.ftc),
+                fig4_cell(&cell.ilp),
+                fig4_cell(&cell.ideal),
+                format!("{}x ({} cyc)", ratio(cell.observed_ratio()), cell.observed_cycles),
+            ]);
+        }
+        print!("{}", t.render());
+        println!(
+            "sound: {}\n",
+            if panel.all_bounds_sound() {
+                "yes — every model prediction upper-bounds the observed co-run"
+            } else {
+                "NO — a bound was violated"
+            }
+        );
+    }
+
+    if !low_traffic {
+        println!("paper reference: Scenario 1 — fTC 1.95x, ILP 1.49x (H) to 1.24x (L);");
+        println!("                 Scenario 2 — fTC 2.33x, ILP 1.67x (H) to 1.34x (L).");
+        println!("shape to check: fTC load-invariant and ~2x pessimistic; ILP adapts");
+        println!("to contender load and stays roughly below half the fTC contention.");
+    } else {
+        println!("paper reference: real-world use cases show much lower contention");
+        println!("bounds (~10%) than the 30-40% of the stressing benchmarks.");
+    }
+    Ok(())
+}

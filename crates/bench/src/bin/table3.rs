@@ -1,0 +1,43 @@
+//! Regenerates **Table 3** of the paper: the architectural constraints
+//! on code/data placement w.r.t. the SRI slaves, as enforced by the
+//! linker's placement validator.
+//!
+//! ```text
+//! cargo run -p contention-bench --bin table3
+//! ```
+
+use mbta::report::Table;
+use tc27x_sim::{AccessClass, Placement, Region};
+
+fn cell(class: AccessClass, region: Region, cacheable: bool) -> String {
+    if Placement::new(region, cacheable).validate(class).is_ok() {
+        "ok".into()
+    } else {
+        "x".into()
+    }
+}
+
+fn main() {
+    println!("Table 3: constraints on code/data placement w.r.t. SRI slaves");
+    println!("('ok' = admissible, 'x' = forbidden; matches the paper cell for cell)\n");
+
+    let mut t = Table::new(vec!["", "pf0", "pf1", "dfl", "LMU"]);
+    let regions = [Region::Pflash0, Region::Pflash1, Region::Dflash, Region::Lmu];
+    for (label, class, cacheable) in [
+        ("Code $", AccessClass::Code, true),
+        ("Code n$", AccessClass::Code, false),
+        ("Data $", AccessClass::Data, true),
+        ("Data n$", AccessClass::Data, false),
+    ] {
+        let mut row = vec![label.to_owned()];
+        row.extend(regions.iter().map(|r| cell(class, *r, cacheable)));
+        t.row(row);
+    }
+    print!("{}", t.render());
+
+    // The paper's Table 3 admits cacheable code/data in every slave but
+    // dfl; non-cacheable data only in dfl and the LMU.
+    println!("\npaper reference:");
+    println!("  Code $ : ok ok x ok     Code n$: ok ok x ok");
+    println!("  Data $ : ok ok x ok     Data n$: x  x  ok ok");
+}

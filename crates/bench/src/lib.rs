@@ -1,0 +1,41 @@
+//! # `contention-bench` — the table/figure regeneration harness
+//!
+//! One binary per evaluation artefact of the paper:
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `table2` | Table 2 — max latency and min stall cycles per SRI target |
+//! | `table3` | Table 3 — code/data placement constraints |
+//! | `table6` | Table 6 — debug-counter readings, Scenarios 1 & 2 |
+//! | `figure4` | Figure 4 — model predictions w.r.t. isolation (pass `--low-traffic` for the §4.2 real-world remark) |
+//! | `ablation` | design-choice ablations of the ILP-PTAC model |
+//!
+//! Criterion benches (`cargo bench`) cover the ILP solver, the
+//! simulator, the calibration campaign and model evaluation.
+
+#![forbid(unsafe_code)]
+
+use contention::WcetEstimate;
+
+/// Formats paper-vs-measured cells for table output.
+pub fn paper_vs(measured: impl std::fmt::Display, paper: impl std::fmt::Display) -> String {
+    format!("{measured} (paper: {paper})")
+}
+
+/// Formats a WCET estimate as the Figure 4 ratio annotation.
+pub fn fig4_cell(e: &WcetEstimate) -> String {
+    format!("{:.2}x ({} cyc)", e.ratio(), e.bound_cycles())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_format() {
+        assert_eq!(super::paper_vs(16, 16), "16 (paper: 16)");
+        let e = contention::WcetEstimate {
+            isolation_cycles: 100,
+            contention_cycles: 50,
+        };
+        assert_eq!(super::fig4_cell(&e), "1.50x (150 cyc)");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the contention models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while evaluating a contention model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The ideal model needs exact PTAC, which the profile lacks.
+    MissingPtac {
+        /// Name of the profile missing PTAC.
+        task: String,
+    },
+    /// The ILP formulation failed to solve.
+    Ilp(ilp::SolveError),
+    /// The profile's counters are inconsistent with the scenario
+    /// constraints (e.g. exact code count exceeds the stall budget).
+    InconsistentProfile {
+        /// Name of the offending profile.
+        task: String,
+        /// What was inconsistent.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingPtac { task } => {
+                write!(f, "profile `{task}` carries no exact per-target access counts")
+            }
+            ModelError::Ilp(e) => write!(f, "ilp solve failed: {e}"),
+            ModelError::InconsistentProfile { task, detail } => {
+                write!(f, "profile `{task}` is inconsistent: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Ilp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ilp::SolveError> for ModelError {
+    fn from(e: ilp::SolveError) -> Self {
+        ModelError::Ilp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::MissingPtac { task: "app".into() };
+        assert!(e.to_string().contains("`app`"));
+        assert!(e.source().is_none());
+        let e = ModelError::from(ilp::SolveError::Infeasible);
+        assert!(e.to_string().contains("infeasible"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync>() {}
+        assert_traits::<ModelError>();
+    }
+}

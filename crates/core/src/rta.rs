@@ -1,0 +1,261 @@
+//! Response-time analysis over contention-aware WCETs.
+//!
+//! The paper's introduction frames the industrial problem: "the OEM
+//! provides SWPs with the time budgets within which all applications
+//! must fit". This module closes that loop — it takes the
+//! contention-aware WCET estimates produced by the models and answers
+//! the OEM-level question with classic fixed-priority response-time
+//! analysis (Joseph & Pandya):
+//!
+//! ```text
+//! Rᵢ = Cᵢ + Σ_{j ∈ hp(i)} ⌈Rᵢ / Tⱼ⌉ · Cⱼ
+//! ```
+//!
+//! where `Cᵢ` is the WCET *bound* (isolation + contention) of task i.
+
+use crate::wcet::WcetEstimate;
+use std::fmt;
+
+/// A periodic task for schedulability analysis. Tasks are implicitly
+/// prioritised by their position in the task set (index 0 = highest).
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct PeriodicTask {
+    /// Task name.
+    pub name: String,
+    /// Activation period (= deadline; implicit-deadline model), cycles.
+    pub period: u64,
+    /// Contention-aware WCET bound, cycles.
+    pub wcet: u64,
+}
+
+impl PeriodicTask {
+    /// Creates a task from explicit numbers.
+    pub fn new(name: impl Into<String>, period: u64, wcet: u64) -> Self {
+        PeriodicTask {
+            name: name.into(),
+            period,
+            wcet,
+        }
+    }
+
+    /// Creates a task from a model's WCET estimate.
+    pub fn from_estimate(name: impl Into<String>, period: u64, estimate: &WcetEstimate) -> Self {
+        PeriodicTask::new(name, period, estimate.bound_cycles())
+    }
+
+    /// Utilisation of this task.
+    pub fn utilization(&self) -> f64 {
+        self.wcet as f64 / self.period as f64
+    }
+}
+
+impl fmt::Display for PeriodicTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (C={}, T={})", self.name, self.wcet, self.period)
+    }
+}
+
+/// Result of the analysis for one task.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResponseTime {
+    /// The analysed task.
+    pub task: PeriodicTask,
+    /// Worst-case response time, if the iteration converged within the
+    /// deadline; `None` means the task is unschedulable.
+    pub response: Option<u64>,
+}
+
+impl ResponseTime {
+    /// Returns `true` if the task meets its deadline.
+    pub fn is_schedulable(&self) -> bool {
+        self.response.is_some()
+    }
+
+    /// Slack to the deadline (0 when unschedulable).
+    pub fn slack(&self) -> u64 {
+        match self.response {
+            Some(r) => self.task.period.saturating_sub(r),
+            None => 0,
+        }
+    }
+}
+
+/// The full schedulability verdict for a task set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schedulability {
+    /// Per-task response times, in priority order.
+    pub tasks: Vec<ResponseTime>,
+}
+
+impl Schedulability {
+    /// Returns `true` if every task meets its deadline.
+    pub fn is_schedulable(&self) -> bool {
+        self.tasks.iter().all(ResponseTime::is_schedulable)
+    }
+
+    /// Total utilisation of the set.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(|r| r.task.utilization()).sum()
+    }
+
+    /// The first task (in priority order) that misses its deadline.
+    pub fn first_failure(&self) -> Option<&ResponseTime> {
+        self.tasks.iter().find(|r| !r.is_schedulable())
+    }
+}
+
+impl fmt::Display for Schedulability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.tasks {
+            match r.response {
+                Some(resp) => writeln!(
+                    f,
+                    "  {:<20} R = {:>10}  (slack {})",
+                    r.task.to_string(),
+                    resp,
+                    r.slack()
+                )?,
+                None => writeln!(f, "  {:<20} UNSCHEDULABLE", r.task.to_string())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs fixed-priority response-time analysis on `tasks` (index 0 =
+/// highest priority; deadlines equal periods).
+///
+/// # Panics
+///
+/// Panics if any period or WCET is zero.
+///
+/// # Examples
+///
+/// ```
+/// use contention::rta::{analyze, PeriodicTask};
+///
+/// let set = vec![
+///     PeriodicTask::new("sensor-fusion", 1_000, 250),
+///     PeriodicTask::new("cruise-control", 4_000, 1_200),
+/// ];
+/// let verdict = analyze(&set);
+/// assert!(verdict.is_schedulable());
+/// // R₁ = 250; R₂ = 1200 + 2·250 = 1700 (one extra preemption at 1000).
+/// assert_eq!(verdict.tasks[1].response, Some(1700));
+/// ```
+pub fn analyze(tasks: &[PeriodicTask]) -> Schedulability {
+    for t in tasks {
+        assert!(t.period > 0, "period of `{}` must be positive", t.name);
+        assert!(t.wcet > 0, "wcet of `{}` must be positive", t.name);
+    }
+    let mut out = Vec::with_capacity(tasks.len());
+    for (i, task) in tasks.iter().enumerate() {
+        let mut r = task.wcet;
+        let response = loop {
+            let interference: u64 = tasks[..i]
+                .iter()
+                .map(|hp| r.div_ceil(hp.period) * hp.wcet)
+                .sum();
+            let next = task.wcet + interference;
+            if next > task.period {
+                break None;
+            }
+            if next == r {
+                break Some(r);
+            }
+            r = next;
+        };
+        out.push(ResponseTime {
+            task: task.clone(),
+            response,
+        });
+    }
+    Schedulability { tasks: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_task_response_is_its_wcet() {
+        let v = analyze(&[PeriodicTask::new("t", 100, 30)]);
+        assert_eq!(v.tasks[0].response, Some(30));
+        assert_eq!(v.tasks[0].slack(), 70);
+        assert!(v.is_schedulable());
+    }
+
+    #[test]
+    fn textbook_three_task_set() {
+        // Classic example: T = (7,3), (12,3), (20,5) → R = 3, 6, 20.
+        let v = analyze(&[
+            PeriodicTask::new("t1", 7, 3),
+            PeriodicTask::new("t2", 12, 3),
+            PeriodicTask::new("t3", 20, 5),
+        ]);
+        assert_eq!(v.tasks[0].response, Some(3));
+        assert_eq!(v.tasks[1].response, Some(6));
+        assert_eq!(v.tasks[2].response, Some(20));
+        assert!(v.is_schedulable());
+    }
+
+    #[test]
+    fn overload_is_detected() {
+        let v = analyze(&[
+            PeriodicTask::new("hog", 10, 6),
+            PeriodicTask::new("victim", 14, 5),
+        ]);
+        // victim: 5 + 6 = 11; 5 + 2*6 = 17 > 14 → unschedulable.
+        assert!(!v.is_schedulable());
+        assert_eq!(v.first_failure().unwrap().task.name, "victim");
+        assert_eq!(v.tasks[0].response, Some(6));
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let v = analyze(&[
+            PeriodicTask::new("a", 10, 2),
+            PeriodicTask::new("b", 20, 5),
+        ]);
+        assert!((v.utilization() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_can_break_schedulability() {
+        // The integration story: a set schedulable on isolation WCETs
+        // becomes unschedulable once the contention bound is added.
+        use crate::wcet::WcetEstimate;
+        let iso = WcetEstimate {
+            isolation_cycles: 4_000,
+            contention_cycles: 0,
+        };
+        let bounded = WcetEstimate {
+            isolation_cycles: 4_000,
+            contention_cycles: 3_500,
+        };
+        let high = PeriodicTask::new("ctrl", 10_000, 3_000);
+        let with_iso = analyze(&[
+            high.clone(),
+            PeriodicTask::from_estimate("app", 12_000, &iso),
+        ]);
+        let with_bound = analyze(&[
+            high,
+            PeriodicTask::from_estimate("app", 12_000, &bounded),
+        ]);
+        assert!(with_iso.is_schedulable());
+        assert!(!with_bound.is_schedulable());
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_rejected() {
+        let _ = analyze(&[PeriodicTask::new("t", 0, 1)]);
+    }
+
+    #[test]
+    fn display_lists_tasks() {
+        let v = analyze(&[PeriodicTask::new("t", 100, 120)]);
+        let s = v.to_string();
+        assert!(s.contains("UNSCHEDULABLE"), "{s}");
+    }
+}

@@ -1,0 +1,334 @@
+//! Branch & bound over the rational LP relaxation.
+//!
+//! Depth-first search with best-incumbent pruning, sharpened by two
+//! standard (and exactness-preserving) devices that matter enormously for
+//! the contention models' knapsack-like structure with large counter
+//! magnitudes:
+//!
+//! * **integral-bound pruning** — when every objective term ranges over
+//!   integer variables with integer coefficients, the ILP optimum is an
+//!   integer, so a node whose LP relaxation value *floors* to no more
+//!   than the incumbent can be pruned;
+//! * **floor-rounding heuristic** — at every node the LP point with its
+//!   integer variables floored is tested for feasibility; when feasible
+//!   it seeds/improves the incumbent, which usually closes the gap at
+//!   the root node for budget-style constraint systems.
+//!
+//! Branching picks the integer variable whose relaxation value is
+//! fractional and closest to 1/2, splitting into `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`.
+
+use crate::error::SolveError;
+use crate::model::{Problem, Sense};
+use crate::rational::Rational;
+use crate::simplex::{is_feasible, solve_lp, BoundOverrides, LpSolution};
+use crate::solution::Solution;
+
+/// Statistics of one solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolveStats {
+    /// Branch & bound nodes whose LP relaxation was solved.
+    pub nodes_explored: u64,
+    /// Simplex pivots performed across all nodes.
+    pub pivots: u64,
+    /// `true` if the incumbent came from the floor-rounding heuristic
+    /// rather than an integral LP vertex.
+    pub incumbent_from_heuristic: bool,
+}
+
+/// Solves the LP relaxation of `problem` directly.
+pub(crate) fn solve_relaxed(problem: &Problem) -> Result<Solution, SolveError> {
+    let mut pivots = problem.iteration_limit;
+    let lp = solve_lp(problem, &BoundOverrides::default(), &mut pivots)
+        .map_err(|e| remap_limit(e, problem.iteration_limit))?;
+    Ok(Solution::new(lp.values, lp.objective))
+}
+
+/// Solves `problem`, dispatching between pure LP and branch & bound.
+pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    solve_with_stats(problem).map(|(s, _)| s)
+}
+
+/// Solves `problem` and reports search statistics.
+pub(crate) fn solve_with_stats(
+    problem: &Problem,
+) -> Result<(Solution, SolveStats), SolveError> {
+    let mut stats = SolveStats::default();
+    let mut pivots = problem.iteration_limit;
+    let has_integers = problem.vars.iter().any(|v| v.integer);
+    if !has_integers {
+        let lp = solve_lp(problem, &BoundOverrides::default(), &mut pivots)
+            .map_err(|e| remap_limit(e, problem.iteration_limit))?;
+        stats.pivots = problem.iteration_limit - pivots;
+        return Ok((Solution::new(lp.values, lp.objective), stats));
+    }
+
+    // The ILP optimum is integral iff every objective term is an integer
+    // coefficient on an integer variable (plus an integer constant).
+    let integral_objective = problem.objective.constant().is_integer()
+        && problem
+            .objective
+            .iter()
+            .all(|(v, c)| c.is_integer() && problem.vars[v.index()].integer);
+
+    let mut best: Option<LpSolution> = None;
+    let mut nodes_left = problem.node_limit;
+    let mut stack: Vec<BoundOverrides> = vec![BoundOverrides::default()];
+
+    while let Some(node) = stack.pop() {
+        if nodes_left == 0 {
+            return Err(SolveError::LimitExceeded(problem.node_limit));
+        }
+        nodes_left -= 1;
+        stats.nodes_explored += 1;
+
+        let lp = match solve_lp(problem, &node, &mut pivots) {
+            Ok(lp) => lp,
+            Err(SolveError::Infeasible) => continue,
+            Err(SolveError::Unbounded) => {
+                // An unbounded relaxation means the ILP is unbounded or
+                // infeasible; surface it as unbounded — the caller's
+                // constraints are the problem either way.
+                return Err(SolveError::Unbounded);
+            }
+            Err(e) => return Err(remap_limit(e, problem.iteration_limit)),
+        };
+
+        // Prune against the incumbent, using the integrality of the
+        // optimum where available.
+        let node_bound = if integral_objective {
+            match problem.sense {
+                Sense::Maximize => Rational::from_int(lp.objective.floor()),
+                Sense::Minimize => Rational::from_int(lp.objective.ceil()),
+            }
+        } else {
+            lp.objective
+        };
+        if let Some(b) = &best {
+            let improves = match problem.sense {
+                Sense::Maximize => node_bound > b.objective,
+                Sense::Minimize => node_bound < b.objective,
+            };
+            if !improves {
+                continue;
+            }
+        }
+
+        // Find the most-fractional integer variable.
+        let mut branch_var: Option<(usize, Rational)> = None;
+        let half = Rational::new(1, 2);
+        for (idx, vd) in problem.vars.iter().enumerate() {
+            if vd.integer && !lp.values[idx].is_integer() {
+                let dist = (lp.values[idx].fract() - half).abs();
+                match &branch_var {
+                    Some((_, bestd)) if *bestd <= dist => {}
+                    _ => branch_var = Some((idx, dist)),
+                }
+            }
+        }
+
+        let Some((idx, _)) = branch_var else {
+            // Integral: new incumbent (we only get here if it improves).
+            best = Some(lp);
+            stats.incumbent_from_heuristic = false;
+            continue;
+        };
+
+        // Floor-rounding heuristic: often feasible for budget-style
+        // constraints and then closes the gap immediately.
+        let mut rounded = lp.values.clone();
+        for (i, vd) in problem.vars.iter().enumerate() {
+            if vd.integer {
+                rounded[i] = Rational::from_int(rounded[i].floor());
+            }
+        }
+        if is_feasible(problem, &node, &rounded) {
+            let obj = problem.objective.eval(|v| rounded[v.index()]);
+            let improves = match (&best, problem.sense) {
+                (None, _) => true,
+                (Some(b), Sense::Maximize) => obj > b.objective,
+                (Some(b), Sense::Minimize) => obj < b.objective,
+            };
+            if improves {
+                best = Some(LpSolution {
+                    values: rounded,
+                    objective: obj,
+                });
+                stats.incumbent_from_heuristic = true;
+                // The node bound may now be closed by the heuristic.
+                if let Some(b) = &best {
+                    let closed = match problem.sense {
+                        Sense::Maximize => node_bound <= b.objective,
+                        Sense::Minimize => node_bound >= b.objective,
+                    };
+                    if closed {
+                        continue;
+                    }
+                }
+            }
+        }
+
+        let v = lp.values[idx];
+        let down = Rational::from_int(v.floor());
+        let up = Rational::from_int(v.ceil());
+
+        let mut le = node.clone();
+        le.upper.push((idx, down));
+        let mut ge = node;
+        ge.lower.push((idx, up));
+        // DFS: explore the "round up" branch first — the contention
+        // objective rewards larger interference counts, so this tends to
+        // find good incumbents early.
+        stack.push(le);
+        stack.push(ge);
+    }
+
+    stats.pivots = problem.iteration_limit - pivots;
+    match best {
+        Some(lp) => Ok((Solution::new(lp.values, lp.objective), stats)),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+fn remap_limit(e: SolveError, budget: u64) -> SolveError {
+    match e {
+        SolveError::LimitExceeded(_) => SolveError::LimitExceeded(budget),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::Problem;
+    use crate::rational::Rational;
+    use crate::SolveError;
+
+    #[test]
+    fn knapsack_toy() {
+        // max 8a + 11b + 6c + 4d, 5a + 7b + 4c + 3d ≤ 14, binary vars.
+        let mut p = Problem::maximize();
+        let a = p.add_var("a").integer().bounds(0, 1).build();
+        let b = p.add_var("b").integer().bounds(0, 1).build();
+        let c = p.add_var("c").integer().bounds(0, 1).build();
+        let d = p.add_var("d").integer().bounds(0, 1).build();
+        p.set_objective(a * 8 + b * 11 + c * 6 + d * 4);
+        p.add_le(a * 5 + b * 7 + c * 4 + d * 3, 14);
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective(), Rational::from_int(21));
+        assert_eq!(s.int_value(b), 1);
+        assert_eq!(s.int_value(c), 1);
+        assert_eq!(s.int_value(d), 1);
+        assert_eq!(s.int_value(a), 0);
+    }
+
+    #[test]
+    fn rounding_matters() {
+        // max y, 2y ≤ 7 → LP gives 3.5, ILP must give 3.
+        let mut p = Problem::maximize();
+        let y = p.add_var("y").integer().build();
+        p.set_objective(y);
+        p.add_le(y * 2, 7);
+        let s = p.solve().unwrap();
+        assert_eq!(s.int_value(y), 3);
+    }
+
+    #[test]
+    fn infeasible_integrality_gap() {
+        // 2x = 1 has the LP solution x = 1/2 but no integer solution.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x").integer().bounds(0, 10).build();
+        p.set_objective(x);
+        p.add_eq(x * 2, 1);
+        assert_eq!(p.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn minimization_branches_correctly() {
+        // min 3x + 4y s.t. x + 2y ≥ 5, 2x + y ≥ 4, integers.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x").integer().build();
+        let y = p.add_var("y").integer().build();
+        p.set_objective(x * 3 + y * 4);
+        p.add_ge(x + y * 2, 5);
+        p.add_ge(x * 2 + y, 4);
+        let s = p.solve().unwrap();
+        // Candidates: (1,2)->11, (3,1)->13, (5,0)->15, (0,4)->16; optimum 11.
+        assert_eq!(s.objective(), Rational::from_int(11));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max x + y with x integer ≤ 2.5 constraint, y continuous ≤ 0.5.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x").integer().build();
+        let y = p.add_var("y").build();
+        p.set_objective(x + y);
+        p.add_le(x * 2, 5);
+        p.add_le(y * 2, 1);
+        let s = p.solve().unwrap();
+        assert_eq!(s.int_value(x), 2);
+        assert_eq!(s.value(y), Rational::new(1, 2));
+        assert_eq!(s.objective(), Rational::new(5, 2));
+    }
+
+    /// Budget-style problems with huge magnitudes must solve in a few
+    /// nodes thanks to floor pruning (this is the ILP-PTAC shape).
+    #[test]
+    fn large_magnitude_budget_solves_fast() {
+        let mut p = Problem::maximize();
+        let n1 = p.add_var("n1").integer().bounds(0, 2_000_000).build();
+        let n2 = p.add_var("n2").integer().bounds(0, 2_000_000).build();
+        let n3 = p.add_var("n3").integer().bounds(0, 2_000_000).build();
+        p.set_objective(n1 * 16 + n2 * 16 + n3 * 11);
+        p.add_le(n1 * 6 + n2 * 6 + n3 * 11, 3_421_242);
+        p.add_le(n3 * 10, 8_345_056);
+        p.set_node_limit(1_000);
+        p.set_iteration_limit(100_000);
+        let s = p.solve().unwrap();
+        // Optimum: all budget on the 16/6 ratio vars: floor(3421242/6)=570207.
+        assert_eq!(s.objective(), Rational::from_int(570207 * 16));
+    }
+
+    #[test]
+    fn stats_reflect_the_search() {
+        // LP-only problem: zero nodes, some pivots.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x").build();
+        p.set_objective(x);
+        p.add_le(x * 2, 7);
+        let (_, stats) = p.solve_with_stats().unwrap();
+        assert_eq!(stats.nodes_explored, 0);
+        assert!(stats.pivots > 0);
+
+        // ILP with a fractional root: at least one node explored.
+        let mut p = Problem::maximize();
+        let y = p.add_var("y").integer().build();
+        p.set_objective(y);
+        p.add_le(y * 2, 7);
+        let (sol, stats) = p.solve_with_stats().unwrap();
+        assert_eq!(sol.int_value(y), 3);
+        assert!(stats.nodes_explored >= 1);
+        assert!(stats.incumbent_from_heuristic, "floor(3.5) = 3 is feasible");
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        // An infeasible-by-parity equality chain forces real branching
+        // with no feasible rounding, so the node budget is consumed.
+        let mut p = Problem::maximize();
+        let vars: Vec<_> = (0..10)
+            .map(|i| p.add_var(format!("v{i}")).integer().bounds(0, 9).build())
+            .collect();
+        let mut obj = crate::LinExpr::new();
+        for v in &vars {
+            obj += *v;
+        }
+        p.set_objective(obj.clone());
+        // Σ 2v_i = 19 is unsatisfiable over integers but LP-feasible.
+        p.add_eq(obj * 2, 19);
+        p.set_node_limit(3);
+        match p.solve() {
+            Err(SolveError::LimitExceeded(3)) | Err(SolveError::Infeasible) => {}
+            other => panic!("expected limit or infeasible, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for model construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving an (I)LP.
+///
+/// # Examples
+///
+/// ```
+/// use ilp::{Problem, SolveError};
+///
+/// let mut p = Problem::maximize();
+/// let x = p.add_var("x").bounds(0, 10).build();
+/// p.add_ge(x, 20); // x ≥ 20 contradicts x ≤ 10
+/// assert!(matches!(p.solve(), Err(SolveError::Infeasible)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The solver exceeded its iteration or node budget.
+    ///
+    /// Carries the budget that was exhausted.
+    LimitExceeded(u64),
+    /// A variable was used with a problem that did not create it.
+    ForeignVariable,
+    /// A variable bound pair is contradictory (`lower > upper`).
+    InvalidBounds {
+        /// Name of the offending variable.
+        name: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::LimitExceeded(n) => {
+                write!(f, "solver budget of {n} iterations exceeded")
+            }
+            SolveError::ForeignVariable => {
+                write!(f, "variable does not belong to this problem")
+            }
+            SolveError::InvalidBounds { name } => {
+                write!(f, "variable `{name}` has lower bound above upper bound")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+        assert_eq!(SolveError::Unbounded.to_string(), "objective is unbounded");
+        assert!(SolveError::LimitExceeded(42).to_string().contains("42"));
+        assert!(SolveError::InvalidBounds { name: "n_a".into() }
+            .to_string()
+            .contains("n_a"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SolveError>();
+    }
+}

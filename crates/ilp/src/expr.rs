@@ -1,0 +1,334 @@
+//! Linear expressions over problem variables.
+//!
+//! A [`LinExpr`] is a sparse map from [`Var`] to rational coefficients plus
+//! a constant term. Expressions are built with ordinary operators:
+//!
+//! ```
+//! use ilp::{Problem, Rational};
+//!
+//! let mut p = Problem::maximize();
+//! let x = p.add_var("x").bounds(0, 10).build();
+//! let y = p.add_var("y").bounds(0, 10).build();
+//! let e = x * 3 + y * 2 + 1;
+//! assert_eq!(e.coeff(x), Rational::from_int(3));
+//! assert_eq!(e.constant(), Rational::from_int(1));
+//! ```
+
+use crate::rational::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Handle to a decision variable in a [`crate::Problem`].
+///
+/// `Var`s are cheap copyable indices; they are only meaningful for the
+/// problem that created them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Index of this variable within its owning problem.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A sparse linear expression: `Σ cᵢ·xᵢ + k`.
+///
+/// # Examples
+///
+/// ```
+/// use ilp::{LinExpr, Problem};
+/// let mut p = Problem::maximize();
+/// let x = p.add_var("x").build();
+/// let expr: LinExpr = x * 2 + 5;
+/// assert_eq!(expr.to_string(), "2·x0 + 5");
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct LinExpr {
+    terms: BTreeMap<Var, Rational>,
+    constant: Rational,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression consisting of a constant only.
+    pub fn constant_expr(k: impl Into<Rational>) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: k.into(),
+        }
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: Var) -> Rational {
+        self.terms.get(&v).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// The constant term.
+    pub fn constant(&self) -> Rational {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs with non-zero
+    /// coefficients, in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Rational)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Number of variables with a non-zero coefficient.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `coeff·v` to the expression in place.
+    pub fn add_term(&mut self, v: Var, coeff: impl Into<Rational>) {
+        let c = self.terms.entry(v).or_insert(Rational::ZERO);
+        *c += coeff.into();
+        if c.is_zero() {
+            self.terms.remove(&v);
+        }
+    }
+
+    /// Evaluates the expression under an assignment function.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ilp::{Problem, Rational};
+    /// let mut p = Problem::maximize();
+    /// let x = p.add_var("x").build();
+    /// let e = x * 4 + 2;
+    /// let v = e.eval(|_| Rational::from_int(3));
+    /// assert_eq!(v, Rational::from_int(14));
+    /// ```
+    pub fn eval(&self, mut assignment: impl FnMut(Var) -> Rational) -> Rational {
+        self.terms
+            .iter()
+            .map(|(v, c)| *c * assignment(*v))
+            .sum::<Rational>()
+            + self.constant
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                if *c == Rational::ONE {
+                    write!(f, "{v}")?;
+                } else {
+                    write!(f, "{c}·{v}")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - {}·{v}", c.abs())?;
+            } else {
+                write!(f, " + {c}·{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if !self.constant.is_zero() {
+            if self.constant.is_negative() {
+                write!(f, " - {}", self.constant.abs())?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(v, Rational::ONE);
+        e
+    }
+}
+
+macro_rules! impl_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for LinExpr {
+            fn from(k: $t) -> Self {
+                LinExpr::constant_expr(k)
+            }
+        }
+    )*};
+}
+impl_from_num!(i32, u32, i64, u64, i128, Rational);
+
+impl<T: Into<LinExpr>> Add<T> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: T) -> LinExpr {
+        let rhs = rhs.into();
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl<T: Into<LinExpr>> Sub<T> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: T) -> LinExpr {
+        self + (-rhs.into())
+    }
+}
+
+impl<T: Into<LinExpr>> AddAssign<T> for LinExpr {
+    fn add_assign(&mut self, rhs: T) {
+        let rhs = rhs.into();
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl<T: Into<LinExpr>> SubAssign<T> for LinExpr {
+    fn sub_assign(&mut self, rhs: T) {
+        *self += -rhs.into();
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr {
+            terms: self.terms.into_iter().map(|(v, c)| (v, -c)).collect(),
+            constant: -self.constant,
+        }
+    }
+}
+
+impl<T: Into<Rational>> Mul<T> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: T) -> LinExpr {
+        let k = rhs.into();
+        if k.is_zero() {
+            return LinExpr::new();
+        }
+        LinExpr {
+            terms: self.terms.into_iter().map(|(v, c)| (v, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+}
+
+impl<T: Into<LinExpr>> Add<T> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: T) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl<T: Into<LinExpr>> Sub<T> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: T) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl<T: Into<Rational>> Mul<T> for Var {
+    type Output = LinExpr;
+    fn mul(self, rhs: T) -> LinExpr {
+        LinExpr::from(self) * rhs
+    }
+}
+
+impl Neg for Var {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        -LinExpr::from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> (Var, Var, Var) {
+        (Var(0), Var(1), Var(2))
+    }
+
+    #[test]
+    fn build_and_read_coefficients() {
+        let (x, y, _) = vars();
+        let e = x * 3 + y * Rational::new(1, 2) - 4;
+        assert_eq!(e.coeff(x), Rational::from_int(3));
+        assert_eq!(e.coeff(y), Rational::new(1, 2));
+        assert_eq!(e.constant(), Rational::from_int(-4));
+    }
+
+    #[test]
+    fn cancelling_terms_are_removed() {
+        let (x, y, _) = vars();
+        let e = x + y - x;
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.coeff(x), Rational::ZERO);
+        assert_eq!(e.coeff(y), Rational::ONE);
+    }
+
+    #[test]
+    #[allow(clippy::erasing_op)] // multiplying by zero is the behaviour under test
+    fn mul_by_zero_clears() {
+        let (x, y, _) = vars();
+        let e = (x + y * 7 + 3) * 0;
+        assert!(e.is_empty());
+        assert_eq!(e.constant(), Rational::ZERO);
+    }
+
+    #[test]
+    fn eval_applies_assignment() {
+        let (x, y, z) = vars();
+        let e = x * 2 + y * 3 + z + 10;
+        let val = e.eval(|v| Rational::from_int(v.index() as i128 + 1));
+        // 2*1 + 3*2 + 3 + 10 = 21
+        assert_eq!(val, Rational::from_int(21));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (x, y, _) = vars();
+        assert_eq!((x * 2 - y + 5).to_string(), "2·x0 - 1·x1 + 5");
+        assert_eq!(LinExpr::new().to_string(), "0");
+        assert_eq!(LinExpr::constant_expr(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn var_operators_produce_expressions() {
+        let (x, y, _) = vars();
+        let e = -x + y;
+        assert_eq!(e.coeff(x), -Rational::ONE);
+        assert_eq!(e.coeff(y), Rational::ONE);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let (x, y, _) = vars();
+        let mut e = LinExpr::from(x);
+        e += y * 2;
+        e -= x;
+        assert_eq!(e.coeff(x), Rational::ZERO);
+        assert_eq!(e.coeff(y), Rational::from_int(2));
+    }
+}

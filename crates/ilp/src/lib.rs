@@ -1,0 +1,93 @@
+//! # `ilp` — exact integer linear programming
+//!
+//! A small, dependency-free (integer) linear programming solver built for
+//! the AURIX TC27x contention models of this workspace:
+//!
+//! * **exact arithmetic** — all pivoting happens on [`Rational`] numbers
+//!   over `i128`, so optimality and feasibility answers carry no
+//!   floating-point doubt (important when the result is a WCET *bound*);
+//! * **two-phase primal simplex** with Bland's rule (guaranteed
+//!   termination);
+//! * **branch & bound** with most-fractional branching and exact
+//!   incumbent pruning for integer variables.
+//!
+//! The API follows the usual modelling style: create a [`Problem`], add
+//! variables through the [`VarBuilder`], combine them into [`LinExpr`]s
+//! with `+`/`-`/`*`, add constraints, and call [`Problem::solve`].
+//!
+//! # Examples
+//!
+//! A tiny production-planning ILP:
+//!
+//! ```
+//! use ilp::{Problem, Rational};
+//!
+//! # fn main() -> Result<(), ilp::SolveError> {
+//! let mut p = Problem::maximize();
+//! let chairs = p.add_var("chairs").integer().build();
+//! let tables = p.add_var("tables").integer().build();
+//! p.set_objective(chairs * 45 + tables * 80);
+//! p.add_le(chairs * 5 + tables * 20, 400); // mahogany
+//! p.add_le(chairs * 10 + tables * 15, 450); // labour
+//! let sol = p.solve()?;
+//! assert_eq!(sol.objective(), Rational::from_int(2200));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The contention models in the [`contention`] crate build their
+//! ILP-PTAC formulation (Eqs. 9–23 of the DAC'18 paper) on this API.
+//!
+//! [`contention`]: ../contention/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod expr;
+mod model;
+mod rational;
+mod simplex;
+mod solution;
+
+pub use error::SolveError;
+pub use expr::{LinExpr, Var};
+pub use model::{Constraint, Problem, Relation, Sense, SolveStats, VarBuilder};
+pub use rational::Rational;
+pub use solution::Solution;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<Problem>();
+        assert_ss::<Solution>();
+        assert_ss::<LinExpr>();
+        assert_ss::<Rational>();
+        assert_ss::<SolveError>();
+    }
+
+    #[test]
+    fn empty_problem_solves_to_constant_objective() {
+        let mut p = Problem::maximize();
+        p.set_objective(LinExpr::constant_expr(5));
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective(), Rational::from_int(5));
+    }
+
+    #[test]
+    fn unconstrained_bounded_var() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x").bounds(2, 9).build();
+        p.set_objective(x);
+        assert_eq!(p.solve().unwrap().objective(), Rational::from_int(9));
+        let mut p = Problem::minimize();
+        let x = p.add_var("x").bounds(2, 9).build();
+        p.set_objective(x);
+        assert_eq!(p.solve().unwrap().objective(), Rational::from_int(2));
+    }
+}

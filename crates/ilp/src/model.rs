@@ -1,0 +1,477 @@
+//! Problem construction: variables, constraints and objective.
+
+use crate::branch_bound;
+pub use crate::branch_bound::SolveStats;
+use crate::error::SolveError;
+use crate::expr::{LinExpr, Var};
+use crate::rational::Rational;
+use crate::solution::Solution;
+use std::fmt;
+
+/// Optimisation direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sense {
+    /// Maximise the objective.
+    Maximize,
+    /// Minimise the objective.
+    Minimize,
+}
+
+/// Comparison relation of a constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Relation {
+    /// Left-hand side ≤ right-hand side.
+    Le,
+    /// Left-hand side = right-hand side.
+    Eq,
+    /// Left-hand side ≥ right-hand side.
+    Ge,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::Le => write!(f, "≤"),
+            Relation::Eq => write!(f, "="),
+            Relation::Ge => write!(f, "≥"),
+        }
+    }
+}
+
+/// A linear constraint `expr REL rhs` (constant folded into `rhs`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    pub(crate) expr: LinExpr,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: Rational,
+    pub(crate) label: Option<String>,
+}
+
+impl Constraint {
+    /// The variable part of the constraint (constant removed).
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The relation of the constraint.
+    pub fn relation(&self) -> Relation {
+        self.relation
+    }
+
+    /// The right-hand-side constant.
+    pub fn rhs(&self) -> Rational {
+        self.rhs
+    }
+
+    /// Optional human-readable label.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Checks whether an assignment satisfies this constraint.
+    pub fn is_satisfied_by(&self, mut assignment: impl FnMut(Var) -> Rational) -> bool {
+        let lhs = self.expr.eval(&mut assignment);
+        match self.relation {
+            Relation::Le => lhs <= self.rhs,
+            Relation::Eq => lhs == self.rhs,
+            Relation::Ge => lhs >= self.rhs,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = &self.label {
+            write!(f, "[{l}] ")?;
+        }
+        write!(f, "{} {} {}", self.expr, self.relation, self.rhs)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct VarData {
+    pub(crate) name: String,
+    pub(crate) lower: Rational,
+    pub(crate) upper: Option<Rational>,
+    pub(crate) integer: bool,
+}
+
+/// Builder for a single decision variable; created by
+/// [`Problem::add_var`].
+///
+/// # Examples
+///
+/// ```
+/// use ilp::Problem;
+/// let mut p = Problem::maximize();
+/// let n = p.add_var("n_pf0_co").integer().bounds(0, 1000).build();
+/// assert_eq!(n.index(), 0);
+/// ```
+#[derive(Debug)]
+pub struct VarBuilder<'a> {
+    problem: &'a mut Problem,
+    data: VarData,
+}
+
+impl<'a> VarBuilder<'a> {
+    /// Restricts the variable to integer values (makes the problem an ILP).
+    pub fn integer(mut self) -> Self {
+        self.data.integer = true;
+        self
+    }
+
+    /// Sets both bounds: `lower ≤ x ≤ upper`.
+    pub fn bounds(mut self, lower: impl Into<Rational>, upper: impl Into<Rational>) -> Self {
+        self.data.lower = lower.into();
+        self.data.upper = Some(upper.into());
+        self
+    }
+
+    /// Sets the lower bound only (default 0).
+    pub fn lower(mut self, lower: impl Into<Rational>) -> Self {
+        self.data.lower = lower.into();
+        self
+    }
+
+    /// Sets the upper bound only.
+    pub fn upper(mut self, upper: impl Into<Rational>) -> Self {
+        self.data.upper = Some(upper.into());
+        self
+    }
+
+    /// Registers the variable with the problem and returns its handle.
+    pub fn build(self) -> Var {
+        let id = Var(self.problem.vars.len() as u32);
+        self.problem.vars.push(self.data);
+        id
+    }
+}
+
+/// An (integer) linear program under construction.
+///
+/// Variables default to continuous with bounds `[0, +∞)`; mark them
+/// [`VarBuilder::integer`] to obtain an ILP. Solving an ILP runs exact
+/// branch & bound over a two-phase rational simplex.
+///
+/// # Examples
+///
+/// Maximise `3x + 2y` subject to `x + y ≤ 4`, `x + 3y ≤ 6`:
+///
+/// ```
+/// use ilp::{Problem, Rational};
+///
+/// # fn main() -> Result<(), ilp::SolveError> {
+/// let mut p = Problem::maximize();
+/// let x = p.add_var("x").build();
+/// let y = p.add_var("y").build();
+/// p.set_objective(x * 3 + y * 2);
+/// p.add_le(x + y, 4);
+/// p.add_le(x + y * 3, 6);
+/// let sol = p.solve()?;
+/// assert_eq!(sol.objective(), Rational::from_int(12));
+/// assert_eq!(sol.value(x), Rational::from_int(4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Problem {
+    pub(crate) vars: Vec<VarData>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) sense: Sense,
+    pub(crate) node_limit: u64,
+    pub(crate) iteration_limit: u64,
+}
+
+impl Problem {
+    /// Creates an empty maximisation problem.
+    pub fn maximize() -> Self {
+        Self::with_sense(Sense::Maximize)
+    }
+
+    /// Creates an empty minimisation problem.
+    pub fn minimize() -> Self {
+        Self::with_sense(Sense::Minimize)
+    }
+
+    /// Creates an empty problem with an explicit sense.
+    pub fn with_sense(sense: Sense) -> Self {
+        Problem {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+            sense,
+            node_limit: 200_000,
+            iteration_limit: 2_000_000,
+        }
+    }
+
+    /// Starts building a new variable with the given name.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarBuilder<'_> {
+        VarBuilder {
+            problem: self,
+            data: VarData {
+                name: name.into(),
+                lower: Rational::ZERO,
+                upper: None,
+                integer: false,
+            },
+        }
+    }
+
+    /// Convenience: adds a non-negative integer variable with an upper
+    /// bound, the shape used throughout the contention models.
+    pub fn add_int_var(&mut self, name: impl Into<String>, upper: impl Into<Rational>) -> Var {
+        self.add_var(name).integer().bounds(0, upper).build()
+    }
+
+    /// Sets the objective expression (constant terms are carried through to
+    /// the reported objective value).
+    pub fn set_objective(&mut self, expr: impl Into<LinExpr>) {
+        self.objective = expr.into();
+    }
+
+    /// The current objective expression.
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// The optimisation sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this problem.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Returns `true` if `v` is integer-constrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this problem.
+    pub fn is_integer(&self, v: Var) -> bool {
+        self.vars[v.index()].integer
+    }
+
+    /// Caps the number of branch & bound nodes (default 200 000).
+    pub fn set_node_limit(&mut self, limit: u64) {
+        self.node_limit = limit;
+    }
+
+    /// Caps the total number of simplex pivots (default 2 000 000).
+    pub fn set_iteration_limit(&mut self, limit: u64) {
+        self.iteration_limit = limit;
+    }
+
+    fn add_constraint_inner(
+        &mut self,
+        lhs: LinExpr,
+        relation: Relation,
+        rhs: LinExpr,
+        label: Option<String>,
+    ) {
+        let diff = lhs - rhs;
+        let rhs_const = -diff.constant();
+        let mut expr = diff;
+        let k = expr.constant();
+        expr -= LinExpr::constant_expr(k);
+        self.constraints.push(Constraint {
+            expr,
+            relation,
+            rhs: rhs_const,
+            label,
+        });
+    }
+
+    /// Adds `lhs ≤ rhs`.
+    pub fn add_le(&mut self, lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) {
+        self.add_constraint_inner(lhs.into(), Relation::Le, rhs.into(), None);
+    }
+
+    /// Adds `lhs = rhs`.
+    pub fn add_eq(&mut self, lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) {
+        self.add_constraint_inner(lhs.into(), Relation::Eq, rhs.into(), None);
+    }
+
+    /// Adds `lhs ≥ rhs`.
+    pub fn add_ge(&mut self, lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) {
+        self.add_constraint_inner(lhs.into(), Relation::Ge, rhs.into(), None);
+    }
+
+    /// Adds a labelled constraint; the label shows up in
+    /// the rendered [`Constraint`] and eases debugging of large models.
+    pub fn add_labeled(
+        &mut self,
+        label: impl Into<String>,
+        lhs: impl Into<LinExpr>,
+        relation: Relation,
+        rhs: impl Into<LinExpr>,
+    ) {
+        self.add_constraint_inner(lhs.into(), relation, rhs.into(), Some(label.into()));
+    }
+
+    /// Solves the problem.
+    ///
+    /// Continuous problems are solved by the two-phase simplex; problems
+    /// with integer variables go through branch & bound.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if no assignment satisfies all
+    /// constraints and bounds, [`SolveError::Unbounded`] if the objective
+    /// can grow without limit, [`SolveError::LimitExceeded`] if the
+    /// node/iteration budget runs out, and
+    /// [`SolveError::InvalidBounds`] for contradictory variable bounds.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.validate_bounds()?;
+        branch_bound::solve(self)
+    }
+
+    /// Solves the problem and returns branch & bound statistics along
+    /// with the solution — node count, total simplex pivots and whether
+    /// the optimum was found by the rounding heuristic.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`].
+    pub fn solve_with_stats(&self) -> Result<(Solution, SolveStats), SolveError> {
+        self.validate_bounds()?;
+        branch_bound::solve_with_stats(self)
+    }
+
+    /// Solves the LP relaxation (integrality constraints dropped).
+    ///
+    /// For a maximisation problem the relaxation value always dominates
+    /// the ILP optimum, so it is a *sound* (if slightly looser) upper
+    /// bound — useful when branch & bound hits its node budget on
+    /// degenerate instances.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`], except that integrality gaps cannot
+    /// cause infeasibility.
+    pub fn solve_relaxation(&self) -> Result<Solution, SolveError> {
+        self.validate_bounds()?;
+        branch_bound::solve_relaxed(self)
+    }
+
+    fn validate_bounds(&self) -> Result<(), SolveError> {
+        for v in &self.vars {
+            if let Some(u) = v.upper {
+                if v.lower > u {
+                    return Err(SolveError::InvalidBounds {
+                        name: v.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sense {
+            Sense::Maximize => writeln!(f, "maximize {}", self.objective)?,
+            Sense::Minimize => writeln!(f, "minimize {}", self.objective)?,
+        }
+        writeln!(f, "subject to")?;
+        for c in &self.constraints {
+            writeln!(f, "  {c}")?;
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            write!(f, "  {} ≤ x{i}", v.lower)?;
+            if let Some(u) = v.upper {
+                write!(f, " ≤ {u}")?;
+            }
+            if v.integer {
+                write!(f, "  (integer, {})", v.name)?;
+            } else {
+                write!(f, "  ({})", v.name)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_moves_constants_to_rhs() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x").build();
+        p.add_le(x + 5, 12);
+        let c = &p.constraints()[0];
+        assert_eq!(c.rhs(), Rational::from_int(7));
+        assert_eq!(c.expr().constant(), Rational::ZERO);
+    }
+
+    #[test]
+    fn expr_on_both_sides() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x").build();
+        let y = p.add_var("y").build();
+        // x + 3 ≥ y - 2  →  x - y ≥ -5
+        p.add_ge(x + 3, y - 2);
+        let c = &p.constraints()[0];
+        assert_eq!(c.expr().coeff(x), Rational::ONE);
+        assert_eq!(c.expr().coeff(y), -Rational::ONE);
+        assert_eq!(c.rhs(), Rational::from_int(-5));
+    }
+
+    #[test]
+    fn invalid_bounds_reported_with_name() {
+        let mut p = Problem::maximize();
+        let _x = p.add_var("broken").bounds(5, 3).build();
+        match p.solve() {
+            Err(SolveError::InvalidBounds { name }) => assert_eq!(name, "broken"),
+            other => panic!("expected InvalidBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constraint_satisfaction_check() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x").build();
+        p.add_le(x * 2, 10);
+        let c = &p.constraints()[0];
+        assert!(c.is_satisfied_by(|_| Rational::from_int(5)));
+        assert!(!c.is_satisfied_by(|_| Rational::from_int(6)));
+    }
+
+    #[test]
+    fn display_includes_labels_and_bounds() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("n_dfl").integer().bounds(0, 9).build();
+        p.set_objective(x * 2);
+        p.add_labeled("eq10", x, Relation::Le, 4);
+        let s = p.to_string();
+        assert!(s.contains("minimize"), "{s}");
+        assert!(s.contains("[eq10]"), "{s}");
+        assert!(s.contains("integer"), "{s}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Solved assignments.
+
+use crate::expr::{LinExpr, Var};
+use crate::rational::Rational;
+use std::fmt;
+
+/// An optimal assignment returned by [`crate::Problem::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use ilp::{Problem, Rational};
+/// # fn main() -> Result<(), ilp::SolveError> {
+/// let mut p = Problem::maximize();
+/// let x = p.add_var("x").integer().bounds(0, 10).build();
+/// p.set_objective(x * 3);
+/// p.add_le(x * 2, 7);
+/// let sol = p.solve()?;
+/// assert_eq!(sol.int_value(x), 3);
+/// assert_eq!(sol.objective(), Rational::from_int(9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    values: Vec<Rational>,
+    objective: Rational,
+}
+
+impl Solution {
+    pub(crate) fn new(values: Vec<Rational>, objective: Rational) -> Self {
+        Solution { values, objective }
+    }
+
+    /// The optimal objective value.
+    pub fn objective(&self) -> Rational {
+        self.objective
+    }
+
+    /// The value assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved problem.
+    pub fn value(&self, v: Var) -> Rational {
+        self.values[v.index()]
+    }
+
+    /// The value of an integer variable as `i128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored value is fractional (only possible for
+    /// continuous variables) or if `v` is foreign.
+    pub fn int_value(&self, v: Var) -> i128 {
+        self.values[v.index()]
+            .to_integer()
+            .expect("variable has a fractional value")
+    }
+
+    /// Evaluates an arbitrary linear expression under this assignment.
+    pub fn eval(&self, expr: &LinExpr) -> Rational {
+        expr.eval(|v| self.values[v.index()])
+    }
+
+    /// All values, indexed by variable index.
+    pub fn values(&self) -> &[Rational] {
+        &self.values
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "objective = {}; ", self.objective)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "x{i} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Var;
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = Solution::new(
+            vec![Rational::from_int(3), Rational::new(1, 2)],
+            Rational::from_int(7),
+        );
+        assert_eq!(s.objective(), Rational::from_int(7));
+        assert_eq!(s.value(Var(0)), Rational::from_int(3));
+        assert_eq!(s.int_value(Var(0)), 3);
+        assert_eq!(s.values().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional")]
+    fn int_value_panics_on_fraction() {
+        let s = Solution::new(vec![Rational::new(1, 2)], Rational::ZERO);
+        let _ = s.int_value(Var(0));
+    }
+
+    #[test]
+    fn display_lists_values() {
+        let s = Solution::new(vec![Rational::from_int(1)], Rational::from_int(1));
+        assert_eq!(s.to_string(), "objective = 1; x0 = 1");
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the exact ILP solver.
+//!
+//! Random small problems are generated and the solver's answers are
+//! cross-checked against brute-force enumeration (for bounded ILPs) and
+//! against basic LP invariants (feasibility of the returned point,
+//! optimality versus random feasible points).
+
+use ilp::{LinExpr, Problem, Rational, SolveError};
+use proptest::prelude::*;
+
+/// A generated constraint: coefficients (small ints) and rhs.
+#[derive(Clone, Debug)]
+struct RandConstraint {
+    coeffs: Vec<i64>,
+    rhs: i64,
+}
+
+fn constraint_strategy(nvars: usize) -> impl Strategy<Value = RandConstraint> {
+    (
+        proptest::collection::vec(-4i64..=6, nvars),
+        0i64..=40,
+    )
+        .prop_map(|(coeffs, rhs)| RandConstraint { coeffs, rhs })
+}
+
+/// Builds a bounded maximisation ILP with `nvars` integer variables in
+/// `[0, ub]` and `≤` constraints. Always feasible (origin satisfies all
+/// constraints because rhs ≥ 0).
+fn build_problem(
+    objective: &[i64],
+    constraints: &[RandConstraint],
+    ub: i64,
+) -> (Problem, Vec<ilp::Var>) {
+    let mut p = Problem::maximize();
+    let vars: Vec<_> = (0..objective.len())
+        .map(|i| p.add_var(format!("v{i}")).integer().bounds(0, ub).build())
+        .collect();
+    let mut obj = LinExpr::new();
+    for (v, k) in vars.iter().zip(objective) {
+        obj += *v * *k;
+    }
+    p.set_objective(obj);
+    for c in constraints {
+        let mut e = LinExpr::new();
+        for (v, k) in vars.iter().zip(&c.coeffs) {
+            e += *v * *k;
+        }
+        p.add_le(e, c.rhs);
+    }
+    (p, vars)
+}
+
+/// Brute-force optimum by enumerating the integer box.
+fn brute_force(objective: &[i64], constraints: &[RandConstraint], ub: i64) -> i128 {
+    let n = objective.len();
+    let mut best = i128::MIN;
+    let mut point = vec![0i64; n];
+    loop {
+        let feasible = constraints.iter().all(|c| {
+            c.coeffs
+                .iter()
+                .zip(&point)
+                .map(|(k, x)| k * x)
+                .sum::<i64>()
+                <= c.rhs
+        });
+        if feasible {
+            let val: i128 = objective
+                .iter()
+                .zip(&point)
+                .map(|(k, x)| *k as i128 * *x as i128)
+                .sum();
+            best = best.max(val);
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            point[i] += 1;
+            if point[i] > ub {
+                point[i] = 0;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ILP optimum matches brute-force enumeration on small boxes.
+    #[test]
+    fn ilp_matches_brute_force(
+        objective in proptest::collection::vec(-5i64..=8, 1..=3),
+        constraints in proptest::collection::vec(constraint_strategy(3), 0..=3),
+        ub in 1i64..=4,
+    ) {
+        let nvars = objective.len();
+        let constraints: Vec<RandConstraint> = constraints
+            .into_iter()
+            .map(|mut c| { c.coeffs.truncate(nvars); c })
+            .collect();
+        let (p, _) = build_problem(&objective, &constraints, ub);
+        let sol = p.solve().expect("origin is always feasible");
+        let expected = brute_force(&objective, &constraints, ub);
+        prop_assert_eq!(sol.objective(), Rational::from_int(expected));
+    }
+
+    /// Returned assignments satisfy every constraint and bound exactly.
+    #[test]
+    fn solution_is_feasible(
+        objective in proptest::collection::vec(-5i64..=8, 1..=4),
+        constraints in proptest::collection::vec(constraint_strategy(4), 0..=4),
+        ub in 1i64..=6,
+    ) {
+        let nvars = objective.len();
+        let constraints: Vec<RandConstraint> = constraints
+            .into_iter()
+            .map(|mut c| { c.coeffs.truncate(nvars); c })
+            .collect();
+        let (p, vars) = build_problem(&objective, &constraints, ub);
+        let sol = p.solve().expect("origin is always feasible");
+        for v in &vars {
+            let x = sol.value(*v);
+            prop_assert!(x >= Rational::ZERO);
+            prop_assert!(x <= Rational::from_int(ub as i128));
+            prop_assert!(x.is_integer());
+        }
+        for c in p.constraints() {
+            prop_assert!(c.is_satisfied_by(|v| sol.value(v)));
+        }
+    }
+
+    /// LP relaxation dominates the ILP optimum (maximisation).
+    #[test]
+    fn lp_relaxation_dominates(
+        objective in proptest::collection::vec(0i64..=8, 1..=3),
+        constraints in proptest::collection::vec(constraint_strategy(3), 1..=3),
+        ub in 1i64..=4,
+    ) {
+        let nvars = objective.len();
+        let constraints: Vec<RandConstraint> = constraints
+            .into_iter()
+            .map(|mut c| { c.coeffs.truncate(nvars); c })
+            .collect();
+        let (ilp_p, _) = build_problem(&objective, &constraints, ub);
+        // Same problem without integrality.
+        let mut lp_p = Problem::maximize();
+        let vars: Vec<_> = (0..nvars)
+            .map(|i| lp_p.add_var(format!("v{i}")).bounds(0, ub).build())
+            .collect();
+        let mut obj = LinExpr::new();
+        for (v, k) in vars.iter().zip(&objective) {
+            obj += *v * *k;
+        }
+        lp_p.set_objective(obj);
+        for c in &constraints {
+            let mut e = LinExpr::new();
+            for (v, k) in vars.iter().zip(&c.coeffs) {
+                e += *v * *k;
+            }
+            lp_p.add_le(e, c.rhs);
+        }
+        let ilp_sol = ilp_p.solve().unwrap();
+        let lp_sol = lp_p.solve().unwrap();
+        prop_assert!(lp_sol.objective() >= ilp_sol.objective());
+    }
+
+    /// Rational arithmetic: field axioms on random values.
+    #[test]
+    fn rational_field_axioms(
+        an in -1000i128..1000, ad in 1i128..50,
+        bn in -1000i128..1000, bd in 1i128..50,
+        cn in -1000i128..1000, cd in 1i128..50,
+    ) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        if !b.is_zero() {
+            prop_assert_eq!(a / b * b, a);
+        }
+    }
+
+    /// floor/ceil bracket the value and differ only for non-integers.
+    #[test]
+    fn floor_ceil_bracket(n in -10_000i128..10_000, d in 1i128..100) {
+        let r = Rational::new(n, d);
+        let f = Rational::from_int(r.floor());
+        let c = Rational::from_int(r.ceil());
+        prop_assert!(f <= r && r <= c);
+        if r.is_integer() {
+            prop_assert_eq!(f, c);
+        } else {
+            prop_assert_eq!(r.ceil() - r.floor(), 1);
+        }
+    }
+}
+
+#[test]
+fn infeasible_box_detected() {
+    let mut p = Problem::maximize();
+    let x = p.add_var("x").integer().bounds(0, 3).build();
+    p.set_objective(x);
+    p.add_ge(x, 10);
+    assert_eq!(p.solve().unwrap_err(), SolveError::Infeasible);
+}

@@ -1,0 +1,215 @@
+//! Latency and stall calibration — the campaign that regenerates
+//! Table 2 of the paper using only DSU-observable quantities.
+//!
+//! ## Method
+//!
+//! *Minimum stall cycles* `cs^{t,o}` come from differential stall-counter
+//! readings over microbenchmarks with a known request count: two probes
+//! with `n₁ < n₂` requests give `cs = (S₂ − S₁) / (n₂ − n₁)`, immune to
+//! one-off warm-up effects (§3.3.2).
+//!
+//! *Maximum latencies* `l^{t,o}` come from marginal-cost measurements on
+//! CCNT, the method the paper describes ("the latency incurred by single
+//! accesses to a target as measured by the on-chip cycle counter"):
+//! the marginal cost of one extra *non-sequential* access, minus the
+//! cost of the same loop iteration against the core-local scratchpad,
+//! plus the one overlapped address cycle, equals the end-to-end
+//! transaction latency. For code, the bounce probe's stall per
+//! iteration minus the sequential stall isolates the non-sequential
+//! fetch latency.
+
+use contention::{LatencyTable, Operation, Platform, StallTable, Target};
+use tc27x_sim::{CoreId, DataObject, Pattern, Placement, Program, Region, SimError, System, TaskSpec};
+use workloads::micro;
+
+/// The calibrated tables (the reproduction of Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Calibration {
+    /// Worst-case per-request latencies `l^{t,o}`.
+    pub latency: LatencyTable,
+    /// Best-case per-request stall cycles `cs^{t,o}`.
+    pub stall: StallTable,
+    /// LMU dirty-miss end-to-end latency (Table 2's bracketed value).
+    pub lmu_dirty_latency: u64,
+}
+
+impl Calibration {
+    /// Builds a [`Platform`] from the calibrated tables.
+    pub fn into_platform(self) -> Platform {
+        Platform::from_tables(self.latency, self.stall, self.lmu_dirty_latency)
+    }
+}
+
+fn run_counters(spec: &TaskSpec, core: CoreId) -> Result<contention::DebugCounters, SimError> {
+    let mut sys = System::tc277();
+    sys.load(core, spec)?;
+    let out = sys.run()?;
+    Ok(crate::runner::to_model_counters(out.counters(core)))
+}
+
+/// Differential over two probe sizes: `(f(n2) - f(n1)) / (n2 - n1)`.
+fn differential(
+    mut probe: impl FnMut(u32) -> Result<u64, SimError>,
+    n1: u32,
+    n2: u32,
+) -> Result<u64, SimError> {
+    let a = probe(n1)?;
+    let b = probe(n2)?;
+    Ok((b - a) / (n2 - n1) as u64)
+}
+
+/// Marginal per-iteration CCNT cost of a dspr-resident single-access
+/// loop — the baseline subtracted from shared-memory probes.
+fn dspr_baseline(core: CoreId) -> Result<u64, SimError> {
+    let probe = |n: u32| -> Result<u64, SimError> {
+        let prog = Program::build(|b| {
+            b.repeat(n, |b| {
+                b.load("local", Pattern::Sequential);
+            });
+        });
+        let spec = TaskSpec::new("baseline", prog, Placement::pspr(core))
+            .with_object(DataObject::new("local", 1 << 10, Placement::dspr(core)));
+        Ok(run_counters(&spec, core)?.ccnt)
+    };
+    differential(probe, 200, 600)
+}
+
+/// Runs the full calibration campaign on a fresh TC277.
+///
+/// # Errors
+///
+/// Propagates simulation errors from the probe runs.
+///
+/// # Examples
+///
+/// ```
+/// use contention::{Operation, Platform, Target};
+///
+/// # fn main() -> Result<(), tc27x_sim::SimError> {
+/// let cal = mbta::calibrate()?;
+/// // The campaign recovers Table 2 exactly on the reference platform.
+/// let reference = Platform::tc277_reference();
+/// assert_eq!(cal.stall.get(Target::Pf0, Operation::Code),
+///            reference.stall(Target::Pf0, Operation::Code));
+/// # Ok(())
+/// # }
+/// ```
+pub fn calibrate() -> Result<Calibration, SimError> {
+    let core = CoreId(1);
+    let mut stall = StallTable::new();
+    let mut latency = LatencyTable::new();
+
+    // --- code stalls: ΔPMEM_STALL per line over streaming probes ---
+    for (target, bank) in [
+        (Target::Pf0, Region::Pflash0),
+        (Target::Pf1, Region::Pflash1),
+        (Target::Lmu, Region::Lmu),
+    ] {
+        let cs = differential(
+            |n| Ok(run_counters(&micro::code_stream(bank, n), core)?.pmem_stall),
+            64,
+            320,
+        )?;
+        stall.set(target, Operation::Code, cs);
+
+        // --- code latency: bounce stall per iteration − sequential cs ---
+        let per_iter = differential(
+            |n| Ok(run_counters(&micro::code_bounce(bank, n), core)?.pmem_stall),
+            50,
+            150,
+        )?;
+        latency.set(target, Operation::Code, per_iter - cs);
+    }
+
+    // --- data stalls ---
+    for (target, bank) in [(Target::Pf0, Region::Pflash0), (Target::Pf1, Region::Pflash1)] {
+        let cs = differential(
+            |n| Ok(run_counters(&micro::data_lines(core, bank, n), core)?.dmem_stall),
+            64,
+            320,
+        )?;
+        stall.set(target, Operation::Data, cs);
+    }
+    for (target, region) in [(Target::Lmu, Region::Lmu), (Target::Dfl, Region::Dflash)] {
+        let cs = differential(
+            |n| Ok(run_counters(&micro::data_words(core, region, n, false), core)?.dmem_stall),
+            100,
+            400,
+        )?;
+        stall.set(target, Operation::Data, cs);
+    }
+
+    // --- data latencies: marginal CCNT − dspr baseline + 1 ---
+    let base = dspr_baseline(core)?;
+    for (target, bank) in [(Target::Pf0, Region::Pflash0), (Target::Pf1, Region::Pflash1)] {
+        let marginal = differential(
+            |n| Ok(run_counters(&micro::data_skip(core, bank, n), core)?.ccnt),
+            400,
+            1200,
+        )?;
+        latency.set(target, Operation::Data, marginal - base + 1);
+    }
+    for (target, region) in [(Target::Lmu, Region::Lmu), (Target::Dfl, Region::Dflash)] {
+        let marginal = differential(
+            |n| Ok(run_counters(&micro::data_words(core, region, n, false), core)?.ccnt),
+            100,
+            400,
+        )?;
+        latency.set(target, Operation::Data, marginal - base + 1);
+    }
+
+    // --- LMU dirty-miss latency ---
+    let dirty_marginal = differential(
+        |n| Ok(run_counters(&micro::dirty_stores(core, n), core)?.ccnt),
+        600,
+        1000,
+    )?;
+    let lmu_dirty_latency = dirty_marginal - base + 1;
+
+    Ok(Calibration {
+        latency,
+        stall,
+        lmu_dirty_latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline calibration test: the campaign must reproduce
+    /// Table 2 of the paper cell by cell.
+    #[test]
+    fn calibration_reproduces_table2() {
+        let cal = calibrate().unwrap();
+        let reference = Platform::tc277_reference();
+        for (t, o) in [
+            (Target::Pf0, Operation::Code),
+            (Target::Pf1, Operation::Code),
+            (Target::Lmu, Operation::Code),
+            (Target::Pf0, Operation::Data),
+            (Target::Pf1, Operation::Data),
+            (Target::Lmu, Operation::Data),
+            (Target::Dfl, Operation::Data),
+        ] {
+            assert_eq!(
+                cal.stall.get(t, o),
+                reference.stall(t, o),
+                "cs^{{{t},{o}}}"
+            );
+            assert_eq!(
+                cal.latency.get(t, o),
+                reference.latency(t, o),
+                "l^{{{t},{o}}}"
+            );
+        }
+        assert_eq!(cal.lmu_dirty_latency, reference.lmu_dirty_latency());
+    }
+
+    #[test]
+    fn calibrated_platform_behaves_like_reference() {
+        let p = calibrate().unwrap().into_platform();
+        assert_eq!(p.cs_code_min(), 6);
+        assert_eq!(p.cs_data_min(), 10);
+    }
+}

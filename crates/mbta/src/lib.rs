@@ -1,0 +1,51 @@
+//! # `mbta` — measurement-based timing analysis harness
+//!
+//! The measurement side of the paper's method, run against the
+//! [`tc27x_sim`] platform:
+//!
+//! * [`isolation_profile`] / [`hwm_campaign`] — isolation runs and
+//!   high-water-mark envelopes over the DSU debug counters;
+//! * [`calibrate`] — the microbenchmark campaign that regenerates
+//!   Table 2 (per-target latencies and minimum stall cycles);
+//! * [`figure4_panel`] / [`table6_block`] — the §4.2 evaluation
+//!   protocol: profile app and contenders in isolation, feed the
+//!   models, validate against co-run observations;
+//! * [`report`] — plain-text tables for the experiment binaries.
+//!
+//! # Examples
+//!
+//! Reproduce one Figure 4 panel:
+//!
+//! ```no_run
+//! use contention::Platform;
+//! use tc27x_sim::DeploymentScenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::tc277_reference();
+//! let panel = mbta::figure4_panel(DeploymentScenario::Scenario1, &platform, 42)?;
+//! for cell in &panel.cells {
+//!     println!("{}: fTC {:.2}x, ILP {:.2}x, observed {:.2}x",
+//!         cell.level, cell.ftc.ratio(), cell.ilp.ratio(), cell.observed_ratio());
+//! }
+//! assert!(panel.all_bounds_sound());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibration;
+mod experiment;
+pub mod report;
+mod runner;
+
+pub use calibration::{calibrate, Calibration};
+pub use experiment::{
+    constraints_for, figure4_panel, table6_block, ExperimentError, Figure4Cell, Figure4Panel,
+    Table6Block,
+};
+pub use runner::{
+    hwm_campaign, isolation_profile, observed_corun, to_model_counters, to_model_counts,
+    HwmMeasurement,
+};

@@ -1,0 +1,204 @@
+//! Isolation runs and profile extraction — the measurement side of
+//! measurement-based timing analysis.
+
+use contention::{AccessCounts, IsolationProfile};
+use tc27x_sim::{CoreId, SimError, System, TaskSpec};
+
+/// Converts simulator counter readings into the model-side type.
+pub fn to_model_counters(c: tc27x_sim::DebugCounters) -> contention::DebugCounters {
+    contention::DebugCounters {
+        ccnt: c.ccnt,
+        pmem_stall: c.pmem_stall,
+        dmem_stall: c.dmem_stall,
+        pcache_miss: c.pcache_miss,
+        dcache_miss_clean: c.dcache_miss_clean,
+        dcache_miss_dirty: c.dcache_miss_dirty,
+    }
+}
+
+/// Converts simulator ground truth into model-side access counts.
+pub fn to_model_counts(g: tc27x_sim::GroundTruth) -> AccessCounts {
+    use contention::{Operation, Target};
+    AccessCounts::from_fn(|t, o| {
+        let st = match t {
+            Target::Pf0 => tc27x_sim::SriTarget::Pf0,
+            Target::Pf1 => tc27x_sim::SriTarget::Pf1,
+            Target::Dfl => tc27x_sim::SriTarget::Dfl,
+            Target::Lmu => tc27x_sim::SriTarget::Lmu,
+        };
+        let so = match o {
+            Operation::Code => tc27x_sim::AccessClass::Code,
+            Operation::Data => tc27x_sim::AccessClass::Data,
+        };
+        g.accesses(st, so)
+    })
+}
+
+/// Runs `spec` alone on a fresh TC277 and returns its isolation profile
+/// (debug counters plus simulator ground-truth PTAC, which only the
+/// ideal model consumes).
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+///
+/// # Examples
+///
+/// ```
+/// use mbta::isolation_profile;
+/// use tc27x_sim::{CoreId, DeploymentScenario};
+/// use workloads::control_loop;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let app = control_loop(DeploymentScenario::Scenario1, CoreId(1), 42);
+/// let profile = isolation_profile(&app, CoreId(1))?;
+/// assert!(profile.counters().ccnt > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn isolation_profile(spec: &TaskSpec, core: CoreId) -> Result<IsolationProfile, SimError> {
+    let mut sys = System::tc277();
+    sys.load(core, spec)?;
+    let out = sys.run()?;
+    Ok(
+        IsolationProfile::new(spec.name.clone(), to_model_counters(out.counters(core)))
+            .with_ptac(to_model_counts(out.ground_truth(core))),
+    )
+}
+
+/// A high-water-mark measurement campaign: the task is run `runs` times
+/// with perturbed seeds (standard MBTA input variation) and the
+/// *envelope* of all counter readings is kept — each counter's maximum
+/// across runs, the conservative direction for every model input.
+#[derive(Clone, Debug)]
+pub struct HwmMeasurement {
+    /// Envelope profile (per-counter maxima).
+    pub profile: IsolationProfile,
+    /// Execution times of the individual runs.
+    pub ccnt_per_run: Vec<u64>,
+}
+
+impl HwmMeasurement {
+    /// The observed execution-time high-water mark.
+    pub fn ccnt_hwm(&self) -> u64 {
+        self.ccnt_per_run.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs the MBTA campaign for `spec`: `runs` isolation runs with seeds
+/// `seed₀ … seed₀+runs-1`, envelope over counters.
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn hwm_campaign(
+    spec: &TaskSpec,
+    core: CoreId,
+    runs: u32,
+) -> Result<HwmMeasurement, SimError> {
+    assert!(runs > 0, "a campaign needs at least one run");
+    let mut envelope = contention::DebugCounters::default();
+    let mut ptac = AccessCounts::new();
+    let mut ccnts = Vec::with_capacity(runs as usize);
+    for r in 0..runs {
+        let mut varied = spec.clone();
+        varied.seed = spec.seed.wrapping_add(r as u64);
+        let mut sys = System::tc277();
+        sys.load(core, &varied)?;
+        let out = sys.run()?;
+        let c = to_model_counters(out.counters(core));
+        envelope.ccnt = envelope.ccnt.max(c.ccnt);
+        envelope.pmem_stall = envelope.pmem_stall.max(c.pmem_stall);
+        envelope.dmem_stall = envelope.dmem_stall.max(c.dmem_stall);
+        envelope.pcache_miss = envelope.pcache_miss.max(c.pcache_miss);
+        envelope.dcache_miss_clean = envelope.dcache_miss_clean.max(c.dcache_miss_clean);
+        envelope.dcache_miss_dirty = envelope.dcache_miss_dirty.max(c.dcache_miss_dirty);
+        let g = to_model_counts(out.ground_truth(core));
+        ptac = AccessCounts::from_fn(|t, o| ptac.get(t, o).max(g.get(t, o)));
+        ccnts.push(c.ccnt);
+    }
+    Ok(HwmMeasurement {
+        profile: IsolationProfile::new(spec.name.clone(), envelope).with_ptac(ptac),
+        ccnt_per_run: ccnts,
+    })
+}
+
+/// Runs the app on `app_core` against a contender on `load_core` and
+/// returns the app's observed co-run execution time.
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+pub fn observed_corun(
+    app: &TaskSpec,
+    app_core: CoreId,
+    load: &TaskSpec,
+    load_core: CoreId,
+) -> Result<u64, SimError> {
+    let mut sys = System::tc277();
+    sys.load(app_core, app)?;
+    sys.load(load_core, load)?;
+    let out = sys.run_until(app_core)?;
+    Ok(out.counters(app_core).ccnt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc27x_sim::DeploymentScenario;
+    use workloads::{contender, control_loop, LoadLevel};
+
+    #[test]
+    fn isolation_profile_carries_ptac() {
+        let core = CoreId(1);
+        let app = control_loop(DeploymentScenario::LowTraffic, core, 1);
+        let p = isolation_profile(&app, core).unwrap();
+        assert!(p.ptac().is_some());
+        assert!(p.counters().ccnt > 0);
+        assert_eq!(p.name(), "cruise-control-low");
+    }
+
+    #[test]
+    fn hwm_envelope_dominates_every_run() {
+        let core = CoreId(1);
+        let app = control_loop(DeploymentScenario::Scenario1, core, 10);
+        let m = hwm_campaign(&app, core, 4).unwrap();
+        assert_eq!(m.ccnt_per_run.len(), 4);
+        for c in &m.ccnt_per_run {
+            assert!(m.profile.counters().ccnt >= *c);
+        }
+        assert_eq!(m.ccnt_hwm(), *m.ccnt_per_run.iter().max().unwrap());
+    }
+
+    #[test]
+    fn corun_is_slower_than_isolation() {
+        let (a, b) = (CoreId(1), CoreId(2));
+        let app = control_loop(DeploymentScenario::Scenario1, a, 42);
+        let load = contender(DeploymentScenario::Scenario1, LoadLevel::High, b, 7);
+        let iso = isolation_profile(&app, a).unwrap().counters().ccnt;
+        let co = observed_corun(&app, a, &load, b).unwrap();
+        assert!(co > iso, "co-run {co} must exceed isolation {iso}");
+    }
+
+    #[test]
+    fn counter_conversion_is_field_exact() {
+        let c = tc27x_sim::DebugCounters {
+            ccnt: 1,
+            pmem_stall: 2,
+            dmem_stall: 3,
+            pcache_miss: 4,
+            dcache_miss_clean: 5,
+            dcache_miss_dirty: 6,
+        };
+        let m = to_model_counters(c);
+        assert_eq!(
+            (m.ccnt, m.pmem_stall, m.dmem_stall, m.pcache_miss,
+             m.dcache_miss_clean, m.dcache_miss_dirty),
+            (1, 2, 3, 4, 5, 6)
+        );
+    }
+}

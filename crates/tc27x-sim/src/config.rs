@@ -1,0 +1,220 @@
+//! Simulator configuration: slave service times, stall hiding and cache
+//! geometries.
+//!
+//! The reference values ([`SimConfig::tc277_reference`]) are chosen so
+//! that calibration on the simulator recovers exactly Table 2 of the
+//! paper: maximum latencies of 16 (pf), 11/21 (lmu), 43 (dfl) cycles and
+//! best-case stall cycles of 6 (pf code), 11 (pf data / lmu code),
+//! 10 (lmu data) and 42 (dfl data).
+
+use crate::addr::{CoreId, SriTarget};
+use crate::cache::CacheGeometry;
+use crate::layout::AccessClass;
+
+/// Service and hiding parameters of one SRI slave.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlaveTiming {
+    /// Slave occupancy for a request that hits the sequential prefetch
+    /// stream (program-flash prefetch buffer); equals `service` for
+    /// slaves without a prefetcher.
+    pub service_sequential: u32,
+    /// Slave occupancy for any other request.
+    pub service: u32,
+    /// Occupancy of a cache-line write-back burst to this slave.
+    pub writeback_service: u32,
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Per-target slave timing, indexed by [`SriTarget::index`].
+    pub slaves: [SlaveTiming; SriTarget::COUNT],
+    /// Pipeline cycles a *sequential, prefetched* code fetch from program
+    /// flash can hide (run-ahead of the fetch engine).
+    pub fetch_prefetch_hide: u32,
+    /// Pipeline cycles any data access can hide (posted address phase).
+    pub data_hide: u32,
+    /// Instruction-cache geometry of the TriCore 1.6P cores.
+    pub icache_p: CacheGeometry,
+    /// Instruction-cache geometry of the TriCore 1.6E core.
+    pub icache_e: CacheGeometry,
+    /// Data-cache geometry of the TriCore 1.6P cores.
+    pub dcache_p: CacheGeometry,
+    /// Data read buffer of the TriCore 1.6E core (single line).
+    pub drb_e: CacheGeometry,
+    /// Hard cap on simulated cycles per run (guards against runaway
+    /// workloads).
+    pub max_cycles: u64,
+    /// SRI priority class per core (higher wins; ties arbitrate
+    /// round-robin). All-equal by default — the same-class case the
+    /// paper analyses as the most stressing one.
+    pub master_priority: [u8; CoreId::COUNT],
+    /// Per-core trace buffer capacity in events; 0 (default) disables
+    /// tracing entirely.
+    pub trace_capacity: usize,
+    /// Per-core SRI transaction quota — the runtime capacity
+    /// enforcement of Nowotsch et al. (reference \[16\] of the paper): a
+    /// core that exhausts its quota is suspended for the rest of the
+    /// run, so its interference can never exceed the budgeted amount.
+    /// `None` (default) disables enforcement for the core.
+    pub sri_quota: [Option<u64>; CoreId::COUNT],
+}
+
+impl SimConfig {
+    /// The TC277 reference configuration (matches Figure 1 and Table 2
+    /// of the paper).
+    pub fn tc277_reference() -> Self {
+        let pf = SlaveTiming {
+            service_sequential: 12,
+            service: 16,
+            writeback_service: 16,
+        };
+        SimConfig {
+            slaves: [
+                pf, // pf0
+                pf, // pf1
+                SlaveTiming {
+                    service_sequential: 43,
+                    service: 43,
+                    writeback_service: 43,
+                }, // dfl
+                SlaveTiming {
+                    service_sequential: 11,
+                    service: 11,
+                    writeback_service: 10,
+                }, // lmu
+            ],
+            fetch_prefetch_hide: 6,
+            data_hide: 1,
+            icache_p: CacheGeometry::new(16 << 10, 2),
+            icache_e: CacheGeometry::new(8 << 10, 2),
+            dcache_p: CacheGeometry::new(8 << 10, 2),
+            drb_e: CacheGeometry::new(32, 1),
+            max_cycles: 500_000_000,
+            master_priority: [0; CoreId::COUNT],
+            trace_capacity: 0,
+            sri_quota: [None; CoreId::COUNT],
+        }
+    }
+
+    /// Variant with an SRI transaction quota on one core (builder
+    /// style).
+    #[must_use]
+    pub fn with_sri_quota(mut self, core: CoreId, quota: u64) -> Self {
+        self.sri_quota[core.index()] = Some(quota);
+        self
+    }
+
+    /// Variant with per-core execution tracing enabled (builder style).
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Variant with explicit SRI master priorities (builder style).
+    #[must_use]
+    pub fn with_master_priority(mut self, priority: [u8; CoreId::COUNT]) -> Self {
+        self.master_priority = priority;
+        self
+    }
+
+    /// Timing of one slave.
+    pub fn slave(&self, target: SriTarget) -> SlaveTiming {
+        self.slaves[target.index()]
+    }
+
+    /// Cycles a request can hide, given its class and whether the flash
+    /// prefetcher predicted it.
+    pub fn hide_cycles(&self, class: AccessClass, target: SriTarget, sequential: bool) -> u32 {
+        match class {
+            AccessClass::Code if sequential && target.is_pflash() => self.fetch_prefetch_hide,
+            AccessClass::Code => 0,
+            AccessClass::Data => self.data_hide,
+        }
+    }
+
+    /// Instruction-cache geometry for a core.
+    pub fn icache_for(&self, core: CoreId) -> CacheGeometry {
+        if core.is_efficiency() {
+            self.icache_e
+        } else {
+            self.icache_p
+        }
+    }
+
+    /// Data-cache (or DRB) geometry for a core.
+    pub fn dcache_for(&self, core: CoreId) -> CacheGeometry {
+        if core.is_efficiency() {
+            self.drb_e
+        } else {
+            self.dcache_p
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::tc277_reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_table2_service_times() {
+        let c = SimConfig::tc277_reference();
+        assert_eq!(c.slave(SriTarget::Pf0).service, 16);
+        assert_eq!(c.slave(SriTarget::Pf0).service_sequential, 12);
+        assert_eq!(c.slave(SriTarget::Pf1).service, 16);
+        assert_eq!(c.slave(SriTarget::Dfl).service, 43);
+        assert_eq!(c.slave(SriTarget::Lmu).service, 11);
+        assert_eq!(c.slave(SriTarget::Lmu).writeback_service, 10);
+    }
+
+    #[test]
+    fn hiding_rules() {
+        let c = SimConfig::tc277_reference();
+        use AccessClass::{Code, Data};
+        // Sequential code fetch from pflash hides the prefetch lead.
+        assert_eq!(c.hide_cycles(Code, SriTarget::Pf0, true), 6);
+        // Non-sequential fetch hides nothing.
+        assert_eq!(c.hide_cycles(Code, SriTarget::Pf0, false), 0);
+        // The LMU has no prefetcher.
+        assert_eq!(c.hide_cycles(Code, SriTarget::Lmu, true), 0);
+        // Data always hides the posted address phase.
+        assert_eq!(c.hide_cycles(Data, SriTarget::Lmu, false), 1);
+        assert_eq!(c.hide_cycles(Data, SriTarget::Dfl, true), 1);
+    }
+
+    #[test]
+    fn best_case_stalls_match_table2() {
+        // stall = service(best) - hide: the Table 2 cs row.
+        let c = SimConfig::tc277_reference();
+        use AccessClass::{Code, Data};
+        let cs = |t: SriTarget, class: AccessClass| {
+            let s = if t.is_pflash() {
+                c.slave(t).service_sequential
+            } else {
+                c.slave(t).service
+            };
+            s - c.hide_cycles(class, t, true)
+        };
+        assert_eq!(cs(SriTarget::Pf0, Code), 6);
+        assert_eq!(cs(SriTarget::Pf0, Data), 11);
+        assert_eq!(cs(SriTarget::Lmu, Code), 11);
+        assert_eq!(cs(SriTarget::Lmu, Data), 10);
+        assert_eq!(cs(SriTarget::Dfl, Data), 42);
+    }
+
+    #[test]
+    fn core_kind_cache_selection() {
+        let c = SimConfig::tc277_reference();
+        assert_eq!(c.icache_for(CoreId(0)).size_bytes, 8 << 10);
+        assert_eq!(c.icache_for(CoreId(1)).size_bytes, 16 << 10);
+        assert_eq!(c.dcache_for(CoreId(0)).lines(), 1);
+        assert_eq!(c.dcache_for(CoreId(2)).size_bytes, 8 << 10);
+    }
+}

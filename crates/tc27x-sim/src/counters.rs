@@ -1,0 +1,190 @@
+//! DSU debug counters and simulator-only ground truth.
+//!
+//! [`DebugCounters`] mirrors exactly what the AURIX Debug Support Unit
+//! exposes and is the *only* information the contention models may
+//! consume. [`GroundTruth`] records the per-target access counts the real
+//! hardware cannot report — the simulator keeps them for the ideal model
+//! (Eq. 1 assumes full PTAC knowledge) and for validating the counter
+//! semantics in tests.
+
+use crate::addr::SriTarget;
+use crate::layout::AccessClass;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The TC27x debug counters used by the paper (Table 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct DebugCounters {
+    /// On-chip cycle counter: cycles from task start to completion.
+    pub ccnt: u64,
+    /// Cycles the pipeline stalled on the program memory interface.
+    pub pmem_stall: u64,
+    /// Cycles the pipeline stalled on the data memory interface.
+    pub dmem_stall: u64,
+    /// Instruction-cache misses (cacheable fetches only).
+    pub pcache_miss: u64,
+    /// Data-cache misses that evicted no dirty line.
+    pub dcache_miss_clean: u64,
+    /// Data-cache misses that evicted a dirty line (write-back issued).
+    pub dcache_miss_dirty: u64,
+}
+
+impl DebugCounters {
+    /// Total data-cache misses.
+    pub fn dcache_miss_total(&self) -> u64 {
+        self.dcache_miss_clean + self.dcache_miss_dirty
+    }
+}
+
+impl fmt::Display for DebugCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CCNT={} PMEM_STALL={} DMEM_STALL={} P$_MISS={} D$_MISS_CLEAN={} D$_MISS_DIRTY={}",
+            self.ccnt,
+            self.pmem_stall,
+            self.dmem_stall,
+            self.pcache_miss,
+            self.dcache_miss_clean,
+            self.dcache_miss_dirty
+        )
+    }
+}
+
+/// Per-(target, class) access counts — simulator ground truth that the
+/// real DSU cannot provide (§3.3: "AURIX TC27x lacks SRI access counters
+/// on a per-resource basis").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct GroundTruth {
+    counts: [[u64; 2]; SriTarget::COUNT],
+    /// Of which: write transactions (stores and write-backs).
+    writes: [u64; SriTarget::COUNT],
+    /// Maximum end-to-end latency observed for a single transaction,
+    /// per target (queueing + service).
+    max_latency: [u64; SriTarget::COUNT],
+}
+
+fn class_idx(class: AccessClass) -> usize {
+    match class {
+        AccessClass::Code => 0,
+        AccessClass::Data => 1,
+    }
+}
+
+impl GroundTruth {
+    /// Records one SRI transaction (counted at issue time).
+    pub fn record(&mut self, target: SriTarget, class: AccessClass, write: bool, latency: u64) {
+        self.counts[target.index()][class_idx(class)] += 1;
+        if write {
+            self.writes[target.index()] += 1;
+        }
+        self.note_latency(target, latency);
+    }
+
+    /// Updates the per-target maximum end-to-end latency (known only once
+    /// the transaction is granted).
+    pub fn note_latency(&mut self, target: SriTarget, latency: u64) {
+        let m = &mut self.max_latency[target.index()];
+        *m = (*m).max(latency);
+    }
+
+    /// Access count for a (target, class) pair — the paper's `n_x^{t,o}`.
+    pub fn accesses(&self, target: SriTarget, class: AccessClass) -> u64 {
+        self.counts[target.index()][class_idx(class)]
+    }
+
+    /// Total SRI accesses of a class across all targets.
+    pub fn class_total(&self, class: AccessClass) -> u64 {
+        SriTarget::all()
+            .iter()
+            .map(|t| self.accesses(*t, class))
+            .sum()
+    }
+
+    /// Total SRI accesses.
+    pub fn total(&self) -> u64 {
+        self.class_total(AccessClass::Code) + self.class_total(AccessClass::Data)
+    }
+
+    /// Write transactions to a target.
+    pub fn writes(&self, target: SriTarget) -> u64 {
+        self.writes[target.index()]
+    }
+
+    /// Largest observed end-to-end latency at a target.
+    pub fn max_latency(&self, target: SriTarget) -> u64 {
+        self.max_latency[target.index()]
+    }
+}
+
+impl Index<(SriTarget, AccessClass)> for GroundTruth {
+    type Output = u64;
+    fn index(&self, (t, c): (SriTarget, AccessClass)) -> &u64 {
+        &self.counts[t.index()][class_idx(c)]
+    }
+}
+
+impl IndexMut<(SriTarget, AccessClass)> for GroundTruth {
+    fn index_mut(&mut self, (t, c): (SriTarget, AccessClass)) -> &mut u64 {
+        &mut self.counts[t.index()][class_idx(c)]
+    }
+}
+
+impl fmt::Display for GroundTruth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in SriTarget::all() {
+            write!(
+                f,
+                "{}: co={} da={}  ",
+                t,
+                self.accesses(t, AccessClass::Code),
+                self.accesses(t, AccessClass::Data)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut g = GroundTruth::default();
+        g.record(SriTarget::Pf0, AccessClass::Code, false, 16);
+        g.record(SriTarget::Pf0, AccessClass::Code, false, 12);
+        g.record(SriTarget::Lmu, AccessClass::Data, true, 11);
+        assert_eq!(g.accesses(SriTarget::Pf0, AccessClass::Code), 2);
+        assert_eq!(g.accesses(SriTarget::Lmu, AccessClass::Data), 1);
+        assert_eq!(g.class_total(AccessClass::Code), 2);
+        assert_eq!(g.total(), 3);
+        assert_eq!(g.writes(SriTarget::Lmu), 1);
+        assert_eq!(g.writes(SriTarget::Pf0), 0);
+        assert_eq!(g.max_latency(SriTarget::Pf0), 16);
+    }
+
+    #[test]
+    fn index_operators() {
+        let mut g = GroundTruth::default();
+        g[(SriTarget::Dfl, AccessClass::Data)] = 7;
+        assert_eq!(g[(SriTarget::Dfl, AccessClass::Data)], 7);
+    }
+
+    #[test]
+    fn counters_display_contains_all_fields() {
+        let c = DebugCounters {
+            ccnt: 1,
+            pmem_stall: 2,
+            dmem_stall: 3,
+            pcache_miss: 4,
+            dcache_miss_clean: 5,
+            dcache_miss_dirty: 6,
+        };
+        let s = c.to_string();
+        for needle in ["CCNT=1", "PMEM_STALL=2", "DMEM_STALL=3", "P$_MISS=4"] {
+            assert!(s.contains(needle), "{s}");
+        }
+        assert_eq!(c.dcache_miss_total(), 11);
+    }
+}

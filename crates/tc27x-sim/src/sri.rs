@@ -1,0 +1,359 @@
+//! The Shared Resource Interconnect: a crossbar with per-slave,
+//! priority-then-round-robin arbitration.
+//!
+//! The SRI lets transactions to *distinct* slaves proceed in parallel;
+//! contention arises only between requests to the same slave (§2 of the
+//! paper). Each slave serves one transaction at a time. Masters carry a
+//! priority class: among pending requests the highest class wins, and
+//! ties within a class are broken round-robin over cores. With all
+//! masters in the same class (the default, and the case the paper
+//! analyses as "the most stressing one for our model") this degenerates
+//! to plain round-robin.
+
+use crate::addr::{CoreId, SriTarget};
+use crate::layout::AccessClass;
+
+/// A request posted by a core's PMI or DMI.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SriRequest {
+    /// Requesting core.
+    pub core: CoreId,
+    /// Destination slave.
+    pub target: SriTarget,
+    /// Code fetch or data access (the paper's `O = {co, da}`).
+    pub class: AccessClass,
+    /// Write transaction (store or cache write-back).
+    pub write: bool,
+    /// Slave occupancy in cycles.
+    pub service: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    core: CoreId,
+    service: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Slave {
+    /// Cycle at which the slave becomes free again.
+    busy_until: u64,
+    /// Waiting requests, at most one per core.
+    queue: Vec<Pending>,
+    /// Core index granted most recently (round-robin pointer).
+    last_grant: usize,
+    /// Total transactions served.
+    served: u64,
+    /// Total cycles of queueing delay imposed on requesters.
+    queue_delay: u64,
+}
+
+/// Completion notice the SRI hands back to a core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Grant {
+    /// Cycle at which the transaction's data is available.
+    pub complete_at: u64,
+}
+
+/// The SRI crossbar.
+///
+/// # Examples
+///
+/// ```
+/// use tc27x_sim::addr::{CoreId, SriTarget};
+/// use tc27x_sim::layout::AccessClass;
+/// use tc27x_sim::sri::{Sri, SriRequest};
+///
+/// let mut sri = Sri::new();
+/// sri.post(0, SriRequest {
+///     core: CoreId(1),
+///     target: SriTarget::Lmu,
+///     class: AccessClass::Data,
+///     write: false,
+///     service: 11,
+/// });
+/// let grants = sri.step(0);
+/// assert_eq!(grants[CoreId(1).index()].unwrap().complete_at, 11);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sri {
+    slaves: [Slave; SriTarget::COUNT],
+    /// Priority class per core (higher wins); all-equal by default.
+    priority: [u8; CoreId::COUNT],
+}
+
+impl Sri {
+    /// Creates an idle crossbar with all masters in the same priority
+    /// class (round-robin arbitration).
+    pub fn new() -> Self {
+        Sri {
+            slaves: Default::default(),
+            priority: [0; CoreId::COUNT],
+        }
+    }
+
+    /// Creates a crossbar with explicit per-core priority classes
+    /// (higher value = higher priority).
+    pub fn with_priorities(priority: [u8; CoreId::COUNT]) -> Self {
+        Sri {
+            slaves: Default::default(),
+            priority,
+        }
+    }
+
+    /// The priority class of a core.
+    pub fn priority(&self, core: CoreId) -> u8 {
+        self.priority[core.index()]
+    }
+
+    /// Posts a request at cycle `now`. The grant arrives through a later
+    /// (possibly same-cycle) [`Sri::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already has a request queued at this slave —
+    /// cores have at most one outstanding transaction.
+    pub fn post(&mut self, _now: u64, req: SriRequest) {
+        let slave = &mut self.slaves[req.target.index()];
+        assert!(
+            slave.queue.iter().all(|p| p.core != req.core),
+            "{} already has a pending request at {}",
+            req.core,
+            req.target
+        );
+        slave.queue.push(Pending {
+            core: req.core,
+            service: req.service,
+        });
+    }
+
+    /// Advances arbitration at cycle `now`; returns, per core index, the
+    /// grant issued this cycle (if any).
+    pub fn step(&mut self, now: u64) -> [Option<Grant>; CoreId::COUNT] {
+        let mut grants = [None; CoreId::COUNT];
+        let priority = self.priority;
+        for slave in &mut self.slaves {
+            if slave.busy_until > now || slave.queue.is_empty() {
+                continue;
+            }
+            // Highest priority class present wins; round-robin within
+            // the class (first queued core strictly after `last_grant`
+            // in circular core order).
+            let best_class = slave
+                .queue
+                .iter()
+                .map(|p| priority[p.core.index()])
+                .max()
+                .expect("queue checked non-empty");
+            let pick = (1..=CoreId::COUNT)
+                .map(|d| (slave.last_grant + d) % CoreId::COUNT)
+                .filter(|&c| priority[c] == best_class)
+                .find_map(|c| {
+                    slave
+                        .queue
+                        .iter()
+                        .position(|p| p.core.index() == c)
+                        .map(|pos| (c, pos))
+                });
+            let Some((core_idx, pos)) = pick else { continue };
+            let p = slave.queue.remove(pos);
+            slave.last_grant = core_idx;
+            slave.busy_until = now + p.service as u64;
+            slave.served += 1;
+            slave.queue_delay += slave.queue.len() as u64; // remaining waiters
+            grants[core_idx] = Some(Grant {
+                complete_at: slave.busy_until,
+            });
+        }
+        grants
+    }
+
+    /// Transactions served by a slave so far.
+    pub fn served(&self, target: SriTarget) -> u64 {
+        self.slaves[target.index()].served
+    }
+
+    /// Returns `true` if no slave has queued or in-flight work at `now`.
+    pub fn is_idle(&self, now: u64) -> bool {
+        self.slaves
+            .iter()
+            .all(|s| s.queue.is_empty() && s.busy_until <= now)
+    }
+}
+
+impl Default for Sri {
+    fn default() -> Self {
+        Sri::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(core: u8, target: SriTarget, service: u32) -> SriRequest {
+        SriRequest {
+            core: CoreId(core),
+            target,
+            class: AccessClass::Data,
+            write: false,
+            service,
+        }
+    }
+
+    #[test]
+    fn single_request_served_immediately() {
+        let mut sri = Sri::new();
+        sri.post(5, req(0, SriTarget::Dfl, 43));
+        let g = sri.step(5);
+        assert_eq!(g[0].unwrap().complete_at, 48);
+        assert!(g[1].is_none() && g[2].is_none());
+        assert_eq!(sri.served(SriTarget::Dfl), 1);
+    }
+
+    #[test]
+    fn same_slave_serializes() {
+        let mut sri = Sri::new();
+        sri.post(0, req(1, SriTarget::Lmu, 11));
+        sri.post(0, req(2, SriTarget::Lmu, 11));
+        let g0 = sri.step(0);
+        // Exactly one granted at cycle 0.
+        assert_eq!(g0.iter().flatten().count(), 1);
+        // Nothing new until the slave frees up.
+        for t in 1..11 {
+            assert_eq!(sri.step(t).iter().flatten().count(), 0);
+        }
+        let g11 = sri.step(11);
+        assert_eq!(g11.iter().flatten().count(), 1);
+        assert_eq!(g11.iter().flatten().next().unwrap().complete_at, 22);
+    }
+
+    #[test]
+    fn distinct_slaves_run_in_parallel() {
+        let mut sri = Sri::new();
+        sri.post(0, req(1, SriTarget::Pf0, 16));
+        sri.post(0, req(2, SriTarget::Pf1, 16));
+        let g = sri.step(0);
+        assert_eq!(g[1].unwrap().complete_at, 16);
+        assert_eq!(g[2].unwrap().complete_at, 16);
+    }
+
+    #[test]
+    fn round_robin_alternates_under_saturation() {
+        let mut sri = Sri::new();
+        let mut order = Vec::new();
+        let mut t = 0u64;
+        // Both cores keep a request pending for 6 grant rounds.
+        sri.post(t, req(1, SriTarget::Lmu, 11));
+        sri.post(t, req(2, SriTarget::Lmu, 11));
+        for _ in 0..6 {
+            loop {
+                let g = sri.step(t);
+                if let Some(c) = (0..3).find(|&c| g[c].is_some()) {
+                    order.push(c);
+                    t = g[c].unwrap().complete_at;
+                    // Immediately repost for the granted core.
+                    sri.post(t, req(c as u8, SriTarget::Lmu, 11));
+                    break;
+                }
+                t += 1;
+            }
+        }
+        // Strict alternation 1,2,1,2,... or 2,1,2,1,...
+        for w in order.windows(2) {
+            assert_ne!(w[0], w[1], "round robin must alternate: {order:?}");
+        }
+    }
+
+    #[test]
+    fn three_core_round_robin_is_fair() {
+        let mut sri = Sri::new();
+        let mut served = [0u32; 3];
+        let mut t = 0u64;
+        for c in 0..3 {
+            sri.post(t, req(c, SriTarget::Pf0, 16));
+        }
+        for _ in 0..9 {
+            loop {
+                let g = sri.step(t);
+                if let Some(c) = (0..3).find(|&c| g[c].is_some()) {
+                    served[c] += 1;
+                    t = g[c].unwrap().complete_at;
+                    sri.post(t, req(c as u8, SriTarget::Pf0, 16));
+                    break;
+                }
+                t += 1;
+            }
+        }
+        assert_eq!(served, [3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending request")]
+    fn double_post_same_slave_panics() {
+        let mut sri = Sri::new();
+        sri.post(0, req(1, SriTarget::Lmu, 11));
+        sri.post(0, req(1, SriTarget::Lmu, 11));
+    }
+
+    #[test]
+    fn priority_class_preempts_round_robin_order() {
+        // Core 1 is high priority; it always wins grants over core 2.
+        let mut sri = Sri::with_priorities([0, 1, 0]);
+        assert_eq!(sri.priority(CoreId(1)), 1);
+        let mut wins = [0u32; 3];
+        let mut t = 0u64;
+        sri.post(t, req(1, SriTarget::Lmu, 11));
+        sri.post(t, req(2, SriTarget::Lmu, 11));
+        for _ in 0..8 {
+            loop {
+                let g = sri.step(t);
+                if let Some(c) = (0..3).find(|&c| g[c].is_some()) {
+                    wins[c] += 1;
+                    t = g[c].unwrap().complete_at;
+                    sri.post(t, req(c as u8, SriTarget::Lmu, 11));
+                    break;
+                }
+                t += 1;
+            }
+        }
+        // Core 2 gets through only while core 1's repost arrives at the
+        // same cycle the slave frees (never strictly first): with this
+        // repost pattern core 1 must win at least 7 of 8 grants.
+        assert!(wins[1] >= 7, "high priority starves the low class: {wins:?}");
+    }
+
+    #[test]
+    fn equal_priorities_remain_fair() {
+        let mut sri = Sri::with_priorities([3, 3, 3]);
+        let mut served = [0u32; 3];
+        let mut t = 0u64;
+        for c in 0..3 {
+            sri.post(t, req(c, SriTarget::Dfl, 43));
+        }
+        for _ in 0..6 {
+            loop {
+                let g = sri.step(t);
+                if let Some(c) = (0..3).find(|&c| g[c].is_some()) {
+                    served[c] += 1;
+                    t = g[c].unwrap().complete_at;
+                    sri.post(t, req(c as u8, SriTarget::Dfl, 43));
+                    break;
+                }
+                t += 1;
+            }
+        }
+        assert_eq!(served, [2, 2, 2]);
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut sri = Sri::new();
+        assert!(sri.is_idle(0));
+        sri.post(0, req(0, SriTarget::Lmu, 11));
+        assert!(!sri.is_idle(0));
+        sri.step(0);
+        assert!(!sri.is_idle(5));
+        assert!(sri.is_idle(11));
+    }
+}

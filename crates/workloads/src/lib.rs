@@ -1,0 +1,42 @@
+//! # `workloads` — the evaluation workload suite
+//!
+//! The tasks the paper's evaluation (§4.2) runs on the TC277:
+//!
+//! * [`control_loop`] — the application under analysis, a cruise-control
+//!   style *acquire → compute → update* loop over two medium-size data
+//!   structures, deployed per scenario (Figure 3);
+//! * [`contender`] — the H/M/L-Load co-runners that put an increasing
+//!   load on the SRI;
+//! * [`fir_filter`] — a second application with a different memory
+//!   shape (sliding-window convolution), for generality checks;
+//! * [`micro`] — calibration microbenchmarks with a known number of
+//!   requests per (target, operation) pair, used to regenerate Table 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use tc27x_sim::{CoreId, DeploymentScenario, System};
+//! use workloads::{contender, control_loop, LoadLevel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's co-run setup: app on core 1, contender on core 2.
+//! let mut sys = System::tc277();
+//! sys.load(CoreId(1), &control_loop(DeploymentScenario::Scenario1, CoreId(1), 42))?;
+//! sys.load(CoreId(2), &contender(DeploymentScenario::Scenario1, LoadLevel::High, CoreId(2), 7))?;
+//! let out = sys.run_until(CoreId(1))?;
+//! assert!(out.counters(CoreId(1)).ccnt > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod control_loop;
+mod fir;
+mod loads;
+pub mod micro;
+
+pub use control_loop::{control_loop, ITERS_PER_BANK, UNITS_PER_ITER};
+pub use fir::{fir_filter, FIR_SAMPLES, FIR_TAPS};
+pub use loads::{contender, LoadLevel};

@@ -1,0 +1,419 @@
+//! Command-line interface of the `aurix-contention` binary.
+//!
+//! Hand-rolled argument parsing (no extra dependencies): subcommands
+//! mirror the paper's artefacts plus a one-shot bound query.
+//!
+//! ```text
+//! aurix-contention calibrate
+//! aurix-contention figure4 [--scenario sc1|sc2|low]
+//! aurix-contention bound --scenario sc1 --level high [--model ilp|ftc|fsb]
+//! aurix-contention trace [--scenario sc1] [--limit 40]
+//! ```
+
+use contention::{
+    ContentionModel, FsbModel, FtcModel, IlpPtacModel, Platform, WcetEstimate,
+};
+use tc27x_sim::{CoreId, DeploymentScenario, SimConfig, System};
+use workloads::LoadLevel;
+
+/// A parsed invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Run the Table 2 calibration campaign.
+    Calibrate,
+    /// Print Figure 4 panels for one or both scenarios.
+    Figure4 {
+        /// Restrict to one scenario (all when `None`).
+        scenario: Option<DeploymentScenario>,
+    },
+    /// Compute one WCET bound.
+    Bound {
+        /// Deployment scenario.
+        scenario: DeploymentScenario,
+        /// Contender load level.
+        level: LoadLevel,
+        /// Model selector.
+        model: ModelChoice,
+    },
+    /// Dump an execution trace of the app in isolation.
+    Trace {
+        /// Deployment scenario.
+        scenario: DeploymentScenario,
+        /// Maximum number of events printed.
+        limit: usize,
+    },
+    /// Emit an isolation-profile record (CSV) for exchange.
+    Profile {
+        /// Deployment scenario.
+        scenario: DeploymentScenario,
+        /// Contender level; the application when `None`.
+        level: Option<LoadLevel>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Which model `bound` evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// The ILP-PTAC model (scenario-tailored).
+    Ilp,
+    /// The fully time-composable closed form.
+    Ftc,
+    /// The FSB (single-bus) reduction.
+    Fsb,
+}
+
+/// Errors from argument parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_scenario(s: &str) -> Result<DeploymentScenario, ParseError> {
+    match s {
+        "sc1" | "scenario1" => Ok(DeploymentScenario::Scenario1),
+        "sc2" | "scenario2" => Ok(DeploymentScenario::Scenario2),
+        "low" | "low-traffic" => Ok(DeploymentScenario::LowTraffic),
+        other => Err(ParseError(format!(
+            "unknown scenario `{other}` (expected sc1, sc2 or low)"
+        ))),
+    }
+}
+
+fn parse_level(s: &str) -> Result<LoadLevel, ParseError> {
+    match s {
+        "high" | "h" => Ok(LoadLevel::High),
+        "medium" | "m" => Ok(LoadLevel::Medium),
+        "low" | "l" => Ok(LoadLevel::Low),
+        other => Err(ParseError(format!(
+            "unknown level `{other}` (expected high, medium or low)"
+        ))),
+    }
+}
+
+fn parse_model(s: &str) -> Result<ModelChoice, ParseError> {
+    match s {
+        "ilp" | "ilp-ptac" => Ok(ModelChoice::Ilp),
+        "ftc" => Ok(ModelChoice::Ftc),
+        "fsb" => Ok(ModelChoice::Fsb),
+        other => Err(ParseError(format!(
+            "unknown model `{other}` (expected ilp, ftc or fsb)"
+        ))),
+    }
+}
+
+/// Reads `--key value` pairs from `args`.
+fn take_option<'a>(args: &'a [String], key: &str) -> Result<Option<&'a str>, ParseError> {
+    if let Some(pos) = args.iter().position(|a| a == key) {
+        args.get(pos + 1)
+            .map(|v| Some(v.as_str()))
+            .ok_or_else(|| ParseError(format!("{key} requires a value")))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`ParseError`] on unknown subcommands, options or values.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "calibrate" => Ok(Command::Calibrate),
+        "figure4" => {
+            let scenario = take_option(&args[1..], "--scenario")?
+                .map(parse_scenario)
+                .transpose()?;
+            Ok(Command::Figure4 { scenario })
+        }
+        "bound" => {
+            let scenario = parse_scenario(
+                take_option(&args[1..], "--scenario")?
+                    .ok_or_else(|| ParseError("bound requires --scenario".into()))?,
+            )?;
+            let level = parse_level(
+                take_option(&args[1..], "--level")?
+                    .ok_or_else(|| ParseError("bound requires --level".into()))?,
+            )?;
+            let model = take_option(&args[1..], "--model")?
+                .map(parse_model)
+                .transpose()?
+                .unwrap_or(ModelChoice::Ilp);
+            Ok(Command::Bound {
+                scenario,
+                level,
+                model,
+            })
+        }
+        "trace" => {
+            let scenario = take_option(&args[1..], "--scenario")?
+                .map(parse_scenario)
+                .transpose()?
+                .unwrap_or(DeploymentScenario::Scenario1);
+            let limit = take_option(&args[1..], "--limit")?
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| ParseError(format!("invalid --limit `{v}`")))
+                })
+                .transpose()?
+                .unwrap_or(40);
+            Ok(Command::Trace { scenario, limit })
+        }
+        "profile" => {
+            let scenario = take_option(&args[1..], "--scenario")?
+                .map(parse_scenario)
+                .transpose()?
+                .unwrap_or(DeploymentScenario::Scenario1);
+            let level = take_option(&args[1..], "--level")?
+                .map(parse_level)
+                .transpose()?;
+            Ok(Command::Profile { scenario, level })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+aurix-contention — multicore contention WCET bounds for the AURIX TC27x
+
+USAGE:
+    aurix-contention <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    calibrate                       run the Table 2 calibration campaign
+    figure4  [--scenario S]         model predictions vs isolation (S: sc1|sc2|low)
+    bound    --scenario S --level L [--model M]
+                                    one WCET bound (L: high|medium|low; M: ilp|ftc|fsb)
+    trace    [--scenario S] [--limit N]
+                                    dump an isolation execution trace
+    profile  [--scenario S] [--level L]
+                                    emit an isolation-profile CSV record
+    help                            this text
+";
+
+/// Executes a parsed command, writing human-readable output to stdout.
+///
+/// # Errors
+///
+/// Propagates simulation/model errors as boxed errors.
+pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Calibrate => {
+            let cal = mbta::calibrate()?;
+            let p = cal.into_platform();
+            println!("calibrated Table 2 constants:");
+            for (t, o, v) in cal.latency.iter() {
+                if p.paths().is_feasible(t, o) {
+                    println!("  l^{{{t},{o}}} = {v}  cs^{{{t},{o}}} = {}", cal.stall.get(t, o));
+                }
+            }
+            println!("  lmu dirty-miss latency = {}", cal.lmu_dirty_latency);
+            Ok(())
+        }
+        Command::Figure4 { scenario } => {
+            let platform = Platform::tc277_reference();
+            let scenarios = match scenario {
+                Some(s) => vec![s],
+                None => vec![
+                    DeploymentScenario::Scenario1,
+                    DeploymentScenario::Scenario2,
+                ],
+            };
+            for s in scenarios {
+                let panel = mbta::figure4_panel(s, &platform, 42)?;
+                println!("{s}: isolation {} cycles", panel.app.counters().ccnt);
+                for cell in panel.cells.iter().rev() {
+                    println!(
+                        "  {:<7} fTC {:.2}x  ILP {:.2}x  observed {:.2}x",
+                        cell.level.to_string(),
+                        cell.ftc.ratio(),
+                        cell.ilp.ratio(),
+                        cell.observed_ratio()
+                    );
+                }
+                println!("  sound: {}", panel.all_bounds_sound());
+            }
+            Ok(())
+        }
+        Command::Bound {
+            scenario,
+            level,
+            model,
+        } => {
+            let platform = Platform::tc277_reference();
+            let app = mbta::isolation_profile(
+                &workloads::control_loop(scenario, CoreId(1), 42),
+                CoreId(1),
+            )?;
+            let load = mbta::isolation_profile(
+                &workloads::contender(scenario, level, CoreId(2), 7),
+                CoreId(2),
+            )?;
+            let est: WcetEstimate = match model {
+                ModelChoice::Ilp => {
+                    IlpPtacModel::new(&platform, mbta::constraints_for(scenario))
+                        .wcet_estimate(&app, &[&load])?
+                }
+                ModelChoice::Ftc => {
+                    FtcModel::new(&platform).wcet_estimate(&app, &[&load])?
+                }
+                ModelChoice::Fsb => {
+                    FsbModel::new(&platform).wcet_estimate(&app, &[&load])?
+                }
+            };
+            println!("{est}");
+            Ok(())
+        }
+        Command::Profile { scenario, level } => {
+            let profile = match level {
+                None => mbta::isolation_profile(
+                    &workloads::control_loop(scenario, CoreId(1), 42),
+                    CoreId(1),
+                )?,
+                Some(l) => mbta::isolation_profile(
+                    &workloads::contender(scenario, l, CoreId(2), 7),
+                    CoreId(2),
+                )?,
+            };
+            println!("{}", profile.to_record());
+            Ok(())
+        }
+        Command::Trace { scenario, limit } => {
+            let cfg = SimConfig::tc277_reference().with_trace_capacity(limit.max(1));
+            let mut sys = System::with_config(cfg);
+            sys.load(CoreId(1), &workloads::control_loop(scenario, CoreId(1), 42))?;
+            sys.run()?;
+            let trace = sys.trace(CoreId(1));
+            for r in trace.records().iter().take(limit) {
+                println!("{r}");
+            }
+            if trace.dropped() > 0 {
+                println!("... {} further events not recorded", trace.dropped());
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_calibrate_and_help() {
+        assert_eq!(parse(&argv("calibrate")).unwrap(), Command::Calibrate);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_figure4_with_and_without_scenario() {
+        assert_eq!(
+            parse(&argv("figure4")).unwrap(),
+            Command::Figure4 { scenario: None }
+        );
+        assert_eq!(
+            parse(&argv("figure4 --scenario sc2")).unwrap(),
+            Command::Figure4 {
+                scenario: Some(DeploymentScenario::Scenario2)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_bound_with_defaults() {
+        let cmd = parse(&argv("bound --scenario sc1 --level high")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bound {
+                scenario: DeploymentScenario::Scenario1,
+                level: LoadLevel::High,
+                model: ModelChoice::Ilp,
+            }
+        );
+        let cmd = parse(&argv("bound --scenario low --level m --model fsb")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bound {
+                scenario: DeploymentScenario::LowTraffic,
+                level: LoadLevel::Medium,
+                model: ModelChoice::Fsb,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_trace_defaults() {
+        assert_eq!(
+            parse(&argv("trace")).unwrap(),
+            Command::Trace {
+                scenario: DeploymentScenario::Scenario1,
+                limit: 40
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace --scenario sc2 --limit 7")).unwrap(),
+            Command::Trace {
+                scenario: DeploymentScenario::Scenario2,
+                limit: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parses_profile() {
+        assert_eq!(
+            parse(&argv("profile")).unwrap(),
+            Command::Profile {
+                scenario: DeploymentScenario::Scenario1,
+                level: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("profile --scenario sc2 --level high")).unwrap(),
+            Command::Profile {
+                scenario: DeploymentScenario::Scenario2,
+                level: Some(LoadLevel::High)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("bound --scenario sc1")).is_err());
+        assert!(parse(&argv("bound --scenario nope --level high")).is_err());
+        assert!(parse(&argv("bound --scenario sc1 --level nope")).is_err());
+        assert!(parse(&argv("bound --scenario sc1 --level h --model nope")).is_err());
+        assert!(parse(&argv("trace --limit abc")).is_err());
+        assert!(parse(&argv("figure4 --scenario")).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for sub in ["calibrate", "figure4", "bound", "trace", "profile"] {
+            assert!(USAGE.contains(sub), "{sub}");
+        }
+    }
+}

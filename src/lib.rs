@@ -1,0 +1,68 @@
+//! # `aurix-contention` — facade crate
+//!
+//! One-stop re-export of the DAC'18 *Modelling Multicore Contention on
+//! the AURIX TC27x* reproduction. See the individual crates for
+//! details:
+//!
+//! * [`contention`] — the paper's contribution: fTC, ILP-PTAC and ideal
+//!   contention models over debug-counter readings;
+//! * [`tc27x_sim`] — cycle-level TC27x platform simulator (cores,
+//!   caches, SRI crossbar, flash/LMU slaves, DSU debug counters);
+//! * [`workloads`] — control-loop application, H/M/L-load contenders
+//!   and calibration microbenchmarks;
+//! * [`mbta`] — measurement-based timing-analysis harness (isolation
+//!   runs, calibration, model-vs-observation experiments);
+//! * [`ilp`] — exact rational ILP solver used by the ILP-PTAC model.
+//!
+//! # Examples
+//!
+//! Bound the slowdown a control-loop application can suffer from a
+//! high-load contender, without ever co-running them:
+//!
+//! ```
+//! use aurix_contention::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::tc277_reference();
+//! let scenario = DeploymentScenario::Scenario1;
+//! let (app_core, load_core) = (CoreId(1), CoreId(2));
+//!
+//! // Measure both tasks in isolation on the simulated TC277.
+//! let app = workloads::control_loop(scenario, app_core, 42);
+//! let load = workloads::contender(scenario, LoadLevel::High, load_core, 7);
+//! let app_profile = mbta::isolation_profile(&app, app_core)?;
+//! let load_profile = mbta::isolation_profile(&load, load_core)?;
+//!
+//! // Feed the counter readings to the ILP-PTAC model.
+//! let model = IlpPtacModel::new(&platform, ScenarioConstraints::scenario1());
+//! let estimate = model.wcet_estimate(&app_profile, &[&load_profile])?;
+//! assert!(estimate.contention_cycles > 0);
+//! assert!(estimate.ratio() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use contention;
+pub use ilp;
+pub use mbta;
+pub use tc27x_sim;
+pub use workloads;
+
+/// Convenience re-exports of the most frequently used items.
+pub mod prelude {
+    pub use contention::{
+        AccessBounds, AccessCounts, ContentionBound, ContentionModel, FtcModel, IdealModel,
+        IlpPtacModel, IlpPtacOptions, IsolationProfile, LatencyTable, ModelError, Operation,
+        Platform, ScenarioConstraints, StallTable, Target, WcetEstimate,
+    };
+    pub use mbta;
+    pub use tc27x_sim::{
+        CoreId, DataObject, DeploymentScenario, Pattern, Placement, Program, Region, SimConfig,
+        System, TaskSpec,
+    };
+    pub use workloads::{self, LoadLevel};
+}

@@ -1,0 +1,19 @@
+//! The `aurix-contention` command-line tool.
+
+use aurix_contention::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = cli::run(cmd) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,170 @@
+//! The strongest cross-crate property: for *randomly generated*
+//! workloads, every model's WCET estimate must dominate the observed
+//! co-run execution time on the simulator. This exercises the entire
+//! stack — program builder, linker, caches, SRI arbitration, counters,
+//! access-count bounding and the ILP — against the ground truth.
+
+use contention::{ContentionModel, FtcModel, IlpPtacModel, Platform, ScenarioConstraints};
+use proptest::prelude::*;
+use tc27x_sim::{CoreId, DataObject, Pattern, Placement, Program, Region, TaskSpec};
+
+/// A randomly shaped task: loops of loads/stores/computes over objects
+/// in randomly chosen (admissible) shared placements.
+#[derive(Clone, Debug)]
+struct RandTask {
+    code_bank: u8,
+    code_cacheable: bool,
+    obj_region: u8,
+    iters: u32,
+    loads: u32,
+    stores: u32,
+    compute: u32,
+    seed: u64,
+}
+
+fn rand_task() -> impl Strategy<Value = RandTask> {
+    (
+        0u8..3,          // code bank: pf0, pf1, lmu
+        proptest::bool::ANY,
+        0u8..3,          // object region: lmu n$, dfl n$, pf $ (reads only)
+        1u32..40,        // iters
+        0u32..12,        // loads per iter
+        0u32..6,         // stores per iter
+        0u32..30,        // compute cycles per iter
+        0u64..1000,
+    )
+        .prop_map(
+            |(code_bank, code_cacheable, obj_region, iters, loads, stores, compute, seed)| {
+                RandTask {
+                    code_bank,
+                    code_cacheable,
+                    obj_region,
+                    iters,
+                    loads,
+                    stores,
+                    compute,
+                    seed,
+                }
+            },
+        )
+}
+
+fn build_spec(t: &RandTask, name: &str) -> TaskSpec {
+    let code_region = match t.code_bank {
+        0 => Region::Pflash0,
+        1 => Region::Pflash1,
+        _ => Region::Lmu,
+    };
+    let (obj_region, obj_cacheable, stores_allowed) = match t.obj_region {
+        0 => (Region::Lmu, false, true),
+        1 => (Region::Dflash, false, true),
+        // Flash data must be cacheable; keep it read-only so write-backs
+        // never target the flash (realistic: constants).
+        _ => (Region::Pflash0, true, false),
+    };
+    let prog = Program::build(|b| {
+        b.repeat(t.iters, |b| {
+            for _ in 0..t.loads {
+                b.load("obj", Pattern::Sequential);
+            }
+            if stores_allowed {
+                for _ in 0..t.stores {
+                    b.store("obj", Pattern::Sequential);
+                }
+            }
+            if t.compute > 0 {
+                b.compute(t.compute);
+            }
+        });
+    });
+    TaskSpec::new(name, prog, Placement::new(code_region, t.code_cacheable))
+        .with_object(DataObject::new(
+            "obj",
+            4 << 10,
+            Placement::new(obj_region, obj_cacheable),
+        ))
+        .with_seed(t.seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// fTC and (unconstrained) ILP-PTAC bounds computed from isolation
+    /// profiles dominate the observed co-run time, whatever the
+    /// workloads look like.
+    #[test]
+    fn bounds_dominate_random_corun(a in rand_task(), b in rand_task()) {
+        let platform = Platform::tc277_reference();
+        let (ca, cb) = (CoreId(1), CoreId(2));
+        let spec_a = build_spec(&a, "rand-a");
+        let spec_b = build_spec(&b, "rand-b");
+
+        let pa = mbta::isolation_profile(&spec_a, ca).unwrap();
+        let pb = mbta::isolation_profile(&spec_b, cb).unwrap();
+        let observed = mbta::observed_corun(&spec_a, ca, &spec_b, cb).unwrap();
+
+        let ftc = FtcModel::new(&platform).wcet_estimate(&pa, &[&pb]).unwrap();
+        prop_assert!(
+            ftc.bound_cycles() >= observed,
+            "fTC bound {} < observed {} for {:?} vs {:?}",
+            ftc.bound_cycles(), observed, a, b
+        );
+
+        let ilp = IlpPtacModel::new(&platform, ScenarioConstraints::unconstrained())
+            .wcet_estimate(&pa, &[&pb]).unwrap();
+        prop_assert!(
+            ilp.bound_cycles() >= observed,
+            "ILP bound {} < observed {} for {:?} vs {:?}",
+            ilp.bound_cycles(), observed, a, b
+        );
+        prop_assert!(ilp.bound_cycles() <= ftc.bound_cycles());
+    }
+
+    /// Co-running never makes a task faster, and isolation is
+    /// deterministic.
+    #[test]
+    fn corun_never_speeds_up(a in rand_task(), b in rand_task()) {
+        let (ca, cb) = (CoreId(1), CoreId(2));
+        let spec_a = build_spec(&a, "rand-a");
+        let spec_b = build_spec(&b, "rand-b");
+        let iso1 = mbta::isolation_profile(&spec_a, ca).unwrap().counters().ccnt;
+        let iso2 = mbta::isolation_profile(&spec_a, ca).unwrap().counters().ccnt;
+        prop_assert_eq!(iso1, iso2, "isolation runs are deterministic");
+        let co = mbta::observed_corun(&spec_a, ca, &spec_b, cb).unwrap();
+        prop_assert!(co >= iso1);
+    }
+}
+
+/// Deterministic regression: a hand-picked nasty pair (both hammering
+/// the same flash bank with non-cacheable code and the LMU with data).
+#[test]
+fn worst_alignment_pair_is_still_bounded() {
+    let platform = Platform::tc277_reference();
+    let mk = |_core: CoreId| {
+        let prog = Program::build(|b| {
+            b.repeat(300, |b| {
+                b.load("obj", Pattern::Sequential);
+            });
+        });
+        TaskSpec::new("hammer", prog, Placement::new(Region::Pflash0, false))
+            .with_object(DataObject::new(
+                "obj",
+                2 << 10,
+                Placement::new(Region::Lmu, false),
+            ))
+    };
+    let (ca, cb) = (CoreId(1), CoreId(2));
+    let (sa, sb) = (mk(ca), mk(cb));
+    let pa = mbta::isolation_profile(&sa, ca).unwrap();
+    let pb = mbta::isolation_profile(&sb, cb).unwrap();
+    let observed = mbta::observed_corun(&sa, ca, &sb, cb).unwrap();
+    let ftc = FtcModel::new(&platform).wcet_estimate(&pa, &[&pb]).unwrap();
+    let ilp = IlpPtacModel::new(&platform, ScenarioConstraints::unconstrained())
+        .wcet_estimate(&pa, &[&pb])
+        .unwrap();
+    assert!(ftc.bound_cycles() >= observed);
+    assert!(ilp.bound_cycles() >= observed);
+    // This pair really does contend hard — the observation should be
+    // clearly above isolation, making the soundness check meaningful.
+    assert!(observed as f64 > 1.1 * pa.counters().ccnt as f64);
+}
