@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: formatting, lints, hermetic build, tests.
+#
+# The build is fully offline — the workspace has no external
+# dependencies and Cargo.lock is committed — so `--offline` both
+# enforces hermeticity and catches accidental dependency creep.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --offline"
+cargo test --workspace -q --offline
+
+echo "==> CI gate passed"

@@ -1,15 +1,13 @@
-//! Criterion benches for the ILP-PTAC ablations (experiment E7): cost
-//! of each formulation variant.
+//! Benches for the ILP-PTAC ablations (experiment E7): cost of each
+//! formulation variant.
 
-use contention::{
-    ContentionModel, IlpPtacModel, IlpPtacOptions, Platform, ScenarioConstraints,
-};
-use criterion::{criterion_group, criterion_main, Criterion};
+use contention::{ContentionModel, IlpPtacModel, IlpPtacOptions, Platform, ScenarioConstraints};
+use contention_bench::harness::Harness;
 use std::hint::black_box;
 use tc27x_sim::{CoreId, DeploymentScenario};
 use workloads::{contender, control_loop, LoadLevel};
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let platform = Platform::tc277_reference();
     let app = mbta::isolation_profile(
         &control_loop(DeploymentScenario::Scenario1, CoreId(1), 42),
@@ -17,13 +15,18 @@ fn bench_ablation(c: &mut Criterion) {
     )
     .unwrap();
     let load = mbta::isolation_profile(
-        &contender(DeploymentScenario::Scenario1, LoadLevel::Medium, CoreId(2), 7),
+        &contender(
+            DeploymentScenario::Scenario1,
+            LoadLevel::Medium,
+            CoreId(2),
+            7,
+        ),
         CoreId(2),
     )
     .unwrap();
 
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(20);
+    let mut h = Harness::new("ablation");
+    h.sample_size(20);
     for (name, opts) in [
         (
             "tailored_budget",
@@ -49,12 +52,10 @@ fn bench_ablation(c: &mut Criterion) {
         ),
     ] {
         let model = IlpPtacModel::with_options(&platform, opts);
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(model.pairwise_bound(&app, &load).unwrap().delta_cycles))
+        h.bench(name, || {
+            black_box(model.pairwise_bound(&app, &load).unwrap().delta_cycles)
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);
+    h.finish();
+}

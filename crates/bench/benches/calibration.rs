@@ -1,29 +1,25 @@
-//! Criterion benches for the Table 2 calibration campaign (experiment
-//! E1 in DESIGN.md).
+//! Benches for the Table 2 calibration campaign (experiment E1 in
+//! DESIGN.md).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contention_bench::harness::Harness;
 use std::hint::black_box;
 use tc27x_sim::{CoreId, Region, System};
 use workloads::micro;
 
-fn bench_calibration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("calibration");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("calibration");
+    h.sample_size(10);
 
-    g.bench_function("full_table2_campaign", |b| {
-        b.iter(|| black_box(mbta::calibrate().unwrap()))
+    h.bench("full_table2_campaign", || {
+        black_box(mbta::calibrate().unwrap())
     });
 
-    g.bench_function("single_probe_code_stream", |b| {
-        b.iter(|| {
-            let mut sys = System::tc277();
-            sys.load(CoreId(1), &micro::code_stream(Region::Pflash0, 320))
-                .unwrap();
-            black_box(sys.run().unwrap().counters(CoreId(1)).pmem_stall)
-        })
+    h.bench("single_probe_code_stream", || {
+        let mut sys = System::tc277();
+        sys.load(CoreId(1), &micro::code_stream(Region::Pflash0, 320))
+            .unwrap();
+        black_box(sys.run().unwrap().counters(CoreId(1)).pmem_stall)
     });
-    g.finish();
+
+    h.finish();
 }
-
-criterion_group!(benches, bench_calibration);
-criterion_main!(benches);

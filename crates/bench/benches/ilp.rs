@@ -1,6 +1,6 @@
-//! Criterion benches for the exact ILP solver substrate.
+//! Benches for the exact ILP solver substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contention_bench::harness::Harness;
 use ilp::{LinExpr, Problem, Rational};
 use std::hint::black_box;
 
@@ -26,13 +26,25 @@ fn ptac_shaped_problem() -> Problem {
     let (ds_a, ds_b) = (123_840i128, 123_840i128);
     let na0 = p.add_var("na_pf0_co").integer().bounds(0, pm_a).build();
     let na1 = p.add_var("na_pf1_co").integer().bounds(0, pm_a).build();
-    let nad = p.add_var("na_lmu_da").integer().bounds(0, ds_a / 10).build();
+    let nad = p
+        .add_var("na_lmu_da")
+        .integer()
+        .bounds(0, ds_a / 10)
+        .build();
     let nb0 = p.add_var("nb_pf0_co").integer().bounds(0, pm_b).build();
     let nb1 = p.add_var("nb_pf1_co").integer().bounds(0, pm_b).build();
-    let nbd = p.add_var("nb_lmu_da").integer().bounds(0, ds_b / 10).build();
+    let nbd = p
+        .add_var("nb_lmu_da")
+        .integer()
+        .bounds(0, ds_b / 10)
+        .build();
     let i0 = p.add_var("nba_pf0_co").integer().bounds(0, pm_a).build();
     let i1 = p.add_var("nba_pf1_co").integer().bounds(0, pm_a).build();
-    let id = p.add_var("nba_lmu_da").integer().bounds(0, ds_a / 10).build();
+    let id = p
+        .add_var("nba_lmu_da")
+        .integer()
+        .bounds(0, ds_a / 10)
+        .build();
     p.add_eq(na0 + na1, pm_a);
     p.add_eq(nb0 + nb1, pm_b);
     p.add_le(nad * 10, ds_a);
@@ -47,34 +59,30 @@ fn ptac_shaped_problem() -> Problem {
     p
 }
 
-fn bench_ilp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ilp");
-    g.sample_size(30);
+fn main() {
+    let mut h = Harness::new("ilp");
+    h.sample_size(30);
 
     let p = knapsack_problem(10);
-    g.bench_function("knapsack_10_binary", |b| {
-        b.iter(|| black_box(&p).solve().unwrap().objective())
+    h.bench("knapsack_10_binary", || {
+        black_box(&p).solve().unwrap().objective()
     });
 
     let p = ptac_shaped_problem();
-    g.bench_function("ptac_shaped_exact", |b| {
-        b.iter(|| black_box(&p).solve().unwrap().objective())
+    h.bench("ptac_shaped_exact", || {
+        black_box(&p).solve().unwrap().objective()
     });
-    g.bench_function("ptac_shaped_lp_relaxation", |b| {
-        b.iter(|| black_box(&p).solve_relaxation().unwrap().objective())
+    h.bench("ptac_shaped_lp_relaxation", || {
+        black_box(&p).solve_relaxation().unwrap().objective()
     });
 
-    g.bench_function("rational_pivot_arithmetic", |b| {
-        b.iter(|| {
-            let mut acc = Rational::ZERO;
-            for i in 1..200i128 {
-                acc += Rational::new(i, i + 1) * Rational::new(i + 2, i + 3);
-            }
-            black_box(acc)
-        })
+    h.bench("rational_pivot_arithmetic", || {
+        let mut acc = Rational::ZERO;
+        for i in 1..200i128 {
+            acc += Rational::new(i, i + 1) * Rational::new(i + 2, i + 3);
+        }
+        black_box(acc)
     });
-    g.finish();
+
+    h.finish();
 }
-
-criterion_group!(benches, bench_ilp);
-criterion_main!(benches);

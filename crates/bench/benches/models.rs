@@ -1,13 +1,13 @@
-//! Criterion benches for model evaluation (experiment E4): how fast the
-//! fTC closed form and the ILP-PTAC solve are on Figure-4 profiles.
+//! Benches for model evaluation (experiment E4): how fast the fTC
+//! closed form and the ILP-PTAC solve are on Figure-4 profiles.
 
 use contention::{ContentionModel, FtcModel, IlpPtacModel, Platform, ScenarioConstraints};
-use criterion::{criterion_group, criterion_main, Criterion};
+use contention_bench::harness::Harness;
 use std::hint::black_box;
 use tc27x_sim::{CoreId, DeploymentScenario};
 use workloads::{contender, control_loop, LoadLevel};
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
     let platform = Platform::tc277_reference();
     let app = mbta::isolation_profile(
         &control_loop(DeploymentScenario::Scenario1, CoreId(1), 42),
@@ -20,22 +20,21 @@ fn bench_models(c: &mut Criterion) {
     )
     .unwrap();
 
-    let mut g = c.benchmark_group("models");
-    g.sample_size(30);
+    let mut h = Harness::new("models");
+    h.sample_size(30);
+
     let ftc = FtcModel::new(&platform);
-    g.bench_function("ftc_closed_form", |b| {
-        b.iter(|| black_box(ftc.pairwise_bound(&app, &load).unwrap().delta_cycles))
+    h.bench("ftc_closed_form", || {
+        black_box(ftc.pairwise_bound(&app, &load).unwrap().delta_cycles)
     });
     let ilp = IlpPtacModel::new(&platform, ScenarioConstraints::scenario1());
-    g.bench_function("ilp_ptac_scenario1", |b| {
-        b.iter(|| black_box(ilp.pairwise_bound(&app, &load).unwrap().delta_cycles))
+    h.bench("ilp_ptac_scenario1", || {
+        black_box(ilp.pairwise_bound(&app, &load).unwrap().delta_cycles)
     });
     let ilp2 = IlpPtacModel::new(&platform, ScenarioConstraints::scenario2());
-    g.bench_function("ilp_ptac_scenario2", |b| {
-        b.iter(|| black_box(ilp2.pairwise_bound(&app, &load).unwrap().delta_cycles))
+    h.bench("ilp_ptac_scenario2", || {
+        black_box(ilp2.pairwise_bound(&app, &load).unwrap().delta_cycles)
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_models);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,14 +1,14 @@
-//! Criterion benches for the TC27x simulator: cycles simulated per
-//! second on the evaluation workloads.
+//! Benches for the TC27x simulator: cycles simulated per second on the
+//! evaluation workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use contention_bench::harness::Harness;
 use std::hint::black_box;
 use tc27x_sim::{CoreId, DeploymentScenario, System};
 use workloads::{contender, control_loop, LoadLevel};
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("simulator");
+    h.sample_size(10);
 
     // Measure once to learn the cycle count, then report throughput.
     let core = CoreId(1);
@@ -18,26 +18,20 @@ fn bench_simulator(c: &mut Criterion) {
         sys.load(core, &app).unwrap();
         sys.run().unwrap().counters(core).ccnt
     };
-    g.throughput(Throughput::Elements(cycles));
-    g.bench_function("isolation_control_loop_sc1", |b| {
-        b.iter(|| {
-            let mut sys = System::tc277();
-            sys.load(core, &app).unwrap();
-            black_box(sys.run().unwrap().counters(core).ccnt)
-        })
+    h.throughput_elements(cycles);
+    h.bench("isolation_control_loop_sc1", || {
+        let mut sys = System::tc277();
+        sys.load(core, &app).unwrap();
+        black_box(sys.run().unwrap().counters(core).ccnt)
     });
 
     let load = contender(DeploymentScenario::Scenario1, LoadLevel::High, CoreId(2), 7);
-    g.bench_function("corun_app_vs_hload_sc1", |b| {
-        b.iter(|| {
-            let mut sys = System::tc277();
-            sys.load(core, &app).unwrap();
-            sys.load(CoreId(2), &load).unwrap();
-            black_box(sys.run_until(core).unwrap().counters(core).ccnt)
-        })
+    h.bench("corun_app_vs_hload_sc1", || {
+        let mut sys = System::tc277();
+        sys.load(core, &app).unwrap();
+        sys.load(CoreId(2), &load).unwrap();
+        black_box(sys.run_until(core).unwrap().counters(core).ccnt)
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);
+    h.finish();
+}

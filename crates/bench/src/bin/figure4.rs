@@ -4,25 +4,32 @@
 //! bounds must dominate.
 //!
 //! ```text
-//! cargo run -p contention-bench --bin figure4
+//! cargo run -p contention-bench --bin figure4 [-- --jobs N]
 //! cargo run -p contention-bench --bin figure4 -- --low-traffic
 //! ```
 //!
 //! `--low-traffic` runs the §4.2 closing-remark variant: a realistic
 //! scratchpad-dominant application whose contention bounds drop to the
 //! ~10% range the paper reports for real automotive use cases.
+//! `--jobs N` sizes the experiment engine (default: all cores); each
+//! panel's seven simulations run as one batch.
 
 use contention::Platform;
-use contention_bench::fig4_cell;
+use contention_bench::{engine_from_args, fig4_cell, write_engine_report};
 use mbta::report::{ratio, Table};
 use tc27x_sim::DeploymentScenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let low_traffic = std::env::args().any(|a| a == "--low-traffic");
+    let args: Vec<String> = std::env::args().collect();
+    let low_traffic = args.iter().any(|a| a == "--low-traffic");
+    let engine = engine_from_args(&args)?;
     let platform = Platform::tc277_reference();
 
     let scenarios: &[(DeploymentScenario, &str)] = if low_traffic {
-        &[(DeploymentScenario::LowTraffic, "real-world-like (low SRI traffic)")]
+        &[(
+            DeploymentScenario::LowTraffic,
+            "real-world-like (low SRI traffic)",
+        )]
     } else {
         &[
             (DeploymentScenario::Scenario1, "Scenario 1"),
@@ -34,21 +41,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(ratios are bound/isolation; 'observed' is the measured co-run)\n");
 
     for (scenario, label) in scenarios {
-        let panel = mbta::figure4_panel(*scenario, &platform, 42)?;
+        let panel = mbta::figure4_panel_with(&engine, *scenario, &platform, 42)?;
         println!(
             "{label}  —  isolation CCNT = {} cycles",
             panel.app.counters().ccnt
         );
-        let mut t = Table::new(vec![
-            "contender", "fTC", "ILP-PTAC", "ideal", "observed",
-        ]);
+        let mut t = Table::new(vec!["contender", "fTC", "ILP-PTAC", "ideal", "observed"]);
         for cell in panel.cells.iter().rev() {
             t.row(vec![
                 cell.level.to_string(),
                 fig4_cell(&cell.ftc),
                 fig4_cell(&cell.ilp),
                 fig4_cell(&cell.ideal),
-                format!("{}x ({} cyc)", ratio(cell.observed_ratio()), cell.observed_cycles),
+                format!(
+                    "{}x ({} cyc)",
+                    ratio(cell.observed_ratio()),
+                    cell.observed_cycles
+                ),
             ]);
         }
         print!("{}", t.render());
@@ -71,5 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("paper reference: real-world use cases show much lower contention");
         println!("bounds (~10%) than the 30-40% of the stressing benchmarks.");
     }
+
+    write_engine_report(&engine);
     Ok(())
 }

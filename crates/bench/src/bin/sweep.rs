@@ -4,54 +4,16 @@
 //! FSB-aware bounds plus the observed co-run slowdown — the data a plot
 //! of the full trade-off curve needs.
 //!
+//! All simulations of the sweep go out as one engine batch, so
+//! `--jobs N` spreads them over N workers with byte-identical CSV
+//! output (see `contention_bench::sweep_csv`).
+//!
 //! ```text
-//! cargo run -p contention-bench --bin sweep [-- --scenario sc1|sc2] > sweep.csv
+//! cargo run -p contention-bench --bin sweep [-- --scenario sc1|sc2] [--jobs N] > sweep.csv
 //! ```
 
-use contention::{
-    ContentionModel, FsbModel, FtcModel, IdealModel, IlpPtacModel, Platform,
-};
-use tc27x_sim::{CoreId, DataObject, DeploymentScenario, Pattern, Placement, Program, Region,
-                TaskSpec};
-use workloads::control_loop;
-
-/// A parameterised contender with traffic scaled by `intensity` per
-/// mille of the reference stream.
-fn scaled_contender(core: CoreId, intensity_permille: u32) -> TaskSpec {
-    // Reference: 4000 LMU accesses and 2000 flash code lines at 1000‰.
-    let accesses = (4_000u64 * intensity_permille as u64 / 1_000) as u32;
-    let code_iters = (40u64 * intensity_permille as u64 / 1_000) as u32;
-    let mut spec = TaskSpec::empty(format!("sweep-load-{intensity_permille}"));
-    if code_iters > 0 {
-        let code_prog = Program::build(|b| {
-            b.repeat(code_iters, |b| {
-                for _ in 0..640 {
-                    b.compute(1);
-                }
-            });
-        });
-        spec = spec.with_segment(code_prog, Placement::new(Region::Pflash0, true));
-    }
-    if accesses > 0 {
-        let data_prog = Program::build(|b| {
-            b.repeat(accesses, |b| {
-                b.load("sweep_buf", Pattern::Sequential);
-                b.compute(4);
-            });
-        });
-        spec = spec.with_segment(data_prog, Placement::pspr(core));
-    } else {
-        let idle = Program::build(|b| {
-            b.compute(100);
-        });
-        spec = spec.with_segment(idle, Placement::pspr(core));
-    }
-    spec.with_object(DataObject::new(
-        "sweep_buf",
-        4 << 10,
-        Placement::new(Region::Lmu, false),
-    ))
-}
+use contention_bench::{engine_from_args, sweep_csv, write_engine_report};
+use tc27x_sim::DeploymentScenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -62,34 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         None => DeploymentScenario::Scenario1,
     };
+    let engine = engine_from_args(&args)?;
 
-    let platform = Platform::tc277_reference();
-    let (app_core, load_core) = (CoreId(1), CoreId(2));
-    let app_spec = control_loop(scenario, app_core, 42);
-    let app = mbta::isolation_profile(&app_spec, app_core)?;
+    print!("{}", sweep_csv(&engine, scenario)?);
 
-    let ftc = FtcModel::new(&platform);
-    let ilp = IlpPtacModel::new(&platform, mbta::constraints_for(scenario));
-    let ideal = IdealModel::new(&platform);
-    let fsb = FsbModel::new(&platform);
-
-    println!("intensity_permille,ftc_ratio,ilp_ratio,ideal_ratio,fsb_ratio,observed_ratio");
-    let iso = app.counters().ccnt as f64;
-    for intensity in (0..=1_000).step_by(100) {
-        let load_spec = scaled_contender(load_core, intensity);
-        let load = mbta::isolation_profile(&load_spec, load_core)?;
-        let observed = mbta::observed_corun(&app_spec, app_core, &load_spec, load_core)?;
-        let row = [
-            ftc.wcet_estimate(&app, &[&load])?.ratio(),
-            ilp.wcet_estimate(&app, &[&load])?.ratio(),
-            ideal.wcet_estimate(&app, &[&load])?.ratio(),
-            fsb.wcet_estimate(&app, &[&load])?.ratio(),
-            observed as f64 / iso,
-        ];
-        println!(
-            "{intensity},{:.4},{:.4},{:.4},{:.4},{:.4}",
-            row[0], row[1], row[2], row[3], row[4]
-        );
-    }
+    write_engine_report(&engine);
     Ok(())
 }

@@ -3,15 +3,17 @@
 //! calibration microbenchmark campaign on the simulated TC277.
 //!
 //! ```text
-//! cargo run -p contention-bench --bin table2
+//! cargo run -p contention-bench --bin table2 [-- --jobs N]
 //! ```
 
 use contention::{Operation, Platform, Target};
-use contention_bench::paper_vs;
+use contention_bench::{engine_from_args, paper_vs, write_engine_report};
 use mbta::report::Table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cal = mbta::calibrate()?;
+    let args: Vec<String> = std::env::args().collect();
+    let engine = engine_from_args(&args)?;
+    let cal = mbta::calibrate_with(&engine)?;
     let paper = Platform::tc277_reference();
 
     println!("Table 2: maximum latency and minimum stall cycles per SRI target");
@@ -58,5 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cal.into_platform().cs_code_min(),
         cal.into_platform().cs_data_min()
     );
+
+    write_engine_report(&engine);
     Ok(())
 }

@@ -3,9 +3,14 @@
 //! linker's placement validator.
 //!
 //! ```text
-//! cargo run -p contention-bench --bin table3
+//! cargo run -p contention-bench --bin table3 [-- --jobs N]
 //! ```
+//!
+//! Table 3 needs no simulation, but the binary still takes the common
+//! `--jobs` flag and emits `BENCH_engine.json` (with zero runs) so the
+//! evaluation driver can treat all six artefact binaries uniformly.
 
+use contention_bench::{engine_from_args, write_engine_report};
 use mbta::report::Table;
 use tc27x_sim::{AccessClass, Placement, Region};
 
@@ -17,12 +22,20 @@ fn cell(class: AccessClass, region: Region, cacheable: bool) -> String {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = engine_from_args(&args)?;
+
     println!("Table 3: constraints on code/data placement w.r.t. SRI slaves");
     println!("('ok' = admissible, 'x' = forbidden; matches the paper cell for cell)\n");
 
     let mut t = Table::new(vec!["", "pf0", "pf1", "dfl", "LMU"]);
-    let regions = [Region::Pflash0, Region::Pflash1, Region::Dflash, Region::Lmu];
+    let regions = [
+        Region::Pflash0,
+        Region::Pflash1,
+        Region::Dflash,
+        Region::Lmu,
+    ];
     for (label, class, cacheable) in [
         ("Code $", AccessClass::Code, true),
         ("Code n$", AccessClass::Code, false),
@@ -40,4 +53,7 @@ fn main() {
     println!("\npaper reference:");
     println!("  Code $ : ok ok x ok     Code n$: ok ok x ok");
     println!("  Data $ : ok ok x ok     Data n$: x  x  ok ok");
+
+    write_engine_report(&engine);
+    Ok(())
 }

@@ -7,10 +7,11 @@
 //! are zero, the relative sizes — is the reproduced artefact.
 //!
 //! ```text
-//! cargo run -p contention-bench --bin table6
+//! cargo run -p contention-bench --bin table6 [-- --jobs N]
 //! ```
 
 use contention::IsolationProfile;
+use contention_bench::{engine_from_args, write_engine_report};
 use mbta::report::Table;
 use tc27x_sim::DeploymentScenario;
 
@@ -27,6 +28,9 @@ fn row(label: &str, p: &IsolationProfile) -> Vec<String> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = engine_from_args(&args)?;
+
     println!("Table 6: counter readings for Scenarios 1 and 2");
     println!("(application on core 1, H-Load contender on core 2)\n");
 
@@ -35,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Sc1", DeploymentScenario::Scenario1),
         ("Sc2", DeploymentScenario::Scenario2),
     ] {
-        let block = mbta::table6_block(scenario, 42)?;
+        let block = mbta::table6_block_with(&engine, scenario, 42)?;
         t.row(row(&format!("{label} Core1"), &block.core1));
         t.row(row(&format!("{label} Core2"), &block.core2));
     }
@@ -49,5 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nstructural checks reproduced: DMD = 0 everywhere; Sc1 has no");
     println!("cacheable data misses; Sc2 data stalls are a small fraction of");
     println!("code stalls; contender traffic is roughly half the app's.");
+
+    write_engine_report(&engine);
     Ok(())
 }

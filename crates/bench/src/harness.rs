@@ -1,0 +1,165 @@
+//! Dependency-free micro-benchmark harness.
+//!
+//! Replaces criterion for this workspace so the benches build offline
+//! with zero external crates. Each benchmark runs a warm-up call, picks
+//! an inner iteration count so one sample lasts at least ~2 ms, then
+//! takes `sample_size` samples and reports the median (plus min/max)
+//! per-call time. `finish()` prints a human table and writes
+//! `BENCH_<group>.json` next to the working directory so CI can diff
+//! runs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+const TARGET_SAMPLE_NANOS: u128 = 2_000_000; // ~2 ms per sample
+
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub median_ns: u128,
+    pub min_ns: u128,
+    pub max_ns: u128,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+    /// Optional throughput denominator (e.g. simulated cycles per call).
+    pub elements: Option<u64>,
+}
+
+pub struct Harness {
+    group: String,
+    sample_size: usize,
+    elements: Option<u64>,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    pub fn new(group: &str) -> Self {
+        Harness {
+            group: group.to_string(),
+            sample_size: 10,
+            elements: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Number of timed samples per benchmark (the median is reported).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Attach a throughput denominator to subsequent benchmarks
+    /// (reported as elements/sec alongside the time).
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.elements = Some(n);
+        self
+    }
+
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up + calibration: how long does one call take?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 100_000) as u64;
+
+        let mut samples: Vec<u128> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() / iters as u128);
+        }
+        samples.sort_unstable();
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+            samples: self.sample_size,
+            iters_per_sample: iters,
+            elements: self.elements,
+        };
+        let throughput = result
+            .elements
+            .filter(|_| result.median_ns > 0)
+            .map(|e| format!(", {:.2e} elem/s", e as f64 / result.median_ns as f64 * 1e9))
+            .unwrap_or_default();
+        println!(
+            "{}/{:<32} median {:>12} ns  (min {}, max {}, {}x{} iters{})",
+            self.group,
+            result.name,
+            result.median_ns,
+            result.min_ns,
+            result.max_ns,
+            result.samples,
+            result.iters_per_sample,
+            throughput
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Print the summary and write `BENCH_<group>.json`.
+    pub fn finish(&self) {
+        let path = format!("BENCH_{}.json", self.group);
+        let json = self.to_json();
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", self.group));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
+                r.name,
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                r.iters_per_sample,
+                r.elements
+                    .map(|e| format!(", \"elements\": {e}"))
+                    .unwrap_or_default(),
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_reports_every_bench() {
+        let mut h = Harness::new("selftest");
+        h.sample_size(3);
+        h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        h.bench("nop", || 1u64);
+        assert_eq!(h.results().len(), 2);
+        assert!(h.results().iter().all(|r| r.min_ns <= r.median_ns));
+        let json = h.to_json();
+        assert!(json.contains("\"group\": \"selftest\""));
+        assert!(json.contains("\"name\": \"spin\""));
+    }
+}

@@ -10,12 +10,21 @@
 //! | `figure4` | Figure 4 — model predictions w.r.t. isolation (pass `--low-traffic` for the §4.2 real-world remark) |
 //! | `ablation` | design-choice ablations of the ILP-PTAC model |
 //!
-//! Criterion benches (`cargo bench`) cover the ILP solver, the
-//! simulator, the calibration campaign and model evaluation.
+//! Micro-benchmarks (`cargo bench`) cover the ILP solver, the
+//! simulator, the calibration campaign and model evaluation on a
+//! dependency-free [`harness`] (median-of-N over `std::time::Instant`).
 
 #![forbid(unsafe_code)]
 
-use contention::WcetEstimate;
+pub mod harness;
+
+use contention::{
+    ContentionModel, FsbModel, FtcModel, IdealModel, IlpPtacModel, Platform, WcetEstimate,
+};
+use mbta::{ExecEngine, SimJob};
+use tc27x_sim::{
+    CoreId, DataObject, DeploymentScenario, Pattern, Placement, Program, Region, TaskSpec,
+};
 
 /// Formats paper-vs-measured cells for table output.
 pub fn paper_vs(measured: impl std::fmt::Display, paper: impl std::fmt::Display) -> String {
@@ -27,8 +36,162 @@ pub fn fig4_cell(e: &WcetEstimate) -> String {
     format!("{:.2}x ({} cyc)", e.ratio(), e.bound_cycles())
 }
 
+/// Parses `--jobs N` from a binary's argument vector; defaults to the
+/// machine's available parallelism when absent.
+///
+/// # Errors
+///
+/// Returns a human-readable message on a missing, non-numeric or zero
+/// value.
+pub fn jobs_from_args(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--jobs requires a value".to_string())?;
+            match v.parse::<usize>() {
+                Ok(0) => Err("--jobs must be at least 1".into()),
+                Ok(n) => Ok(n),
+                Err(_) => Err(format!("invalid --jobs `{v}`")),
+            }
+        }
+        None => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)),
+    }
+}
+
+/// Builds the experiment engine a bench binary should use, honouring
+/// `--jobs N`.
+///
+/// # Errors
+///
+/// Propagates [`jobs_from_args`] errors.
+pub fn engine_from_args(args: &[String]) -> Result<ExecEngine, String> {
+    jobs_from_args(args).map(ExecEngine::new)
+}
+
+/// Prints the engine's lifetime stats to stderr and writes
+/// `BENCH_engine.json` (jobs, wall-clock, runs/sec, cache hit rate) —
+/// stderr/file so piped stdout (tables, CSV) stays clean.
+pub fn write_engine_report(engine: &ExecEngine) {
+    let r = engine.report();
+    eprintln!(
+        "engine: {} jobs, {} simulations in {:.2}s ({:.1} runs/s), cache hit rate {:.0}%",
+        r.jobs,
+        r.simulations_run,
+        r.wall_seconds,
+        r.runs_per_sec(),
+        r.hit_rate() * 100.0
+    );
+    if let Err(e) = r.write("BENCH_engine.json") {
+        eprintln!("warning: could not write BENCH_engine.json: {e}");
+    }
+}
+
+/// A parameterised contender with traffic scaled by `intensity` per
+/// mille of the reference stream (the sweep binary's load generator).
+pub fn scaled_contender(core: CoreId, intensity_permille: u32) -> TaskSpec {
+    // Reference: 4000 LMU accesses and 2000 flash code lines at 1000‰.
+    let accesses = (4_000u64 * intensity_permille as u64 / 1_000) as u32;
+    let code_iters = (40u64 * intensity_permille as u64 / 1_000) as u32;
+    let mut spec = TaskSpec::empty(format!("sweep-load-{intensity_permille}"));
+    if code_iters > 0 {
+        let code_prog = Program::build(|b| {
+            b.repeat(code_iters, |b| {
+                for _ in 0..640 {
+                    b.compute(1);
+                }
+            });
+        });
+        spec = spec.with_segment(code_prog, Placement::new(Region::Pflash0, true));
+    }
+    if accesses > 0 {
+        let data_prog = Program::build(|b| {
+            b.repeat(accesses, |b| {
+                b.load("sweep_buf", Pattern::Sequential);
+                b.compute(4);
+            });
+        });
+        spec = spec.with_segment(data_prog, Placement::pspr(core));
+    } else {
+        let idle = Program::build(|b| {
+            b.compute(100);
+        });
+        spec = spec.with_segment(idle, Placement::pspr(core));
+    }
+    spec.with_object(DataObject::new(
+        "sweep_buf",
+        4 << 10,
+        Placement::new(Region::Lmu, false),
+    ))
+}
+
+/// Builds the full sweep CSV (header plus one row per intensity step)
+/// on the given engine: all isolation runs and co-runs go out as one
+/// batch, and the CSV is assembled from the index-ordered results — so
+/// the returned string is byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Propagates simulation and model errors.
+pub fn sweep_csv(
+    engine: &ExecEngine,
+    scenario: DeploymentScenario,
+) -> Result<String, mbta::ExperimentError> {
+    let platform = Platform::tc277_reference();
+    let (app_core, load_core) = (CoreId(1), CoreId(2));
+    let app_spec = workloads::control_loop(scenario, app_core, 42);
+    let intensities: Vec<u32> = (0..=1_000).step_by(100).collect();
+
+    let mut batch = vec![SimJob::Isolation {
+        spec: app_spec.clone(),
+        core: app_core,
+    }];
+    for &intensity in &intensities {
+        let load_spec = scaled_contender(load_core, intensity);
+        batch.push(SimJob::Isolation {
+            spec: load_spec.clone(),
+            core: load_core,
+        });
+        batch.push(SimJob::Corun {
+            app: app_spec.clone(),
+            app_core,
+            load: load_spec,
+            load_core,
+        });
+    }
+    let mut outcomes = engine.run_batch(&batch)?.into_iter();
+    let app = outcomes.next().expect("app profile").into_profile();
+
+    let ftc = FtcModel::new(&platform);
+    let ilp = IlpPtacModel::new(&platform, mbta::constraints_for(scenario));
+    let ideal = IdealModel::new(&platform);
+    let fsb = FsbModel::new(&platform);
+
+    let mut csv = String::from(
+        "intensity_permille,ftc_ratio,ilp_ratio,ideal_ratio,fsb_ratio,observed_ratio\n",
+    );
+    let iso = app.counters().ccnt as f64;
+    for intensity in intensities {
+        let load = outcomes.next().expect("contender profile").into_profile();
+        let observed = outcomes.next().expect("co-run observation").into_observed();
+        csv.push_str(&format!(
+            "{intensity},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            ftc.wcet_estimate(&app, &[&load])?.ratio(),
+            ilp.wcet_estimate(&app, &[&load])?.ratio(),
+            ideal.wcet_estimate(&app, &[&load])?.ratio(),
+            fsb.wcet_estimate(&app, &[&load])?.ratio(),
+            observed as f64 / iso,
+        ));
+    }
+    Ok(csv)
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn helpers_format() {
         assert_eq!(super::paper_vs(16, 16), "16 (paper: 16)");
@@ -37,5 +200,27 @@ mod tests {
             contention_cycles: 50,
         };
         assert_eq!(super::fig4_cell(&e), "1.50x (150 cyc)");
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        assert_eq!(jobs_from_args(&argv("--jobs 4")).unwrap(), 4);
+        assert_eq!(jobs_from_args(&argv("--scenario sc2 --jobs 2")).unwrap(), 2);
+        assert!(jobs_from_args(&argv("")).unwrap() >= 1);
+        assert!(jobs_from_args(&argv("--jobs")).is_err());
+        assert!(jobs_from_args(&argv("--jobs zero")).is_err());
+        assert!(jobs_from_args(&argv("--jobs 0")).is_err());
+    }
+
+    #[test]
+    fn scaled_contender_scales_to_nothing() {
+        let idle = scaled_contender(CoreId(2), 0);
+        let full = scaled_contender(CoreId(2), 1_000);
+        assert_eq!(idle.segments.len(), 1);
+        assert_eq!(full.segments.len(), 2);
     }
 }

@@ -1,0 +1,38 @@
+//! End-to-end determinism of the parallel experiment engine: the sweep
+//! binary's CSV — the largest single batch any artefact submits — must
+//! be *byte*-identical whether the engine runs with one worker or many.
+
+use contention_bench::sweep_csv;
+use mbta::ExecEngine;
+use tc27x_sim::DeploymentScenario;
+
+#[test]
+fn sweep_csv_is_byte_identical_across_worker_counts() {
+    let single = ExecEngine::sequential();
+    let multi = ExecEngine::new(4);
+    let a = sweep_csv(&single, DeploymentScenario::Scenario1).unwrap();
+    let b = sweep_csv(&multi, DeploymentScenario::Scenario1).unwrap();
+    assert_eq!(a, b, "sweep CSV must not depend on the worker count");
+
+    // Sanity: the CSV has a header plus one row per intensity step.
+    assert_eq!(a.lines().count(), 1 + 11);
+    assert!(a.starts_with("intensity_permille,"));
+}
+
+#[test]
+fn sweep_batch_reuses_the_idle_contender_profile_on_rerun() {
+    let engine = ExecEngine::new(2);
+    sweep_csv(&engine, DeploymentScenario::Scenario1).unwrap();
+    let first = engine.report();
+    // A second sweep over the same engine re-submits the same isolation
+    // jobs; every one is a cache hit and only the (uncacheable) co-runs
+    // simulate again.
+    sweep_csv(&engine, DeploymentScenario::Scenario1).unwrap();
+    let second = engine.report();
+    assert_eq!(second.cache_misses, first.cache_misses);
+    assert_eq!(
+        second.cache_hits,
+        first.cache_hits + first.cache_misses,
+        "every isolation job of the rerun must hit the cache"
+    );
+}

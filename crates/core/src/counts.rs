@@ -96,8 +96,8 @@ mod tests {
         let p = Platform::tc277_reference();
         use crate::platform::{Operation, Target};
         // 30 pf0-code and 12 lmu-code requests at min stalls each.
-        let ps = 30 * p.stall(Target::Pf0, Operation::Code)
-            + 12 * p.stall(Target::Lmu, Operation::Code);
+        let ps =
+            30 * p.stall(Target::Pf0, Operation::Code) + 12 * p.stall(Target::Lmu, Operation::Code);
         let b = AccessBounds::from_counters(&p, &counters(ps, 0));
         assert!(b.code >= 42, "n̂ = {} must cover 42 requests", b.code);
     }

@@ -28,7 +28,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::MissingPtac { task } => {
-                write!(f, "profile `{task}` carries no exact per-target access counts")
+                write!(
+                    f,
+                    "profile `{task}` carries no exact per-target access counts"
+                )
             }
             ModelError::Ilp(e) => write!(f, "ilp solve failed: {e}"),
             ModelError::InconsistentProfile { task, detail } => {

@@ -180,10 +180,16 @@ mod tests {
             .pairwise_bound(&a, &b)
             .unwrap()
             .delta_cycles;
-        let ftc = FtcModel::new(&p).pairwise_bound(&a, &b).unwrap().delta_cycles;
+        let ftc = FtcModel::new(&p)
+            .pairwise_bound(&a, &b)
+            .unwrap()
+            .delta_cycles;
         assert!(ftc <= fsb_ftc, "fTC {ftc} must be ≤ FSB-fTC {fsb_ftc}");
 
-        let fsb = FsbModel::new(&p).pairwise_bound(&a, &b).unwrap().delta_cycles;
+        let fsb = FsbModel::new(&p)
+            .pairwise_bound(&a, &b)
+            .unwrap()
+            .delta_cycles;
         let ilp = IlpPtacModel::new(&p, ScenarioConstraints::unconstrained())
             .pairwise_bound(&a, &b)
             .unwrap()
@@ -195,10 +201,7 @@ mod tests {
     fn names_distinguish_variants() {
         let p = Platform::tc277_reference();
         assert_eq!(FsbModel::new(&p).name(), "FSB-aware");
-        assert_eq!(
-            FsbModel::new(&p).fully_time_composable().name(),
-            "FSB-fTC"
-        );
+        assert_eq!(FsbModel::new(&p).fully_time_composable().name(), "FSB-fTC");
     }
 
     #[test]
@@ -207,7 +210,10 @@ mod tests {
         let a = profile("a", 0, 0);
         let b = profile("b", 100, 100);
         assert_eq!(
-            FsbModel::new(&p).pairwise_bound(&a, &b).unwrap().delta_cycles,
+            FsbModel::new(&p)
+                .pairwise_bound(&a, &b)
+                .unwrap()
+                .delta_cycles,
             0
         );
     }

@@ -177,7 +177,9 @@ impl<'p> IlpPtacModel<'p> {
             if o == Operation::Code && scenario.exact_code_from_pcache() {
                 ub = ub.max(counters.pcache_miss);
             }
-            n.push(Some(p.add_int_var(format!("n_{label}[{t},{o}]"), ub as i128)));
+            n.push(Some(
+                p.add_int_var(format!("n_{label}[{t},{o}]"), ub as i128),
+            ));
         }
         let vars = TaskVars { n };
 

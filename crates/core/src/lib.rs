@@ -75,7 +75,7 @@ pub use platform::{AccessPaths, Operation, PerTargetOp, Platform, Target};
 pub use profile::{AccessCounts, DebugCounters, IsolationProfile, ParseProfileError};
 pub use scenario::ScenarioConstraints;
 pub use sensitivity::{CounterKind, Sensitivity, SensitivityReport, Side};
-pub use signature::ContenderSignature;
+pub use signature::{ContenderSignature, StableHasher};
 pub use wcet::{ContentionBound, ContentionModel, WcetEstimate};
 
 /// Alias kept for readers coming from the paper: the latency table is a

@@ -213,10 +213,7 @@ mod tests {
 
     #[test]
     fn utilization_sums() {
-        let v = analyze(&[
-            PeriodicTask::new("a", 10, 2),
-            PeriodicTask::new("b", 20, 5),
-        ]);
+        let v = analyze(&[PeriodicTask::new("a", 10, 2), PeriodicTask::new("b", 20, 5)]);
         assert!((v.utilization() - 0.45).abs() < 1e-12);
     }
 
@@ -238,10 +235,7 @@ mod tests {
             high.clone(),
             PeriodicTask::from_estimate("app", 12_000, &iso),
         ]);
-        let with_bound = analyze(&[
-            high,
-            PeriodicTask::from_estimate("app", 12_000, &bounded),
-        ]);
+        let with_bound = analyze(&[high, PeriodicTask::from_estimate("app", 12_000, &bounded)]);
         assert!(with_iso.is_schedulable());
         assert!(!with_bound.is_schedulable());
     }

@@ -49,9 +49,7 @@ pub(crate) fn solve(problem: &Problem) -> Result<Solution, SolveError> {
 }
 
 /// Solves `problem` and reports search statistics.
-pub(crate) fn solve_with_stats(
-    problem: &Problem,
-) -> Result<(Solution, SolveStats), SolveError> {
+pub(crate) fn solve_with_stats(problem: &Problem) -> Result<(Solution, SolveStats), SolveError> {
     let mut stats = SolveStats::default();
     let mut pivots = problem.iteration_limit;
     let has_integers = problem.vars.iter().any(|v| v.integer);

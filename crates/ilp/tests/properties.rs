@@ -1,31 +1,64 @@
-//! Property-based tests for the exact ILP solver.
+//! Property-style tests for the exact ILP solver.
 //!
-//! Random small problems are generated and the solver's answers are
-//! cross-checked against brute-force enumeration (for bounded ILPs) and
-//! against basic LP invariants (feasibility of the returned point,
-//! optimality versus random feasible points).
+//! Random small problems are generated from a seeded in-tree PRNG and
+//! the solver's answers are cross-checked against brute-force
+//! enumeration (for bounded ILPs) and against basic LP invariants
+//! (feasibility of the returned point, LP-relaxation dominance). Every
+//! case is derived deterministically from its case index, so a failure
+//! message names the exact reproducer seed.
 
 use ilp::{LinExpr, Problem, Rational, SolveError};
-use proptest::prelude::*;
 
-/// A generated constraint: coefficients (small ints) and rhs.
+/// SplitMix64, copied in-tree: the `ilp` crate is dependency-free, so
+/// its tests carry their own 20-line generator rather than pulling in
+/// the simulator crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+}
+
+/// A generated constraint: coefficients (small ints) and rhs ≥ 0, so
+/// the origin is always feasible.
 #[derive(Clone, Debug)]
 struct RandConstraint {
     coeffs: Vec<i64>,
     rhs: i64,
 }
 
-fn constraint_strategy(nvars: usize) -> impl Strategy<Value = RandConstraint> {
-    (
-        proptest::collection::vec(-4i64..=6, nvars),
-        0i64..=40,
-    )
-        .prop_map(|(coeffs, rhs)| RandConstraint { coeffs, rhs })
+fn rand_constraint(rng: &mut Rng, nvars: usize) -> RandConstraint {
+    RandConstraint {
+        coeffs: (0..nvars).map(|_| rng.range(-4, 6)).collect(),
+        rhs: rng.range(0, 40),
+    }
 }
 
-/// Builds a bounded maximisation ILP with `nvars` integer variables in
-/// `[0, ub]` and `≤` constraints. Always feasible (origin satisfies all
-/// constraints because rhs ≥ 0).
+fn rand_objective(rng: &mut Rng, lo: i64, hi: i64, max_vars: usize) -> Vec<i64> {
+    let n = 1 + rng.below(max_vars as u64) as usize;
+    (0..n).map(|_| rng.range(lo, hi)).collect()
+}
+
+fn rand_constraints(rng: &mut Rng, nvars: usize, max: usize) -> Vec<RandConstraint> {
+    let n = rng.below(max as u64 + 1) as usize;
+    (0..n).map(|_| rand_constraint(rng, nvars)).collect()
+}
+
+/// Builds a bounded maximisation ILP with integer variables in
+/// `[0, ub]` and `≤` constraints.
 fn build_problem(
     objective: &[i64],
     constraints: &[RandConstraint],
@@ -56,14 +89,9 @@ fn brute_force(objective: &[i64], constraints: &[RandConstraint], ub: i64) -> i1
     let mut best = i128::MIN;
     let mut point = vec![0i64; n];
     loop {
-        let feasible = constraints.iter().all(|c| {
-            c.coeffs
-                .iter()
-                .zip(&point)
-                .map(|(k, x)| k * x)
-                .sum::<i64>()
-                <= c.rhs
-        });
+        let feasible = constraints
+            .iter()
+            .all(|c| c.coeffs.iter().zip(&point).map(|(k, x)| k * x).sum::<i64>() <= c.rhs);
         if feasible {
             let val: i128 = objective
                 .iter()
@@ -89,64 +117,60 @@ fn brute_force(objective: &[i64], constraints: &[RandConstraint], ub: i64) -> i1
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The ILP optimum matches brute-force enumeration on small boxes.
-    #[test]
-    fn ilp_matches_brute_force(
-        objective in proptest::collection::vec(-5i64..=8, 1..=3),
-        constraints in proptest::collection::vec(constraint_strategy(3), 0..=3),
-        ub in 1i64..=4,
-    ) {
+/// The ILP optimum matches brute-force enumeration on small boxes.
+#[test]
+fn ilp_matches_brute_force() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0x11f0_0000 + case);
+        let objective = rand_objective(&mut rng, -5, 8, 3);
         let nvars = objective.len();
-        let constraints: Vec<RandConstraint> = constraints
-            .into_iter()
-            .map(|mut c| { c.coeffs.truncate(nvars); c })
-            .collect();
+        let constraints = rand_constraints(&mut rng, nvars, 3);
+        let ub = rng.range(1, 4);
         let (p, _) = build_problem(&objective, &constraints, ub);
         let sol = p.solve().expect("origin is always feasible");
         let expected = brute_force(&objective, &constraints, ub);
-        prop_assert_eq!(sol.objective(), Rational::from_int(expected));
+        assert_eq!(
+            sol.objective(),
+            Rational::from_int(expected),
+            "case {case}: {objective:?} s.t. {constraints:?}, ub {ub}"
+        );
     }
+}
 
-    /// Returned assignments satisfy every constraint and bound exactly.
-    #[test]
-    fn solution_is_feasible(
-        objective in proptest::collection::vec(-5i64..=8, 1..=4),
-        constraints in proptest::collection::vec(constraint_strategy(4), 0..=4),
-        ub in 1i64..=6,
-    ) {
+/// Returned assignments satisfy every constraint and bound exactly.
+#[test]
+fn solution_is_feasible() {
+    for case in 0..64u64 {
+        let mut rng = Rng(0x2fea_0000 + case);
+        let objective = rand_objective(&mut rng, -5, 8, 4);
         let nvars = objective.len();
-        let constraints: Vec<RandConstraint> = constraints
-            .into_iter()
-            .map(|mut c| { c.coeffs.truncate(nvars); c })
-            .collect();
+        let constraints = rand_constraints(&mut rng, nvars, 4);
+        let ub = rng.range(1, 6);
         let (p, vars) = build_problem(&objective, &constraints, ub);
         let sol = p.solve().expect("origin is always feasible");
         for v in &vars {
             let x = sol.value(*v);
-            prop_assert!(x >= Rational::ZERO);
-            prop_assert!(x <= Rational::from_int(ub as i128));
-            prop_assert!(x.is_integer());
+            assert!(x >= Rational::ZERO, "case {case}");
+            assert!(x <= Rational::from_int(ub as i128), "case {case}");
+            assert!(x.is_integer(), "case {case}");
         }
         for c in p.constraints() {
-            prop_assert!(c.is_satisfied_by(|v| sol.value(v)));
+            assert!(c.is_satisfied_by(|v| sol.value(v)), "case {case}");
         }
     }
+}
 
-    /// LP relaxation dominates the ILP optimum (maximisation).
-    #[test]
-    fn lp_relaxation_dominates(
-        objective in proptest::collection::vec(0i64..=8, 1..=3),
-        constraints in proptest::collection::vec(constraint_strategy(3), 1..=3),
-        ub in 1i64..=4,
-    ) {
+/// LP relaxation dominates the ILP optimum (maximisation).
+#[test]
+fn lp_relaxation_dominates() {
+    for case in 0..48u64 {
+        let mut rng = Rng(0x3e1a_0000 + case);
+        let objective = rand_objective(&mut rng, 0, 8, 3);
         let nvars = objective.len();
-        let constraints: Vec<RandConstraint> = constraints
-            .into_iter()
-            .map(|mut c| { c.coeffs.truncate(nvars); c })
+        let constraints: Vec<_> = (0..1 + rng.below(3) as usize)
+            .map(|_| rand_constraint(&mut rng, nvars))
             .collect();
+        let ub = rng.range(1, 4);
         let (ilp_p, _) = build_problem(&objective, &constraints, ub);
         // Same problem without integrality.
         let mut lp_p = Problem::maximize();
@@ -167,39 +191,43 @@ proptest! {
         }
         let ilp_sol = ilp_p.solve().unwrap();
         let lp_sol = lp_p.solve().unwrap();
-        prop_assert!(lp_sol.objective() >= ilp_sol.objective());
+        assert!(lp_sol.objective() >= ilp_sol.objective(), "case {case}");
     }
+}
 
-    /// Rational arithmetic: field axioms on random values.
-    #[test]
-    fn rational_field_axioms(
-        an in -1000i128..1000, ad in 1i128..50,
-        bn in -1000i128..1000, bd in 1i128..50,
-        cn in -1000i128..1000, cd in 1i128..50,
-    ) {
-        let a = Rational::new(an, ad);
-        let b = Rational::new(bn, bd);
-        let c = Rational::new(cn, cd);
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!((a + b) + c, a + (b + c));
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-        prop_assert_eq!(a - a, Rational::ZERO);
+/// Rational arithmetic: field axioms on random values.
+#[test]
+fn rational_field_axioms() {
+    let mut rng = Rng(0x4a71_beef);
+    for case in 0..500 {
+        let a = Rational::new(rng.range(-1000, 999) as i128, rng.range(1, 49) as i128);
+        let b = Rational::new(rng.range(-1000, 999) as i128, rng.range(1, 49) as i128);
+        let c = Rational::new(rng.range(-1000, 999) as i128, rng.range(1, 49) as i128);
+        assert_eq!(a + b, b + a, "case {case}");
+        assert_eq!((a + b) + c, a + (b + c), "case {case}");
+        assert_eq!(a * (b + c), a * b + a * c, "case {case}");
+        assert_eq!(a - a, Rational::ZERO, "case {case}");
         if !b.is_zero() {
-            prop_assert_eq!(a / b * b, a);
+            assert_eq!(a / b * b, a, "case {case}");
         }
     }
+}
 
-    /// floor/ceil bracket the value and differ only for non-integers.
-    #[test]
-    fn floor_ceil_bracket(n in -10_000i128..10_000, d in 1i128..100) {
+/// floor/ceil bracket the value and differ only for non-integers.
+#[test]
+fn floor_ceil_bracket() {
+    let mut rng = Rng(0x5bed_cafe);
+    for case in 0..500 {
+        let n = rng.range(-10_000, 9_999) as i128;
+        let d = rng.range(1, 99) as i128;
         let r = Rational::new(n, d);
         let f = Rational::from_int(r.floor());
         let c = Rational::from_int(r.ceil());
-        prop_assert!(f <= r && r <= c);
+        assert!(f <= r && r <= c, "case {case}: {n}/{d}");
         if r.is_integer() {
-            prop_assert_eq!(f, c);
+            assert_eq!(f, c, "case {case}");
         } else {
-            prop_assert_eq!(r.ceil() - r.floor(), 1);
+            assert_eq!(r.ceil() - r.floor(), 1, "case {case}");
         }
     }
 }

@@ -18,8 +18,9 @@
 //! iteration minus the sequential stall isolates the non-sequential
 //! fetch latency.
 
-use contention::{LatencyTable, Operation, Platform, StallTable, Target};
-use tc27x_sim::{CoreId, DataObject, Pattern, Placement, Program, Region, SimError, System, TaskSpec};
+use crate::exec::{ExecEngine, SimJob};
+use contention::{DebugCounters, LatencyTable, Operation, Platform, StallTable, Target};
+use tc27x_sim::{CoreId, DataObject, Pattern, Placement, Program, Region, SimError, TaskSpec};
 use workloads::micro;
 
 /// The calibrated tables (the reproduction of Table 2).
@@ -40,41 +41,76 @@ impl Calibration {
     }
 }
 
-fn run_counters(spec: &TaskSpec, core: CoreId) -> Result<contention::DebugCounters, SimError> {
-    let mut sys = System::tc277();
-    sys.load(core, spec)?;
-    let out = sys.run()?;
-    Ok(crate::runner::to_model_counters(out.counters(core)))
+/// Differential over two probe readings: `(r2 - r1) / (n2 - n1)`.
+fn differential(r1: u64, r2: u64, n1: u32, n2: u32) -> u64 {
+    (r2 - r1) / (n2 - n1) as u64
 }
 
-/// Differential over two probe sizes: `(f(n2) - f(n1)) / (n2 - n1)`.
-fn differential(
-    mut probe: impl FnMut(u32) -> Result<u64, SimError>,
-    n1: u32,
-    n2: u32,
-) -> Result<u64, SimError> {
-    let a = probe(n1)?;
-    let b = probe(n2)?;
-    Ok((b - a) / (n2 - n1) as u64)
-}
-
-/// Marginal per-iteration CCNT cost of a dspr-resident single-access
-/// loop — the baseline subtracted from shared-memory probes.
-fn dspr_baseline(core: CoreId) -> Result<u64, SimError> {
-    let probe = |n: u32| -> Result<u64, SimError> {
-        let prog = Program::build(|b| {
-            b.repeat(n, |b| {
-                b.load("local", Pattern::Sequential);
-            });
+/// The dspr-resident single-access loop whose marginal CCNT cost is the
+/// baseline subtracted from shared-memory probes.
+fn baseline_probe(core: CoreId, n: u32) -> TaskSpec {
+    let prog = Program::build(|b| {
+        b.repeat(n, |b| {
+            b.load("local", Pattern::Sequential);
         });
-        let spec = TaskSpec::new("baseline", prog, Placement::pspr(core))
-            .with_object(DataObject::new("local", 1 << 10, Placement::dspr(core)));
-        Ok(run_counters(&spec, core)?.ccnt)
-    };
-    differential(probe, 200, 600)
+    });
+    TaskSpec::new("baseline", prog, Placement::pspr(core)).with_object(DataObject::new(
+        "local",
+        1 << 10,
+        Placement::dspr(core),
+    ))
 }
 
-/// Runs the full calibration campaign on a fresh TC277.
+const CODE_BANKS: [(Target, Region); 3] = [
+    (Target::Pf0, Region::Pflash0),
+    (Target::Pf1, Region::Pflash1),
+    (Target::Lmu, Region::Lmu),
+];
+const PF_BANKS: [(Target, Region); 2] = [
+    (Target::Pf0, Region::Pflash0),
+    (Target::Pf1, Region::Pflash1),
+];
+const WORD_REGIONS: [(Target, Region); 2] =
+    [(Target::Lmu, Region::Lmu), (Target::Dfl, Region::Dflash)];
+
+/// Builds the full probe batch, in the fixed order `calibrate_with`
+/// consumes it. The LMU/DFLASH word probes appear twice (stall and
+/// latency campaigns read different counters of the same run), so an
+/// engine serves the second appearance from its memo cache.
+fn probe_batch(core: CoreId) -> Vec<SimJob> {
+    let mut batch = Vec::new();
+    let mut push = |spec: TaskSpec| batch.push(SimJob::Isolation { spec, core });
+
+    for (_, bank) in CODE_BANKS {
+        push(micro::code_stream(bank, 64));
+        push(micro::code_stream(bank, 320));
+        push(micro::code_bounce(bank, 50));
+        push(micro::code_bounce(bank, 150));
+    }
+    for (_, bank) in PF_BANKS {
+        push(micro::data_lines(core, bank, 64));
+        push(micro::data_lines(core, bank, 320));
+    }
+    for (_, region) in WORD_REGIONS {
+        push(micro::data_words(core, region, 100, false));
+        push(micro::data_words(core, region, 400, false));
+    }
+    push(baseline_probe(core, 200));
+    push(baseline_probe(core, 600));
+    for (_, bank) in PF_BANKS {
+        push(micro::data_skip(core, bank, 400));
+        push(micro::data_skip(core, bank, 1200));
+    }
+    for (_, region) in WORD_REGIONS {
+        push(micro::data_words(core, region, 100, false));
+        push(micro::data_words(core, region, 400, false));
+    }
+    push(micro::dirty_stores(core, 600));
+    push(micro::dirty_stores(core, 1000));
+    batch
+}
+
+/// Runs the full calibration campaign on a fresh TC277, sequentially.
 ///
 /// # Errors
 ///
@@ -95,75 +131,79 @@ fn dspr_baseline(core: CoreId) -> Result<u64, SimError> {
 /// # }
 /// ```
 pub fn calibrate() -> Result<Calibration, SimError> {
+    calibrate_with(&ExecEngine::sequential())
+}
+
+/// [`calibrate`] on a caller-supplied engine: the whole campaign (28
+/// probe runs) goes out as one batch, and the repeated LMU/DFLASH word
+/// probes are deduplicated by the engine's memo cache.
+///
+/// # Errors
+///
+/// Propagates simulation errors from the probe runs.
+pub fn calibrate_with(engine: &ExecEngine) -> Result<Calibration, SimError> {
     let core = CoreId(1);
     let mut stall = StallTable::new();
     let mut latency = LatencyTable::new();
 
-    // --- code stalls: ΔPMEM_STALL per line over streaming probes ---
-    for (target, bank) in [
-        (Target::Pf0, Region::Pflash0),
-        (Target::Pf1, Region::Pflash1),
-        (Target::Lmu, Region::Lmu),
-    ] {
-        let cs = differential(
-            |n| Ok(run_counters(&micro::code_stream(bank, n), core)?.pmem_stall),
-            64,
-            320,
-        )?;
-        stall.set(target, Operation::Code, cs);
+    let outcomes = engine.run_batch(&probe_batch(core))?;
+    let mut readings = outcomes
+        .into_iter()
+        .map(|o| *o.into_profile().counters())
+        .collect::<Vec<DebugCounters>>()
+        .into_iter();
+    let mut pair = move || {
+        let a = readings.next().expect("probe batch covers every reading");
+        let b = readings.next().expect("probe batch covers every reading");
+        (a, b)
+    };
 
-        // --- code latency: bounce stall per iteration − sequential cs ---
-        let per_iter = differential(
-            |n| Ok(run_counters(&micro::code_bounce(bank, n), core)?.pmem_stall),
-            50,
-            150,
-        )?;
+    // --- code stalls: ΔPMEM_STALL per line over streaming probes,
+    //     and code latency: bounce stall per iteration − sequential cs ---
+    for (target, _) in CODE_BANKS {
+        let (a, b) = pair();
+        let cs = differential(a.pmem_stall, b.pmem_stall, 64, 320);
+        stall.set(target, Operation::Code, cs);
+        let (a, b) = pair();
+        let per_iter = differential(a.pmem_stall, b.pmem_stall, 50, 150);
         latency.set(target, Operation::Code, per_iter - cs);
     }
 
     // --- data stalls ---
-    for (target, bank) in [(Target::Pf0, Region::Pflash0), (Target::Pf1, Region::Pflash1)] {
-        let cs = differential(
-            |n| Ok(run_counters(&micro::data_lines(core, bank, n), core)?.dmem_stall),
-            64,
-            320,
-        )?;
-        stall.set(target, Operation::Data, cs);
+    for (target, _) in PF_BANKS {
+        let (a, b) = pair();
+        stall.set(
+            target,
+            Operation::Data,
+            differential(a.dmem_stall, b.dmem_stall, 64, 320),
+        );
     }
-    for (target, region) in [(Target::Lmu, Region::Lmu), (Target::Dfl, Region::Dflash)] {
-        let cs = differential(
-            |n| Ok(run_counters(&micro::data_words(core, region, n, false), core)?.dmem_stall),
-            100,
-            400,
-        )?;
-        stall.set(target, Operation::Data, cs);
+    for (target, _) in WORD_REGIONS {
+        let (a, b) = pair();
+        stall.set(
+            target,
+            Operation::Data,
+            differential(a.dmem_stall, b.dmem_stall, 100, 400),
+        );
     }
 
     // --- data latencies: marginal CCNT − dspr baseline + 1 ---
-    let base = dspr_baseline(core)?;
-    for (target, bank) in [(Target::Pf0, Region::Pflash0), (Target::Pf1, Region::Pflash1)] {
-        let marginal = differential(
-            |n| Ok(run_counters(&micro::data_skip(core, bank, n), core)?.ccnt),
-            400,
-            1200,
-        )?;
+    let (a, b) = pair();
+    let base = differential(a.ccnt, b.ccnt, 200, 600);
+    for (target, _) in PF_BANKS {
+        let (a, b) = pair();
+        let marginal = differential(a.ccnt, b.ccnt, 400, 1200);
         latency.set(target, Operation::Data, marginal - base + 1);
     }
-    for (target, region) in [(Target::Lmu, Region::Lmu), (Target::Dfl, Region::Dflash)] {
-        let marginal = differential(
-            |n| Ok(run_counters(&micro::data_words(core, region, n, false), core)?.ccnt),
-            100,
-            400,
-        )?;
+    for (target, _) in WORD_REGIONS {
+        let (a, b) = pair();
+        let marginal = differential(a.ccnt, b.ccnt, 100, 400);
         latency.set(target, Operation::Data, marginal - base + 1);
     }
 
     // --- LMU dirty-miss latency ---
-    let dirty_marginal = differential(
-        |n| Ok(run_counters(&micro::dirty_stores(core, n), core)?.ccnt),
-        600,
-        1000,
-    )?;
+    let (a, b) = pair();
+    let dirty_marginal = differential(a.ccnt, b.ccnt, 600, 1000);
     let lmu_dirty_latency = dirty_marginal - base + 1;
 
     Ok(Calibration {
@@ -192,11 +232,7 @@ mod tests {
             (Target::Lmu, Operation::Data),
             (Target::Dfl, Operation::Data),
         ] {
-            assert_eq!(
-                cal.stall.get(t, o),
-                reference.stall(t, o),
-                "cs^{{{t},{o}}}"
-            );
+            assert_eq!(cal.stall.get(t, o), reference.stall(t, o), "cs^{{{t},{o}}}");
             assert_eq!(
                 cal.latency.get(t, o),
                 reference.latency(t, o),
@@ -204,6 +240,18 @@ mod tests {
             );
         }
         assert_eq!(cal.lmu_dirty_latency, reference.lmu_dirty_latency());
+    }
+
+    #[test]
+    fn parallel_calibration_matches_sequential_and_hits_cache() {
+        let engine = ExecEngine::new(4);
+        let par = calibrate_with(&engine).unwrap();
+        assert_eq!(par, calibrate().unwrap());
+        let r = engine.report();
+        // The LMU/DFLASH word probes appear twice in the batch (stall
+        // and latency campaigns) — four cache hits, zero re-simulation.
+        assert_eq!(r.cache_hits, 4);
+        assert_eq!(r.simulations_run, r.cache_misses);
     }
 
     #[test]

@@ -1,0 +1,542 @@
+//! The parallel experiment engine: batched simulation jobs over a
+//! deterministic thread pool, with memoized isolation profiles.
+//!
+//! Every evaluation campaign in this workspace decomposes into two job
+//! kinds — *isolation runs* (one task alone on a fresh TC277) and
+//! *co-runs* (app plus contender). Both are pure functions of their
+//! task specs, so:
+//!
+//! * batches can run on any number of threads and still produce
+//!   bit-identical results, because the [`pool`](crate::pool) collects
+//!   results by job index;
+//! * isolation profiles can be memoized across (and within) batches,
+//!   keyed by a stable fingerprint of the task spec, the core and the
+//!   platform configuration ([`contention::StableHasher`]). Calibration
+//!   probes and repeated panels hit the cache instead of re-simulating.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbta::{ExecEngine, SimJob};
+//! use tc27x_sim::{CoreId, DeploymentScenario};
+//! use workloads::control_loop;
+//!
+//! # fn main() -> Result<(), tc27x_sim::SimError> {
+//! let engine = ExecEngine::new(2);
+//! let spec = control_loop(DeploymentScenario::Scenario1, CoreId(1), 42);
+//! let first = engine.isolation(&spec, CoreId(1))?;
+//! let second = engine.isolation(&spec, CoreId(1))?; // served from cache
+//! assert_eq!(first.counters(), second.counters());
+//! assert_eq!(engine.report().cache_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::pool;
+use crate::runner::{isolation_profile, observed_corun};
+use contention::{IsolationProfile, StableHasher};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use tc27x_sim::{CoreId, SimError, TaskSpec};
+
+/// One simulation job for the engine.
+#[derive(Clone, Debug)]
+pub enum SimJob {
+    /// Run a task alone and extract its isolation profile (memoized).
+    Isolation {
+        /// The task to profile.
+        spec: TaskSpec,
+        /// The core it runs on.
+        core: CoreId,
+    },
+    /// Run an app against one contender and observe the app's CCNT
+    /// (never memoized — co-runs are what experiments vary).
+    Corun {
+        /// Application task.
+        app: TaskSpec,
+        /// Application core.
+        app_core: CoreId,
+        /// Contender task.
+        load: TaskSpec,
+        /// Contender core.
+        load_core: CoreId,
+    },
+}
+
+/// The result of one [`SimJob`], in batch order.
+#[derive(Clone, Debug)]
+pub enum SimOutcome {
+    /// Profile from an isolation job.
+    Isolation(IsolationProfile),
+    /// Observed app cycles from a co-run job.
+    Corun(u64),
+}
+
+impl SimOutcome {
+    /// Unwraps an isolation profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is a co-run observation.
+    pub fn into_profile(self) -> IsolationProfile {
+        match self {
+            SimOutcome::Isolation(p) => p,
+            SimOutcome::Corun(_) => panic!("expected an isolation outcome"),
+        }
+    }
+
+    /// Unwraps a co-run observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is an isolation profile.
+    pub fn into_observed(self) -> u64 {
+        match self {
+            SimOutcome::Corun(c) => c,
+            SimOutcome::Isolation(_) => panic!("expected a co-run outcome"),
+        }
+    }
+}
+
+/// Counters and wall-clock of an engine's lifetime, for
+/// `BENCH_engine.json`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineReport {
+    /// Configured worker threads.
+    pub jobs: usize,
+    /// Simulations actually executed (cache misses + co-runs).
+    pub simulations_run: u64,
+    /// Isolation requests served from the memo cache.
+    pub cache_hits: u64,
+    /// Isolation requests that had to simulate.
+    pub cache_misses: u64,
+    /// Wall-clock seconds spent inside `run_batch`.
+    pub wall_seconds: f64,
+}
+
+impl EngineReport {
+    /// Cache hit rate over all isolation requests (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Simulations per wall-clock second (0 before any run).
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.simulations_run as f64 / self.wall_seconds
+        }
+    }
+
+    /// Renders the report as a small JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"jobs\": {},\n  \"simulations_run\": {},\n  \"cache_hits\": {},\n  \
+             \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \"wall_seconds\": {:.6},\n  \
+             \"runs_per_sec\": {:.2}\n}}\n",
+            self.jobs,
+            self.simulations_run,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+            self.wall_seconds,
+            self.runs_per_sec()
+        )
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the file.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// The parallel experiment engine.
+///
+/// Construct one per campaign (or one per process) and submit batches;
+/// the memo cache and counters live for the engine's lifetime.
+pub struct ExecEngine {
+    jobs: usize,
+    cache: Mutex<HashMap<u64, IsolationProfile>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    runs: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+/// Execution plan for one batch entry.
+enum Plan {
+    /// Already in the memo cache.
+    Cached(IsolationProfile),
+    /// Must simulate.
+    Execute,
+    /// Duplicate of an earlier entry in the same batch.
+    Alias(usize),
+}
+
+impl ExecEngine {
+    /// Creates an engine with `jobs` worker threads (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        ExecEngine {
+            jobs: jobs.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine that executes everything inline on the caller's
+    /// thread — the reference the determinism tests compare against.
+    pub fn sequential() -> Self {
+        ExecEngine::new(1)
+    }
+
+    /// An engine sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecEngine::new(n)
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The stable cache key for an isolation run: task spec (name,
+    /// segments, ops, objects, activations, seed), core, and a platform
+    /// tag so profiles never leak across simulator configurations.
+    fn fingerprint(spec: &TaskSpec, core: CoreId) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("tc277/isolation/v1");
+        h.write_u8(core.0);
+        // `TaskSpec`'s Debug output covers every field recursively and
+        // changes whenever the spec's structure does — exactly the
+        // invalidation behaviour a memo key needs.
+        h.write_str(&format!("{spec:?}"));
+        h.finish()
+    }
+
+    /// Runs a batch of jobs and returns their outcomes in batch order,
+    /// identical for any worker count.
+    ///
+    /// Isolation jobs are first resolved against the memo cache and
+    /// deduplicated within the batch; only the remainder is simulated,
+    /// in parallel. If several jobs fail, the error of the
+    /// lowest-indexed failing job is returned (again independent of the
+    /// worker count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (by batch index) link or simulation error.
+    pub fn run_batch(&self, batch: &[SimJob]) -> Result<Vec<SimOutcome>, SimError> {
+        let t0 = Instant::now();
+        let result = self.run_batch_inner(batch);
+        self.wall_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn run_batch_inner(&self, batch: &[SimJob]) -> Result<Vec<SimOutcome>, SimError> {
+        // Phase 1: plan — consult the cache, dedupe within the batch.
+        let mut plan = Vec::with_capacity(batch.len());
+        let mut first_by_fp: HashMap<u64, usize> = HashMap::new();
+        {
+            let cache = self.cache.lock().expect("memo cache poisoned");
+            for (i, job) in batch.iter().enumerate() {
+                match job {
+                    SimJob::Isolation { spec, core } => {
+                        let fp = Self::fingerprint(spec, *core);
+                        if let Some(p) = cache.get(&fp) {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            plan.push(Plan::Cached(p.clone()));
+                        } else if let Some(&j) = first_by_fp.get(&fp) {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            plan.push(Plan::Alias(j));
+                        } else {
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            first_by_fp.insert(fp, i);
+                            plan.push(Plan::Execute);
+                        }
+                    }
+                    SimJob::Corun { .. } => plan.push(Plan::Execute),
+                }
+            }
+        }
+
+        // Phase 2: simulate the remainder on the pool.
+        let exec_idx: Vec<usize> = plan
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Plan::Execute))
+            .map(|(i, _)| i)
+            .collect();
+        self.runs
+            .fetch_add(exec_idx.len() as u64, Ordering::Relaxed);
+        let executed: Vec<Result<SimOutcome, SimError>> =
+            pool::run_indexed(&exec_idx, self.jobs, |_, &i| Self::execute(&batch[i]));
+
+        // Phase 3: merge in batch order; fill the cache; first error
+        // (by batch index) wins.
+        let mut by_index: HashMap<usize, Result<SimOutcome, SimError>> =
+            exec_idx.into_iter().zip(executed).collect();
+        let mut outcomes: Vec<SimOutcome> = Vec::with_capacity(batch.len());
+        let mut fresh: Vec<(u64, IsolationProfile)> = Vec::new();
+        for (i, entry) in plan.iter().enumerate() {
+            let outcome = match entry {
+                Plan::Cached(p) => SimOutcome::Isolation(p.clone()),
+                Plan::Alias(j) => outcomes[*j].clone(),
+                Plan::Execute => {
+                    let r = by_index
+                        .remove(&i)
+                        .expect("every planned job has a result")?;
+                    if let (SimOutcome::Isolation(p), SimJob::Isolation { spec, core }) =
+                        (&r, &batch[i])
+                    {
+                        fresh.push((Self::fingerprint(spec, *core), p.clone()));
+                    }
+                    r
+                }
+            };
+            outcomes.push(outcome);
+        }
+        if !fresh.is_empty() {
+            let mut cache = self.cache.lock().expect("memo cache poisoned");
+            cache.extend(fresh);
+        }
+        Ok(outcomes)
+    }
+
+    fn execute(job: &SimJob) -> Result<SimOutcome, SimError> {
+        match job {
+            SimJob::Isolation { spec, core } => {
+                Ok(SimOutcome::Isolation(isolation_profile(spec, *core)?))
+            }
+            SimJob::Corun {
+                app,
+                app_core,
+                load,
+                load_core,
+            } => Ok(SimOutcome::Corun(observed_corun(
+                app, *app_core, load, *load_core,
+            )?)),
+        }
+    }
+
+    /// Memoized single isolation run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates link and simulation errors.
+    pub fn isolation(&self, spec: &TaskSpec, core: CoreId) -> Result<IsolationProfile, SimError> {
+        let mut out = self.run_batch(std::slice::from_ref(&SimJob::Isolation {
+            spec: spec.clone(),
+            core,
+        }))?;
+        Ok(out.remove(0).into_profile())
+    }
+
+    /// Single co-run observation through the engine (counted in the
+    /// report, never cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates link and simulation errors.
+    pub fn corun(
+        &self,
+        app: &TaskSpec,
+        app_core: CoreId,
+        load: &TaskSpec,
+        load_core: CoreId,
+    ) -> Result<u64, SimError> {
+        let mut out = self.run_batch(std::slice::from_ref(&SimJob::Corun {
+            app: app.clone(),
+            app_core,
+            load: load.clone(),
+            load_core,
+        }))?;
+        Ok(out.remove(0).into_observed())
+    }
+
+    /// Number of isolation profiles currently memoized.
+    pub fn cached_profiles(&self) -> usize {
+        self.cache.lock().expect("memo cache poisoned").len()
+    }
+
+    /// Drops every memoized profile (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("memo cache poisoned").clear();
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            jobs: self.jobs,
+            simulations_run: self.runs.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc27x_sim::DeploymentScenario;
+    use workloads::{contender, control_loop, LoadLevel};
+
+    fn app() -> TaskSpec {
+        control_loop(DeploymentScenario::Scenario1, CoreId(1), 42)
+    }
+
+    fn load(level: LoadLevel) -> TaskSpec {
+        contender(DeploymentScenario::Scenario1, level, CoreId(2), 7)
+    }
+
+    #[test]
+    fn memoized_profile_equals_fresh_profile() {
+        let engine = ExecEngine::new(2);
+        let fresh = isolation_profile(&app(), CoreId(1)).unwrap();
+        let first = engine.isolation(&app(), CoreId(1)).unwrap();
+        let second = engine.isolation(&app(), CoreId(1)).unwrap();
+        assert_eq!(first.counters(), fresh.counters());
+        assert_eq!(second.counters(), fresh.counters());
+        assert_eq!(first.ptac(), second.ptac());
+        let r = engine.report();
+        assert_eq!(r.cache_hits, 1);
+        assert_eq!(r.cache_misses, 1);
+        assert_eq!(r.simulations_run, 1);
+        assert_eq!(engine.cached_profiles(), 1);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_spec_core_and_seed() {
+        let a = app();
+        let mut reseeded = a.clone();
+        reseeded.seed ^= 1;
+        let base = ExecEngine::fingerprint(&a, CoreId(1));
+        assert_eq!(base, ExecEngine::fingerprint(&a.clone(), CoreId(1)));
+        assert_ne!(base, ExecEngine::fingerprint(&a, CoreId(2)));
+        assert_ne!(base, ExecEngine::fingerprint(&reseeded, CoreId(1)));
+    }
+
+    #[test]
+    fn batch_outcomes_are_worker_count_invariant() {
+        let mk_batch = || -> Vec<SimJob> {
+            let mut b = Vec::new();
+            for level in LoadLevel::all() {
+                b.push(SimJob::Isolation {
+                    spec: load(level),
+                    core: CoreId(2),
+                });
+                b.push(SimJob::Corun {
+                    app: app(),
+                    app_core: CoreId(1),
+                    load: load(level),
+                    load_core: CoreId(2),
+                });
+            }
+            b
+        };
+        let reference: Vec<u64> = ExecEngine::sequential()
+            .run_batch(&mk_batch())
+            .unwrap()
+            .into_iter()
+            .map(|o| match o {
+                SimOutcome::Isolation(p) => p.counters().ccnt,
+                SimOutcome::Corun(c) => c,
+            })
+            .collect();
+        for jobs in [2, 4] {
+            let got: Vec<u64> = ExecEngine::new(jobs)
+                .run_batch(&mk_batch())
+                .unwrap()
+                .into_iter()
+                .map(|o| match o {
+                    SimOutcome::Isolation(p) => p.counters().ccnt,
+                    SimOutcome::Corun(c) => c,
+                })
+                .collect();
+            assert_eq!(got, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn in_batch_duplicates_simulate_once() {
+        let engine = ExecEngine::new(4);
+        let batch = vec![
+            SimJob::Isolation {
+                spec: app(),
+                core: CoreId(1),
+            };
+            5
+        ];
+        let out = engine.run_batch(&batch).unwrap();
+        assert_eq!(out.len(), 5);
+        let ccnt = out[0].clone().into_profile().counters().ccnt;
+        for o in &out {
+            assert_eq!(o.clone().into_profile().counters().ccnt, ccnt);
+        }
+        let r = engine.report();
+        assert_eq!(r.simulations_run, 1);
+        assert_eq!(r.cache_hits, 4);
+    }
+
+    #[test]
+    fn first_error_by_index_wins() {
+        // An unlinkable spec: references an object that does not exist.
+        let broken = TaskSpec::new(
+            "broken",
+            tc27x_sim::Program::build(|b| {
+                b.load("missing", tc27x_sim::Pattern::Sequential);
+            }),
+            tc27x_sim::Placement::new(tc27x_sim::Region::Pflash0, true),
+        );
+        let engine = ExecEngine::new(4);
+        let batch = vec![
+            SimJob::Isolation {
+                spec: broken.clone(),
+                core: CoreId(1),
+            },
+            SimJob::Isolation {
+                spec: app(),
+                core: CoreId(1),
+            },
+        ];
+        let seq_err = ExecEngine::sequential()
+            .run_batch(&batch)
+            .unwrap_err()
+            .to_string();
+        let par_err = engine.run_batch(&batch).unwrap_err().to_string();
+        assert_eq!(seq_err, par_err);
+    }
+
+    #[test]
+    fn report_rates_are_consistent() {
+        let engine = ExecEngine::new(2);
+        engine.isolation(&app(), CoreId(1)).unwrap();
+        engine.isolation(&app(), CoreId(1)).unwrap();
+        let r = engine.report();
+        assert!((r.hit_rate() - 0.5).abs() < 1e-9);
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.runs_per_sec() > 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"jobs\": 2"));
+        assert!(json.contains("\"cache_hit_rate\": 0.5000"));
+    }
+}

@@ -1,7 +1,7 @@
 //! The paper's evaluation protocol (§4.2): profile in isolation, feed
 //! the models, validate against co-run observations.
 
-use crate::runner::{isolation_profile, observed_corun};
+use crate::exec::{ExecEngine, SimJob};
 use contention::{
     ContentionModel, FtcModel, IdealModel, IlpPtacModel, IsolationProfile, ModelError, Platform,
     ScenarioConstraints, WcetEstimate,
@@ -109,7 +109,8 @@ impl Figure4Panel {
 }
 
 /// Runs the Figure 4 experiment for one scenario: app on core 1,
-/// contender on core 2 (the paper's placement).
+/// contender on core 2 (the paper's placement). Executes sequentially;
+/// use [`figure4_panel_with`] to share an [`ExecEngine`].
 ///
 /// # Errors
 ///
@@ -119,9 +120,45 @@ pub fn figure4_panel(
     platform: &Platform,
     seed: u64,
 ) -> Result<Figure4Panel, ExperimentError> {
+    figure4_panel_with(&ExecEngine::sequential(), scenario, platform, seed)
+}
+
+/// [`figure4_panel`] on a caller-supplied engine: all seven simulations
+/// of a panel (one app isolation, three contender isolations, three
+/// co-runs) are submitted as one batch, so they spread across the
+/// engine's workers and repeated profiles come from the memo cache.
+///
+/// # Errors
+///
+/// Propagates simulation and model errors.
+pub fn figure4_panel_with(
+    engine: &ExecEngine,
+    scenario: DeploymentScenario,
+    platform: &Platform,
+    seed: u64,
+) -> Result<Figure4Panel, ExperimentError> {
     let (app_core, load_core) = (CoreId(1), CoreId(2));
     let app_spec = control_loop(scenario, app_core, seed);
-    let app = isolation_profile(&app_spec, app_core)?;
+
+    let mut batch = vec![SimJob::Isolation {
+        spec: app_spec.clone(),
+        core: app_core,
+    }];
+    for level in LoadLevel::all() {
+        let load_spec = contender(scenario, level, load_core, seed.wrapping_add(level as u64));
+        batch.push(SimJob::Isolation {
+            spec: load_spec.clone(),
+            core: load_core,
+        });
+        batch.push(SimJob::Corun {
+            app: app_spec.clone(),
+            app_core,
+            load: load_spec,
+            load_core,
+        });
+    }
+    let mut outcomes = engine.run_batch(&batch)?.into_iter();
+    let app = outcomes.next().expect("app profile").into_profile();
 
     let ftc_model = match scenario {
         DeploymentScenario::Scenario2 => FtcModel::new(platform).assume_dirty_lmu(),
@@ -132,9 +169,8 @@ pub fn figure4_panel(
 
     let mut cells = Vec::new();
     for level in LoadLevel::all() {
-        let load_spec = contender(scenario, level, load_core, seed.wrapping_add(level as u64));
-        let load = isolation_profile(&load_spec, load_core)?;
-        let observed = observed_corun(&app_spec, app_core, &load_spec, load_core)?;
+        let load = outcomes.next().expect("contender profile").into_profile();
+        let observed = outcomes.next().expect("co-run observation").into_observed();
         cells.push(Figure4Cell {
             level,
             ftc: ftc_model.wcet_estimate(&app, &[&load])?,
@@ -163,6 +199,8 @@ pub struct Table6Block {
 }
 
 /// Regenerates the Table 6 counter readings for one scenario.
+/// Executes sequentially; use [`table6_block_with`] to share an
+/// [`ExecEngine`].
 ///
 /// # Errors
 ///
@@ -171,13 +209,36 @@ pub fn table6_block(
     scenario: DeploymentScenario,
     seed: u64,
 ) -> Result<Table6Block, ExperimentError> {
+    table6_block_with(&ExecEngine::sequential(), scenario, seed)
+}
+
+/// [`table6_block`] on a caller-supplied engine: both isolation runs go
+/// out as one batch.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn table6_block_with(
+    engine: &ExecEngine,
+    scenario: DeploymentScenario,
+    seed: u64,
+) -> Result<Table6Block, ExperimentError> {
     let (c1, c2) = (CoreId(1), CoreId(2));
-    let app = isolation_profile(&control_loop(scenario, c1, seed), c1)?;
-    let load = isolation_profile(&contender(scenario, LoadLevel::High, c2, seed ^ 0xbeef), c2)?;
+    let batch = [
+        SimJob::Isolation {
+            spec: control_loop(scenario, c1, seed),
+            core: c1,
+        },
+        SimJob::Isolation {
+            spec: contender(scenario, LoadLevel::High, c2, seed ^ 0xbeef),
+            core: c2,
+        },
+    ];
+    let mut outcomes = engine.run_batch(&batch)?.into_iter();
     Ok(Table6Block {
         scenario,
-        core1: app,
-        core2: load,
+        core1: outcomes.next().expect("app profile").into_profile(),
+        core2: outcomes.next().expect("contender profile").into_profile(),
     })
 }
 
@@ -206,9 +267,17 @@ mod tests {
         // Ratios land in the paper's bands (±0.12).
         let h = &panel.cells[2];
         assert!((h.ftc.ratio() - 1.95).abs() < 0.12, "fTC {}", h.ftc.ratio());
-        assert!((h.ilp.ratio() - 1.49).abs() < 0.12, "ILP-H {}", h.ilp.ratio());
+        assert!(
+            (h.ilp.ratio() - 1.49).abs() < 0.12,
+            "ILP-H {}",
+            h.ilp.ratio()
+        );
         let l = &panel.cells[0];
-        assert!((l.ilp.ratio() - 1.24).abs() < 0.12, "ILP-L {}", l.ilp.ratio());
+        assert!(
+            (l.ilp.ratio() - 1.24).abs() < 0.12,
+            "ILP-L {}",
+            l.ilp.ratio()
+        );
     }
 
     #[test]
@@ -219,8 +288,16 @@ mod tests {
         let h = &panel.cells[2];
         let l = &panel.cells[0];
         assert!((h.ftc.ratio() - 2.33).abs() < 0.2, "fTC {}", h.ftc.ratio());
-        assert!((h.ilp.ratio() - 1.67).abs() < 0.15, "ILP-H {}", h.ilp.ratio());
-        assert!((l.ilp.ratio() - 1.34).abs() < 0.15, "ILP-L {}", l.ilp.ratio());
+        assert!(
+            (h.ilp.ratio() - 1.67).abs() < 0.15,
+            "ILP-H {}",
+            h.ilp.ratio()
+        );
+        assert!(
+            (l.ilp.ratio() - 1.34).abs() < 0.15,
+            "ILP-L {}",
+            l.ilp.ratio()
+        );
         for c in &panel.cells {
             assert!(c.ilp.contention_cycles * 20 < c.ftc.contention_cycles * 11);
         }
@@ -249,9 +326,32 @@ mod tests {
         assert!(sc2.core1.counters().dcache_miss_clean > 0);
         assert_eq!(sc2.core1.counters().dcache_miss_dirty, 0);
         // Contender traffic roughly half the app's (Table 6 proportions).
-        let r = sc1.core2.counters().pcache_miss as f64
-            / sc1.core1.counters().pcache_miss as f64;
+        let r = sc1.core2.counters().pcache_miss as f64 / sc1.core1.counters().pcache_miss as f64;
         assert!((0.3..=1.1).contains(&r), "PM ratio {r:.2}");
+    }
+
+    #[test]
+    fn panel_is_worker_count_invariant() {
+        let platform = Platform::tc277_reference();
+        let seq = figure4_panel(DeploymentScenario::Scenario1, &platform, 42).unwrap();
+        let engine = ExecEngine::new(4);
+        let par =
+            figure4_panel_with(&engine, DeploymentScenario::Scenario1, &platform, 42).unwrap();
+        assert_eq!(seq.app.counters(), par.app.counters());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.observed_cycles, b.observed_cycles);
+            assert_eq!(a.ftc, b.ftc);
+            assert_eq!(a.ilp, b.ilp);
+            assert_eq!(a.ideal, b.ideal);
+        }
+        // Re-running the panel on the same engine reuses all four
+        // isolation profiles from the memo cache.
+        let before = engine.report();
+        figure4_panel_with(&engine, DeploymentScenario::Scenario1, &platform, 42).unwrap();
+        let after = engine.report();
+        assert_eq!(after.cache_hits, before.cache_hits + 4);
+        assert_eq!(after.cache_misses, before.cache_misses);
     }
 
     #[test]

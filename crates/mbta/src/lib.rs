@@ -10,6 +10,9 @@
 //! * [`figure4_panel`] / [`table6_block`] — the §4.2 evaluation
 //!   protocol: profile app and contenders in isolation, feed the
 //!   models, validate against co-run observations;
+//! * [`ExecEngine`] — the parallel experiment engine: batches of
+//!   simulation jobs on a deterministic thread pool with memoized
+//!   isolation profiles (results are bit-identical for any `--jobs`);
 //! * [`report`] — plain-text tables for the experiment binaries.
 //!
 //! # Examples
@@ -36,16 +39,19 @@
 #![warn(missing_docs)]
 
 mod calibration;
+mod exec;
 mod experiment;
+mod pool;
 pub mod report;
 mod runner;
 
-pub use calibration::{calibrate, Calibration};
+pub use calibration::{calibrate, calibrate_with, Calibration};
+pub use exec::{EngineReport, ExecEngine, SimJob, SimOutcome};
 pub use experiment::{
-    constraints_for, figure4_panel, table6_block, ExperimentError, Figure4Cell, Figure4Panel,
-    Table6Block,
+    constraints_for, figure4_panel, figure4_panel_with, table6_block, table6_block_with,
+    ExperimentError, Figure4Cell, Figure4Panel, Table6Block,
 };
 pub use runner::{
-    hwm_campaign, isolation_profile, observed_corun, to_model_counters, to_model_counts,
-    HwmMeasurement,
+    hwm_campaign, hwm_campaign_with, isolation_profile, observed_corun, to_model_counters,
+    to_model_counts, HwmMeasurement,
 };

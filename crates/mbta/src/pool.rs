@@ -1,0 +1,87 @@
+//! A deterministic scoped thread pool for simulation jobs.
+//!
+//! Workers pull job indices from a shared atomic counter and write each
+//! result into the slot matching its job index, so the returned vector
+//! is ordered by submission regardless of worker count or scheduling —
+//! the property the engine's byte-identical-output guarantee rests on.
+//! `std::thread::scope` keeps everything borrow-based: no `'static`
+//! bounds, no channels, no external crates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over every job, on up to `workers` threads, returning the
+/// results in job order.
+///
+/// With `workers <= 1` (or a single job) everything runs inline on the
+/// caller's thread — the path the determinism tests compare against.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller once all workers have
+/// stopped (standard `thread::scope` behaviour).
+pub(crate) fn run_indexed<J, T, F>(jobs: &[J], workers: usize, f: F) -> Vec<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(usize, &J) -> T + Sync,
+{
+    let workers = workers.max(1).min(jobs.len().max(1));
+    if workers == 1 {
+        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let out = f(i, &jobs[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..57).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = run_indexed(&jobs, workers, |_, j| j * j);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn index_matches_job() {
+        let jobs: Vec<usize> = (0..20).collect();
+        let got = run_indexed(&jobs, 4, |i, j| (i, *j));
+        for (i, (idx, j)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*j, i);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let got: Vec<u32> = run_indexed(&[] as &[u32], 4, |_, j| *j);
+        assert!(got.is_empty());
+    }
+}

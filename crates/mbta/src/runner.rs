@@ -86,7 +86,9 @@ impl HwmMeasurement {
 }
 
 /// Runs the MBTA campaign for `spec`: `runs` isolation runs with seeds
-/// `seed₀ … seed₀+runs-1`, envelope over counters.
+/// `seed₀ … seed₀+runs-1`, envelope over counters. Executes
+/// sequentially; use [`hwm_campaign_with`] to share an
+/// [`crate::ExecEngine`].
 ///
 /// # Errors
 ///
@@ -95,29 +97,49 @@ impl HwmMeasurement {
 /// # Panics
 ///
 /// Panics if `runs == 0`.
-pub fn hwm_campaign(
+pub fn hwm_campaign(spec: &TaskSpec, core: CoreId, runs: u32) -> Result<HwmMeasurement, SimError> {
+    hwm_campaign_with(&crate::ExecEngine::sequential(), spec, core, runs)
+}
+
+/// [`hwm_campaign`] on a caller-supplied engine: the seed-varied runs
+/// are independent, so they go out as one batch and spread across the
+/// engine's workers. The envelope fold runs on the index-ordered
+/// results, so it is identical for any worker count.
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn hwm_campaign_with(
+    engine: &crate::ExecEngine,
     spec: &TaskSpec,
     core: CoreId,
     runs: u32,
 ) -> Result<HwmMeasurement, SimError> {
     assert!(runs > 0, "a campaign needs at least one run");
+    let batch: Vec<crate::SimJob> = (0..runs)
+        .map(|r| {
+            let mut varied = spec.clone();
+            varied.seed = spec.seed.wrapping_add(r as u64);
+            crate::SimJob::Isolation { spec: varied, core }
+        })
+        .collect();
     let mut envelope = contention::DebugCounters::default();
     let mut ptac = AccessCounts::new();
     let mut ccnts = Vec::with_capacity(runs as usize);
-    for r in 0..runs {
-        let mut varied = spec.clone();
-        varied.seed = spec.seed.wrapping_add(r as u64);
-        let mut sys = System::tc277();
-        sys.load(core, &varied)?;
-        let out = sys.run()?;
-        let c = to_model_counters(out.counters(core));
+    for outcome in engine.run_batch(&batch)? {
+        let p = outcome.into_profile();
+        let c = *p.counters();
         envelope.ccnt = envelope.ccnt.max(c.ccnt);
         envelope.pmem_stall = envelope.pmem_stall.max(c.pmem_stall);
         envelope.dmem_stall = envelope.dmem_stall.max(c.dmem_stall);
         envelope.pcache_miss = envelope.pcache_miss.max(c.pcache_miss);
         envelope.dcache_miss_clean = envelope.dcache_miss_clean.max(c.dcache_miss_clean);
         envelope.dcache_miss_dirty = envelope.dcache_miss_dirty.max(c.dcache_miss_dirty);
-        let g = to_model_counts(out.ground_truth(core));
+        let g = p.ptac().expect("isolation profiles carry ground truth");
         ptac = AccessCounts::from_fn(|t, o| ptac.get(t, o).max(g.get(t, o)));
         ccnts.push(c.ccnt);
     }
@@ -175,6 +197,17 @@ mod tests {
     }
 
     #[test]
+    fn hwm_campaign_is_worker_count_invariant() {
+        let core = CoreId(1);
+        let app = control_loop(DeploymentScenario::Scenario1, core, 10);
+        let seq = hwm_campaign(&app, core, 4).unwrap();
+        let par = hwm_campaign_with(&crate::ExecEngine::new(4), &app, core, 4).unwrap();
+        assert_eq!(seq.ccnt_per_run, par.ccnt_per_run);
+        assert_eq!(seq.profile.counters(), par.profile.counters());
+        assert_eq!(seq.profile.ptac(), par.profile.ptac());
+    }
+
+    #[test]
     fn corun_is_slower_than_isolation() {
         let (a, b) = (CoreId(1), CoreId(2));
         let app = control_loop(DeploymentScenario::Scenario1, a, 42);
@@ -196,8 +229,14 @@ mod tests {
         };
         let m = to_model_counters(c);
         assert_eq!(
-            (m.ccnt, m.pmem_stall, m.dmem_stall, m.pcache_miss,
-             m.dcache_miss_clean, m.dcache_miss_dirty),
+            (
+                m.ccnt,
+                m.pmem_stall,
+                m.dmem_stall,
+                m.pcache_miss,
+                m.dcache_miss_clean,
+                m.dcache_miss_dirty
+            ),
             (1, 2, 3, 4, 5, 6)
         );
     }

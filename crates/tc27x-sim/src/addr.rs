@@ -165,7 +165,12 @@ impl SriTarget {
 
     /// All targets in a fixed order (pf0, pf1, dfl, lmu).
     pub fn all() -> [SriTarget; Self::COUNT] {
-        [SriTarget::Pf0, SriTarget::Pf1, SriTarget::Dfl, SriTarget::Lmu]
+        [
+            SriTarget::Pf0,
+            SriTarget::Pf1,
+            SriTarget::Dfl,
+            SriTarget::Lmu,
+        ]
     }
 
     /// Index usable for array addressing.
@@ -233,8 +238,16 @@ impl MemMap {
     pub fn tc277() -> Self {
         let mut entries = Vec::new();
         for c in CoreId::all() {
-            let pspr_size = if c.is_efficiency() { 24 << 10 } else { 32 << 10 };
-            let dspr_size = if c.is_efficiency() { 112 << 10 } else { 120 << 10 };
+            let pspr_size = if c.is_efficiency() {
+                24 << 10
+            } else {
+                32 << 10
+            };
+            let dspr_size = if c.is_efficiency() {
+                112 << 10
+            } else {
+                120 << 10
+            };
             entries.push(MapEntry {
                 region: Region::Pspr(c),
                 base: 0x1000_0000 + (c.0 as u32) * 0x0010_0000,
@@ -337,11 +350,7 @@ mod tests {
     #[test]
     fn decode_roundtrips_all_views() {
         let map = MemMap::tc277();
-        for region in [
-            Region::Pflash0,
-            Region::Pflash1,
-            Region::Lmu,
-        ] {
+        for region in [Region::Pflash0, Region::Pflash1, Region::Lmu] {
             for cacheable in [true, false] {
                 let base = map.region_base(region, cacheable);
                 let loc = map.decode(base.offset(64)).unwrap();

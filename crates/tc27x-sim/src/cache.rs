@@ -165,8 +165,7 @@ impl Cache {
             .iter_mut()
             .min_by_key(|w| if w.valid { (1, w.lru) } else { (0, 0) })
             .expect("sets are never empty");
-        let evicted_dirty = (victim.valid && victim.dirty)
-            .then(|| victim.tag * sets + set as u32);
+        let evicted_dirty = (victim.valid && victim.dirty).then(|| victim.tag * sets + set as u32);
         victim.tag = tag;
         victim.valid = true;
         victim.dirty = write;
@@ -218,7 +217,12 @@ mod tests {
     fn basic_hit_miss() {
         let mut c = Cache::new(CacheGeometry::new(64, 1)); // 2 sets, direct-mapped
         let a = line_of(0);
-        assert_eq!(c.access(a, false), Lookup::Miss { evicted_dirty: None });
+        assert_eq!(
+            c.access(a, false),
+            Lookup::Miss {
+                evicted_dirty: None
+            }
+        );
         assert_eq!(c.access(a, false), Lookup::Hit);
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
@@ -231,7 +235,12 @@ mod tests {
         let b = 2u32; // set 0 too (2 % 2 == 0)
         c.access(a, false);
         c.access(b, false); // evicts a (clean)
-        assert_eq!(c.access(a, false), Lookup::Miss { evicted_dirty: None });
+        assert_eq!(
+            c.access(a, false),
+            Lookup::Miss {
+                evicted_dirty: None
+            }
+        );
     }
 
     #[test]

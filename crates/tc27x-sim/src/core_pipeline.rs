@@ -26,10 +26,9 @@ use crate::counters::{DebugCounters, GroundTruth};
 use crate::layout::AccessClass;
 use crate::linker::{InstrKind, TaskImage};
 use crate::program::Pattern;
+use crate::rng::SplitMix64;
 use crate::sri::{Grant, Sri, SriRequest};
 use crate::trace::{Trace, TraceKind};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// One SRI operation of a (possibly multi-part) memory transaction, e.g.
@@ -93,7 +92,7 @@ pub struct CorePipeline {
     loop_counters: Vec<u32>,
     /// Per-instruction data-pattern cursors (byte offsets).
     cursors: Vec<u32>,
-    rng: SmallRng,
+    rng: SplitMix64,
     /// Line currently held by the fetch buffer.
     fetched_line: Option<u32>,
     /// Last line read over the SRI per target — the PMU prefetch
@@ -126,7 +125,7 @@ impl CorePipeline {
             activation: 0,
             loop_counters: vec![0; n],
             cursors: vec![0; n],
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             fetched_line: None,
             last_sri_line: [None; SriTarget::COUNT],
             state: if n == 0 { State::Done } else { State::Ready },
@@ -217,7 +216,11 @@ impl CorePipeline {
                     self.process(now, sri, config, map);
                 }
             }
-            State::PostNext { at, mut rest, after } => {
+            State::PostNext {
+                at,
+                mut rest,
+                after,
+            } => {
                 self.counters.ccnt += 1;
                 if now < at {
                     self.state = State::PostNext { at, rest, after };
@@ -367,7 +370,8 @@ impl CorePipeline {
                     }
                     Lookup::Miss { .. } => {
                         self.counters.pcache_miss += 1;
-                        self.trace.record(now, self.id, TraceKind::IcacheMiss { line });
+                        self.trace
+                            .record(now, self.id, TraceKind::IcacheMiss { line });
                         self.start_code_fetch(now, sri, config, instr.region, line);
                         return;
                     }
@@ -461,7 +465,7 @@ impl CorePipeline {
             }
             Pattern::Random => {
                 let words = (size / 4).max(1);
-                self.rng.gen_range(0..words) * 4
+                self.rng.below_u32(words) * 4
             }
             Pattern::Fixed(o) => o % size,
         }

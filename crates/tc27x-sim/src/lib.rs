@@ -62,6 +62,7 @@ pub mod counters;
 pub mod layout;
 pub mod linker;
 pub mod program;
+pub mod rng;
 pub mod sri;
 pub mod system;
 pub mod trace;
@@ -74,8 +75,8 @@ pub use layout::{
 };
 pub use linker::{Linker, TaskImage};
 pub use program::{Op, Pattern, Program, ProgramBuilder};
-pub use trace::{Trace, TraceKind, TraceRecord};
 pub use system::{RunOutcome, SimError, System};
+pub use trace::{Trace, TraceKind, TraceRecord};
 
 #[cfg(test)]
 mod tests {

@@ -372,9 +372,8 @@ mod tests {
 
     #[test]
     fn two_tasks_share_a_region_without_overlap() {
-        let mk = |name: &str| {
-            TaskSpec::empty(name).with_object(DataObject::new("x", 100, lmu_nc()))
-        };
+        let mk =
+            |name: &str| TaskSpec::empty(name).with_object(DataObject::new("x", 100, lmu_nc()));
         let mut linker = Linker::new(MemMap::tc277());
         let i1 = linker.link(CoreId(1), &mk("t1")).unwrap();
         let i2 = linker.link(CoreId(2), &mk("t2")).unwrap();

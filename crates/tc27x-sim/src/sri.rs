@@ -155,7 +155,9 @@ impl Sri {
                         .position(|p| p.core.index() == c)
                         .map(|pos| (c, pos))
                 });
-            let Some((core_idx, pos)) = pick else { continue };
+            let Some((core_idx, pos)) = pick else {
+                continue;
+            };
             let p = slave.queue.remove(pos);
             slave.last_grant = core_idx;
             slave.busy_until = now + p.service as u64;
@@ -320,7 +322,10 @@ mod tests {
         // Core 2 gets through only while core 1's repost arrives at the
         // same cycle the slave frees (never strictly first): with this
         // repost pattern core 1 must win at least 7 of 8 grants.
-        assert!(wins[1] >= 7, "high priority starves the low class: {wins:?}");
+        assert!(
+            wins[1] >= 7,
+            "high priority starves the low class: {wins:?}"
+        );
     }
 
     #[test]

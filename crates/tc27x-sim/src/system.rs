@@ -86,8 +86,7 @@ impl RunOutcome {
     ///
     /// Panics if no task was loaded on `core`.
     pub fn result(&self, core: CoreId) -> CoreResult {
-        self.per_core[core.index()]
-            .unwrap_or_else(|| panic!("no task was loaded on {core}"))
+        self.per_core[core.index()].unwrap_or_else(|| panic!("no task was loaded on {core}"))
     }
 
     /// Execution time (CCNT) of a core's task.
@@ -323,8 +322,11 @@ mod tests {
                 }
             });
         });
-        TaskSpec::new("probe", prog, Placement::pspr(CoreId(1)))
-            .with_object(DataObject::new("obj", 8 << 10, lmu_nc()))
+        TaskSpec::new("probe", prog, Placement::pspr(CoreId(1))).with_object(DataObject::new(
+            "obj",
+            8 << 10,
+            lmu_nc(),
+        ))
     }
 
     #[test]
@@ -355,7 +357,13 @@ mod tests {
         assert_eq!(c.pmem_stall, 0, "PSPR code causes no PMI stalls");
         assert_eq!(c.pcache_miss, 0);
         let g = out.ground_truth(CoreId(1));
-        assert_eq!(g.accesses(crate::addr::SriTarget::Lmu, crate::layout::AccessClass::Data), 50);
+        assert_eq!(
+            g.accesses(
+                crate::addr::SriTarget::Lmu,
+                crate::layout::AccessClass::Data
+            ),
+            50
+        );
     }
 
     #[test]
@@ -376,8 +384,11 @@ mod tests {
                     b.load("obj", Pattern::Sequential);
                 });
             });
-            TaskSpec::new("hammer", prog, Placement::pspr(core))
-                .with_object(DataObject::new("obj", 4 << 10, lmu_nc()))
+            TaskSpec::new("hammer", prog, Placement::pspr(core)).with_object(DataObject::new(
+                "obj",
+                4 << 10,
+                lmu_nc(),
+            ))
         };
         // Isolation.
         let mut iso = System::tc277();
@@ -407,8 +418,11 @@ mod tests {
                     b.load("obj", Pattern::Sequential);
                 });
             });
-            TaskSpec::new("t", prog, code(core))
-                .with_object(DataObject::new("obj", 4 << 10, obj_place))
+            TaskSpec::new("t", prog, code(core)).with_object(DataObject::new(
+                "obj",
+                4 << 10,
+                obj_place,
+            ))
         };
         let mut iso = System::tc277();
         iso.load(CoreId(1), &mk(CoreId(1), lmu_nc())).unwrap();
@@ -439,8 +453,11 @@ mod tests {
                     b.load("obj", Pattern::Sequential);
                 });
             });
-            TaskSpec::new("hammer", prog, Placement::pspr(core))
-                .with_object(DataObject::new("obj", 4 << 10, lmu_nc()))
+            TaskSpec::new("hammer", prog, Placement::pspr(core)).with_object(DataObject::new(
+                "obj",
+                4 << 10,
+                lmu_nc(),
+            ))
         };
         let run = |priority: [u8; 3]| {
             let cfg = SimConfig::tc277_reference().with_master_priority(priority);
@@ -483,7 +500,9 @@ mod tests {
         let k = out.counters(CoreId(1));
         assert_eq!(stall_sum, k.pmem_stall + k.dmem_stall);
         assert_eq!(
-            trace.filter(|k| matches!(k, TraceKind::TaskComplete)).count(),
+            trace
+                .filter(|k| matches!(k, TraceKind::TaskComplete))
+                .count(),
             1
         );
     }
@@ -496,8 +515,11 @@ mod tests {
                     b.load("obj", Pattern::Sequential);
                 });
             });
-            TaskSpec::new("t", prog, Placement::pspr(core))
-                .with_object(DataObject::new("obj", 4 << 10, lmu_nc()))
+            TaskSpec::new("t", prog, Placement::pspr(core)).with_object(DataObject::new(
+                "obj",
+                4 << 10,
+                lmu_nc(),
+            ))
         };
         let cfg = SimConfig::tc277_reference().with_sri_quota(CoreId(2), 40);
         let mut sys = System::with_config(cfg);
@@ -516,7 +538,11 @@ mod tests {
             s.run().unwrap().execution_time(CoreId(1))
         };
         let co = out.execution_time(CoreId(1));
-        assert!(co - iso <= 40 * 11, "delta {} exceeds the quota bound", co - iso);
+        assert!(
+            co - iso <= 40 * 11,
+            "delta {} exceeds the quota bound",
+            co - iso
+        );
     }
 
     #[test]
@@ -542,7 +568,8 @@ mod tests {
         let mut cfg = SimConfig::tc277_reference();
         cfg.max_cycles = 100;
         let mut sys = System::with_config(cfg);
-        sys.load(CoreId(1), &spec_with_lmu_loads(10_000, 0)).unwrap();
+        sys.load(CoreId(1), &spec_with_lmu_loads(10_000, 0))
+            .unwrap();
         assert!(matches!(
             sys.run(),
             Err(SimError::CycleLimit { limit: 100 })

@@ -210,8 +210,7 @@ mod tests {
         assert!(k.pcache_miss as f64 >= 0.9 * (2 * ITERS_PER_BANK * UNITS_PER_ITER) as f64);
         // Data: all non-cacheable LMU traffic, no d-cache misses. Memory
         // ops occur in 9 of every 13 units (387 per iteration).
-        let mem_per_iter =
-            (UNITS_PER_ITER / 13) * 9 + (UNITS_PER_ITER % 13).min(9);
+        let mem_per_iter = (UNITS_PER_ITER / 13) * 9 + (UNITS_PER_ITER % 13).min(9);
         assert_eq!(k.dcache_miss_total(), 0);
         assert_eq!(
             k.dmem_stall,
@@ -246,7 +245,10 @@ mod tests {
         // Data stalls are far smaller than code stalls (Table 6, Sc2).
         assert!(k.dmem_stall < k.pmem_stall / 5);
         use tc27x_sim::{AccessClass, SriTarget};
-        assert!(g.accesses(SriTarget::Pf0, AccessClass::Data) > 0, "constant data in pf0");
+        assert!(
+            g.accesses(SriTarget::Pf0, AccessClass::Data) > 0,
+            "constant data in pf0"
+        );
     }
 
     #[test]

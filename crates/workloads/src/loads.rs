@@ -140,30 +140,28 @@ pub fn contender(
     let pad = level.padding_cycles(scenario);
     let name = format!("{level}-{scenario}");
     match scenario {
-        DeploymentScenario::Scenario1 | DeploymentScenario::LowTraffic => {
-            TaskSpec::empty(name)
-                .with_segment(
-                    main_loop(iters, contender_unit_sc1),
-                    Placement::new(Region::Pflash0, true),
-                )
-                .with_segment(padding(pad), Placement::pspr(core))
-                .with_segment(
-                    main_loop(iters, contender_unit_sc1),
-                    Placement::new(Region::Pflash1, true),
-                )
-                .with_segment(padding(pad), Placement::pspr(core))
-                .with_object(DataObject::new(
-                    "in_buf",
-                    4 << 10,
-                    Placement::new(Region::Lmu, false),
-                ))
-                .with_object(DataObject::new(
-                    "out_buf",
-                    2 << 10,
-                    Placement::new(Region::Lmu, false),
-                ))
-                .with_seed(seed)
-        }
+        DeploymentScenario::Scenario1 | DeploymentScenario::LowTraffic => TaskSpec::empty(name)
+            .with_segment(
+                main_loop(iters, contender_unit_sc1),
+                Placement::new(Region::Pflash0, true),
+            )
+            .with_segment(padding(pad), Placement::pspr(core))
+            .with_segment(
+                main_loop(iters, contender_unit_sc1),
+                Placement::new(Region::Pflash1, true),
+            )
+            .with_segment(padding(pad), Placement::pspr(core))
+            .with_object(DataObject::new(
+                "in_buf",
+                4 << 10,
+                Placement::new(Region::Lmu, false),
+            ))
+            .with_object(DataObject::new(
+                "out_buf",
+                2 << 10,
+                Placement::new(Region::Lmu, false),
+            ))
+            .with_seed(seed),
         DeploymentScenario::Scenario2 => TaskSpec::empty(name)
             .with_segment(
                 main_loop(iters, contender_unit_sc2),

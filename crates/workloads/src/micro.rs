@@ -183,9 +183,16 @@ pub fn dirty_stores(core: CoreId, n: u32) -> TaskSpec {
             b.store("state", Pattern::Stride(32));
         });
     });
-    TaskSpec::new(format!("micro-dirty-stores-{n}"), prog, Placement::pspr(core)).with_object(
-        DataObject::new("state", 16 << 10, Placement::new(Region::Lmu, true)),
+    TaskSpec::new(
+        format!("micro-dirty-stores-{n}"),
+        prog,
+        Placement::pspr(core),
     )
+    .with_object(DataObject::new(
+        "state",
+        16 << 10,
+        Placement::new(Region::Lmu, true),
+    ))
 }
 
 /// A pure-compute task in the scratchpad: generates zero SRI traffic.

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{}", table.render());
         println!(
             "all bounds sound: {}\n",
-            if panel.all_bounds_sound() { "yes" } else { "NO" }
+            if panel.all_bounds_sound() {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 

@@ -17,12 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             b.store("shared", Pattern::Sequential);
         });
     });
-    let task = TaskSpec::new("probe", program, Placement::new(Region::Pflash0, true))
-        .with_object(DataObject::new(
-            "shared",
-            4 << 10,
-            Placement::new(Region::Lmu, false),
-        ));
+    let task = TaskSpec::new("probe", program, Placement::new(Region::Pflash0, true)).with_object(
+        DataObject::new("shared", 4 << 10, Placement::new(Region::Lmu, false)),
+    );
 
     // 2. A contender that also hammers the LMU from another core.
     let rival_prog = Program::build(|b| {
@@ -31,12 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             b.compute(3);
         });
     });
-    let rival = TaskSpec::new("rival", rival_prog, Placement::new(Region::Pflash1, true))
-        .with_object(DataObject::new(
-            "rival_buf",
-            4 << 10,
-            Placement::new(Region::Lmu, false),
-        ));
+    let rival =
+        TaskSpec::new("rival", rival_prog, Placement::new(Region::Pflash1, true)).with_object(
+            DataObject::new("rival_buf", 4 << 10, Placement::new(Region::Lmu, false)),
+        );
 
     // 3. Measure each in isolation on the simulated TC277 (this is all
     //    the information the models are allowed to use).

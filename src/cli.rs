@@ -9,10 +9,13 @@
 //! aurix-contention bound --scenario sc1 --level high [--model ilp|ftc|fsb]
 //! aurix-contention trace [--scenario sc1] [--limit 40]
 //! ```
+//!
+//! Every subcommand accepts a global `--jobs N` flag sizing the
+//! experiment engine's worker pool (default: the machine's available
+//! parallelism). Results are identical for any `N`.
 
-use contention::{
-    ContentionModel, FsbModel, FtcModel, IlpPtacModel, Platform, WcetEstimate,
-};
+use contention::{ContentionModel, FsbModel, FtcModel, IlpPtacModel, Platform, WcetEstimate};
+use mbta::ExecEngine;
 use tc27x_sim::{CoreId, DeploymentScenario, SimConfig, System};
 use workloads::LoadLevel;
 
@@ -120,6 +123,48 @@ fn take_option<'a>(args: &'a [String], key: &str) -> Result<Option<&'a str>, Par
     }
 }
 
+/// A fully parsed invocation: the subcommand plus the global options
+/// every subcommand shares.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invocation {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Worker count for the experiment engine (`--jobs N`).
+    pub jobs: usize,
+}
+
+/// Parses an argument vector (without the program name), extracting the
+/// global `--jobs N` flag before subcommand dispatch.
+///
+/// # Errors
+///
+/// [`ParseError`] on unknown subcommands, options or values.
+pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
+    let mut rest = args.to_vec();
+    let jobs = match rest.iter().position(|a| a == "--jobs") {
+        Some(pos) => {
+            let v = rest
+                .get(pos + 1)
+                .ok_or_else(|| ParseError("--jobs requires a value".into()))?;
+            let n = v
+                .parse::<usize>()
+                .map_err(|_| ParseError(format!("invalid --jobs `{v}`")))?;
+            if n == 0 {
+                return Err(ParseError("--jobs must be at least 1".into()));
+            }
+            rest.drain(pos..pos + 2);
+            n
+        }
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+    Ok(Invocation {
+        command: parse(&rest)?,
+        jobs,
+    })
+}
+
 /// Parses an argument vector (without the program name).
 ///
 /// # Errors
@@ -202,26 +247,57 @@ SUBCOMMANDS:
     profile  [--scenario S] [--level L]
                                     emit an isolation-profile CSV record
     help                            this text
+
+GLOBAL OPTIONS:
+    --jobs N                        worker threads for the experiment engine
+                                    (default: available parallelism; results
+                                    are identical for any N)
 ";
 
-/// Executes a parsed command, writing human-readable output to stdout.
+/// Executes a parsed invocation: builds the experiment engine from the
+/// global options and runs the subcommand on it.
+///
+/// # Errors
+///
+/// Propagates simulation/model errors as boxed errors.
+pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>> {
+    run_with(&ExecEngine::new(inv.jobs), inv.command)
+}
+
+/// Executes a parsed command on a default (available-parallelism)
+/// engine. Kept as the simple entry point; [`run_invocation`] honours
+/// `--jobs`.
 ///
 /// # Errors
 ///
 /// Propagates simulation/model errors as boxed errors.
 pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    run_with(&ExecEngine::with_available_parallelism(), cmd)
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+/// All simulations go through `engine`, so repeated profiles are served
+/// from its memo cache and batches spread across its workers.
+///
+/// # Errors
+///
+/// Propagates simulation/model errors as boxed errors.
+pub fn run_with(engine: &ExecEngine, cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => {
             print!("{USAGE}");
             Ok(())
         }
         Command::Calibrate => {
-            let cal = mbta::calibrate()?;
+            let cal = mbta::calibrate_with(engine)?;
             let p = cal.into_platform();
             println!("calibrated Table 2 constants:");
             for (t, o, v) in cal.latency.iter() {
                 if p.paths().is_feasible(t, o) {
-                    println!("  l^{{{t},{o}}} = {v}  cs^{{{t},{o}}} = {}", cal.stall.get(t, o));
+                    println!(
+                        "  l^{{{t},{o}}} = {v}  cs^{{{t},{o}}} = {}",
+                        cal.stall.get(t, o)
+                    );
                 }
             }
             println!("  lmu dirty-miss latency = {}", cal.lmu_dirty_latency);
@@ -231,13 +307,10 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let platform = Platform::tc277_reference();
             let scenarios = match scenario {
                 Some(s) => vec![s],
-                None => vec![
-                    DeploymentScenario::Scenario1,
-                    DeploymentScenario::Scenario2,
-                ],
+                None => vec![DeploymentScenario::Scenario1, DeploymentScenario::Scenario2],
             };
             for s in scenarios {
-                let panel = mbta::figure4_panel(s, &platform, 42)?;
+                let panel = mbta::figure4_panel_with(engine, s, &platform, 42)?;
                 println!("{s}: isolation {} cycles", panel.app.counters().ccnt);
                 for cell in panel.cells.iter().rev() {
                     println!(
@@ -258,39 +331,28 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             model,
         } => {
             let platform = Platform::tc277_reference();
-            let app = mbta::isolation_profile(
-                &workloads::control_loop(scenario, CoreId(1), 42),
-                CoreId(1),
-            )?;
-            let load = mbta::isolation_profile(
+            let app =
+                engine.isolation(&workloads::control_loop(scenario, CoreId(1), 42), CoreId(1))?;
+            let load = engine.isolation(
                 &workloads::contender(scenario, level, CoreId(2), 7),
                 CoreId(2),
             )?;
             let est: WcetEstimate = match model {
-                ModelChoice::Ilp => {
-                    IlpPtacModel::new(&platform, mbta::constraints_for(scenario))
-                        .wcet_estimate(&app, &[&load])?
-                }
-                ModelChoice::Ftc => {
-                    FtcModel::new(&platform).wcet_estimate(&app, &[&load])?
-                }
-                ModelChoice::Fsb => {
-                    FsbModel::new(&platform).wcet_estimate(&app, &[&load])?
-                }
+                ModelChoice::Ilp => IlpPtacModel::new(&platform, mbta::constraints_for(scenario))
+                    .wcet_estimate(&app, &[&load])?,
+                ModelChoice::Ftc => FtcModel::new(&platform).wcet_estimate(&app, &[&load])?,
+                ModelChoice::Fsb => FsbModel::new(&platform).wcet_estimate(&app, &[&load])?,
             };
             println!("{est}");
             Ok(())
         }
         Command::Profile { scenario, level } => {
             let profile = match level {
-                None => mbta::isolation_profile(
-                    &workloads::control_loop(scenario, CoreId(1), 42),
-                    CoreId(1),
-                )?,
-                Some(l) => mbta::isolation_profile(
-                    &workloads::contender(scenario, l, CoreId(2), 7),
-                    CoreId(2),
-                )?,
+                None => engine
+                    .isolation(&workloads::control_loop(scenario, CoreId(1), 42), CoreId(1))?,
+                Some(l) => {
+                    engine.isolation(&workloads::contender(scenario, l, CoreId(2), 7), CoreId(2))?
+                }
             };
             println!("{}", profile.to_record());
             Ok(())
@@ -411,8 +473,43 @@ mod tests {
     }
 
     #[test]
+    fn parses_global_jobs_flag() {
+        let inv = parse_invocation(&argv("calibrate --jobs 4")).unwrap();
+        assert_eq!(inv.command, Command::Calibrate);
+        assert_eq!(inv.jobs, 4);
+        // Position-independent: before the subcommand or between options.
+        let inv = parse_invocation(&argv("--jobs 2 figure4 --scenario sc2")).unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Figure4 {
+                scenario: Some(DeploymentScenario::Scenario2)
+            }
+        );
+        assert_eq!(inv.jobs, 2);
+        let inv = parse_invocation(&argv("bound --scenario sc1 --jobs 8 --level high")).unwrap();
+        assert_eq!(inv.jobs, 8);
+        // Default: available parallelism, at least one worker.
+        let inv = parse_invocation(&argv("calibrate")).unwrap();
+        assert!(inv.jobs >= 1);
+    }
+
+    #[test]
+    fn rejects_bad_jobs_values() {
+        assert!(parse_invocation(&argv("calibrate --jobs")).is_err());
+        assert!(parse_invocation(&argv("calibrate --jobs 0")).is_err());
+        assert!(parse_invocation(&argv("calibrate --jobs many")).is_err());
+    }
+
+    #[test]
     fn usage_mentions_every_subcommand() {
-        for sub in ["calibrate", "figure4", "bound", "trace", "profile"] {
+        for sub in [
+            "calibrate",
+            "figure4",
+            "bound",
+            "trace",
+            "profile",
+            "--jobs",
+        ] {
             assert!(USAGE.contains(sub), "{sub}");
         }
     }

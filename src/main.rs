@@ -4,15 +4,15 @@ use aurix_contention::cli;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match cli::parse(&args) {
-        Ok(c) => c,
+    let inv = match cli::parse_invocation(&args) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{}", cli::USAGE);
             std::process::exit(2);
         }
     };
-    if let Err(e) = cli::run(cmd) {
+    if let Err(e) = cli::run_invocation(inv) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

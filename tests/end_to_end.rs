@@ -25,8 +25,8 @@ fn full_pipeline_with_calibrated_tables() {
     // Use the *calibrated* platform end to end, not the reference one:
     // this is exactly the paper's deployment story.
     let platform = mbta::calibrate().expect("calibration").into_platform();
-    let panel = mbta::figure4_panel(DeploymentScenario::Scenario1, &platform, 42)
-        .expect("figure 4 panel");
+    let panel =
+        mbta::figure4_panel(DeploymentScenario::Scenario1, &platform, 42).expect("figure 4 panel");
     assert!(panel.all_bounds_sound());
     // fTC stays load-invariant, ILP adapts.
     assert_eq!(
@@ -40,12 +40,8 @@ fn full_pipeline_with_calibrated_tables() {
 fn wcet_estimates_scale_with_isolation_time() {
     let platform = Platform::tc277_reference();
     let app_spec = workloads::control_loop(DeploymentScenario::Scenario1, CoreId(1), 42);
-    let load_spec = workloads::contender(
-        DeploymentScenario::Scenario1,
-        LoadLevel::High,
-        CoreId(2),
-        7,
-    );
+    let load_spec =
+        workloads::contender(DeploymentScenario::Scenario1, LoadLevel::High, CoreId(2), 7);
     let app = mbta::isolation_profile(&app_spec, CoreId(1)).unwrap();
     let load = mbta::isolation_profile(&load_spec, CoreId(2)).unwrap();
     let model = IlpPtacModel::new(&platform, ScenarioConstraints::scenario1());
@@ -84,7 +80,12 @@ fn table6_counter_identities() {
     for profile in [&block.core1, &block.core2] {
         let ptac = profile.ptac().expect("simulator attaches PTAC");
         let code_reqs = ptac.op_total(Operation::Code);
-        assert_eq!(profile.counters().pcache_miss, code_reqs, "{}", profile.name());
+        assert_eq!(
+            profile.counters().pcache_miss,
+            code_reqs,
+            "{}",
+            profile.name()
+        );
         // And data never touches the flash banks in scenario 1.
         assert_eq!(ptac.get(Target::Pf0, Operation::Data), 0);
         assert_eq!(ptac.get(Target::Pf1, Operation::Data), 0);
@@ -96,8 +97,7 @@ fn table6_counter_identities() {
 fn low_traffic_contention_is_about_ten_percent() {
     // §4.2 closing remark: realistic applications see ~10% bounds.
     let platform = Platform::tc277_reference();
-    let panel =
-        mbta::figure4_panel(DeploymentScenario::LowTraffic, &platform, 42).unwrap();
+    let panel = mbta::figure4_panel(DeploymentScenario::LowTraffic, &platform, 42).unwrap();
     let h = panel.cells.last().unwrap();
     let overhead = h.ilp.ratio() - 1.0;
     assert!(

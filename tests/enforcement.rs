@@ -2,8 +2,9 @@
 //! the combination that makes a pre-computed, signature-based WCET bound
 //! hold even against a misbehaving co-runner.
 
-use contention::{ContenderSignature, ContentionModel, IlpPtacModel, Platform,
-                 ScenarioConstraints};
+use contention::{
+    ContenderSignature, ContentionModel, IlpPtacModel, Platform, ScenarioConstraints,
+};
 use tc27x_sim::{
     CoreId, DataObject, Pattern, Placement, Program, Region, SimConfig, System, TaskSpec,
 };
@@ -51,7 +52,9 @@ fn enforcement_restores_signature_soundness() {
         let mut sys = System::tc277();
         sys.load(victim_core, &victim).unwrap();
         sys.load(rogue_core, &rogue).unwrap();
-        sys.run_until(victim_core).unwrap().execution_time(victim_core)
+        sys.run_until(victim_core)
+            .unwrap()
+            .execution_time(victim_core)
     };
     assert!(
         unenforced > contract_bound,
@@ -64,7 +67,10 @@ fn enforcement_restores_signature_soundness() {
     sys.load(victim_core, &victim).unwrap();
     sys.load(rogue_core, &rogue).unwrap();
     let out = sys.run_until(victim_core).unwrap();
-    assert!(out.result(rogue_core).suspended, "the rogue must be cut off");
+    assert!(
+        out.result(rogue_core).suspended,
+        "the rogue must be cut off"
+    );
     let enforced = out.execution_time(victim_core);
     assert!(
         enforced <= contract_bound,

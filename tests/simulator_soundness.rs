@@ -3,9 +3,12 @@
 //! co-run execution time on the simulator. This exercises the entire
 //! stack — program builder, linker, caches, SRI arbitration, counters,
 //! access-count bounding and the ILP — against the ground truth.
+//!
+//! Workload shapes are drawn from the simulator's seeded
+//! [`SplitMix64`]; each case index is a deterministic reproducer.
 
 use contention::{ContentionModel, FtcModel, IlpPtacModel, Platform, ScenarioConstraints};
-use proptest::prelude::*;
+use tc27x_sim::rng::SplitMix64;
 use tc27x_sim::{CoreId, DataObject, Pattern, Placement, Program, Region, TaskSpec};
 
 /// A randomly shaped task: loops of loads/stores/computes over objects
@@ -22,31 +25,17 @@ struct RandTask {
     seed: u64,
 }
 
-fn rand_task() -> impl Strategy<Value = RandTask> {
-    (
-        0u8..3,          // code bank: pf0, pf1, lmu
-        proptest::bool::ANY,
-        0u8..3,          // object region: lmu n$, dfl n$, pf $ (reads only)
-        1u32..40,        // iters
-        0u32..12,        // loads per iter
-        0u32..6,         // stores per iter
-        0u32..30,        // compute cycles per iter
-        0u64..1000,
-    )
-        .prop_map(
-            |(code_bank, code_cacheable, obj_region, iters, loads, stores, compute, seed)| {
-                RandTask {
-                    code_bank,
-                    code_cacheable,
-                    obj_region,
-                    iters,
-                    loads,
-                    stores,
-                    compute,
-                    seed,
-                }
-            },
-        )
+fn rand_task(rng: &mut SplitMix64) -> RandTask {
+    RandTask {
+        code_bank: rng.below(3) as u8,
+        code_cacheable: rng.flip(),
+        obj_region: rng.below(3) as u8,
+        iters: 1 + rng.below_u32(39),
+        loads: rng.below_u32(12),
+        stores: rng.below_u32(6),
+        compute: rng.below_u32(30),
+        seed: rng.below(1000),
+    }
 }
 
 fn build_spec(t: &RandTask, name: &str) -> TaskSpec {
@@ -86,15 +75,16 @@ fn build_spec(t: &RandTask, name: &str) -> TaskSpec {
         .with_seed(t.seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// fTC and (unconstrained) ILP-PTAC bounds computed from isolation
-    /// profiles dominate the observed co-run time, whatever the
-    /// workloads look like.
-    #[test]
-    fn bounds_dominate_random_corun(a in rand_task(), b in rand_task()) {
-        let platform = Platform::tc277_reference();
+/// fTC and (unconstrained) ILP-PTAC bounds computed from isolation
+/// profiles dominate the observed co-run time, whatever the
+/// workloads look like.
+#[test]
+fn bounds_dominate_random_corun() {
+    let platform = Platform::tc277_reference();
+    for case in 0..20u64 {
+        let mut rng = SplitMix64::new(0xb0d0_0000 + case);
+        let a = rand_task(&mut rng);
+        let b = rand_task(&mut rng);
         let (ca, cb) = (CoreId(1), CoreId(2));
         let spec_a = build_spec(&a, "rand-a");
         let spec_b = build_spec(&b, "rand-b");
@@ -104,34 +94,48 @@ proptest! {
         let observed = mbta::observed_corun(&spec_a, ca, &spec_b, cb).unwrap();
 
         let ftc = FtcModel::new(&platform).wcet_estimate(&pa, &[&pb]).unwrap();
-        prop_assert!(
+        assert!(
             ftc.bound_cycles() >= observed,
-            "fTC bound {} < observed {} for {:?} vs {:?}",
-            ftc.bound_cycles(), observed, a, b
+            "case {case}: fTC bound {} < observed {} for {a:?} vs {b:?}",
+            ftc.bound_cycles(),
+            observed,
         );
 
         let ilp = IlpPtacModel::new(&platform, ScenarioConstraints::unconstrained())
-            .wcet_estimate(&pa, &[&pb]).unwrap();
-        prop_assert!(
+            .wcet_estimate(&pa, &[&pb])
+            .unwrap();
+        assert!(
             ilp.bound_cycles() >= observed,
-            "ILP bound {} < observed {} for {:?} vs {:?}",
-            ilp.bound_cycles(), observed, a, b
+            "case {case}: ILP bound {} < observed {} for {a:?} vs {b:?}",
+            ilp.bound_cycles(),
+            observed,
         );
-        prop_assert!(ilp.bound_cycles() <= ftc.bound_cycles());
+        assert!(ilp.bound_cycles() <= ftc.bound_cycles(), "case {case}");
     }
+}
 
-    /// Co-running never makes a task faster, and isolation is
-    /// deterministic.
-    #[test]
-    fn corun_never_speeds_up(a in rand_task(), b in rand_task()) {
+/// Co-running never makes a task faster, and isolation is
+/// deterministic.
+#[test]
+fn corun_never_speeds_up() {
+    for case in 0..20u64 {
+        let mut rng = SplitMix64::new(0xc0f0_0000 + case);
+        let a = rand_task(&mut rng);
+        let b = rand_task(&mut rng);
         let (ca, cb) = (CoreId(1), CoreId(2));
         let spec_a = build_spec(&a, "rand-a");
         let spec_b = build_spec(&b, "rand-b");
-        let iso1 = mbta::isolation_profile(&spec_a, ca).unwrap().counters().ccnt;
-        let iso2 = mbta::isolation_profile(&spec_a, ca).unwrap().counters().ccnt;
-        prop_assert_eq!(iso1, iso2, "isolation runs are deterministic");
+        let iso1 = mbta::isolation_profile(&spec_a, ca)
+            .unwrap()
+            .counters()
+            .ccnt;
+        let iso2 = mbta::isolation_profile(&spec_a, ca)
+            .unwrap()
+            .counters()
+            .ccnt;
+        assert_eq!(iso1, iso2, "case {case}: isolation runs are deterministic");
         let co = mbta::observed_corun(&spec_a, ca, &spec_b, cb).unwrap();
-        prop_assert!(co >= iso1);
+        assert!(co >= iso1, "case {case}");
     }
 }
 
@@ -146,12 +150,9 @@ fn worst_alignment_pair_is_still_bounded() {
                 b.load("obj", Pattern::Sequential);
             });
         });
-        TaskSpec::new("hammer", prog, Placement::new(Region::Pflash0, false))
-            .with_object(DataObject::new(
-                "obj",
-                2 << 10,
-                Placement::new(Region::Lmu, false),
-            ))
+        TaskSpec::new("hammer", prog, Placement::new(Region::Pflash0, false)).with_object(
+            DataObject::new("obj", 2 << 10, Placement::new(Region::Lmu, false)),
+        )
     };
     let (ca, cb) = (CoreId(1), CoreId(2));
     let (sa, sb) = (mk(ca), mk(cb));
