@@ -11,12 +11,28 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (warnings are errors)"
+# Library crates additionally carry
+#   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+# at their roots, so a stray unwrap()/expect() outside #[cfg(test)] code
+# fails this step.
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> unwrap/expect deny attribute present in every crate root"
+for root in src/lib.rs crates/*/src/lib.rs; do
+    grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$root" \
+        || { echo "missing unwrap/expect deny attribute: $root"; exit 1; }
+done
 
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
 echo "==> cargo test --offline"
 cargo test --workspace -q --offline
+
+echo "==> fault-injection property suite (1,000 seeded trials)"
+cargo test -q --offline -p mbta --test fault_injection
+
+echo "==> golden sweep regression (byte-identical CSV, fallback rates)"
+cargo test -q --offline -p contention-bench --test golden_sweep
 
 echo "==> CI gate passed"

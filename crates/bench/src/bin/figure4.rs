@@ -12,16 +12,21 @@
 //! scratchpad-dominant application whose contention bounds drop to the
 //! ~10% range the paper reports for real automotive use cases.
 //! `--jobs N` sizes the experiment engine (default: all cores); each
-//! panel's seven simulations run as one batch.
+//! panel's seven simulations run as one batch. Each panel also reports
+//! the fault-tolerant evaluator's fTC fallback rate on stderr;
+//! `--ilp-budget N` caps the ILP node budget for that report.
 
 use contention::Platform;
-use contention_bench::{engine_from_args, fig4_cell, write_engine_report};
+use contention_bench::{
+    engine_from_args, fig4_cell, ilp_budget_from_args, panel_fallback_report, write_engine_report,
+};
 use mbta::report::{ratio, Table};
 use tc27x_sim::DeploymentScenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let low_traffic = args.iter().any(|a| a == "--low-traffic");
+    let budget = ilp_budget_from_args(&args)?;
     let engine = engine_from_args(&args)?;
     let platform = Platform::tc277_reference();
 
@@ -42,6 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (scenario, label) in scenarios {
         let panel = mbta::figure4_panel_with(&engine, *scenario, &platform, 42)?;
+        eprintln!(
+            "{label}: {}",
+            panel_fallback_report(&engine, *scenario, 42, budget)?
+        );
         println!(
             "{label}  —  isolation CCNT = {} cycles",
             panel.app.counters().ccnt

@@ -9,10 +9,18 @@
 //! output (see `contention_bench::sweep_csv`).
 //!
 //! ```text
-//! cargo run -p contention-bench --bin sweep [-- --scenario sc1|sc2] [--jobs N] > sweep.csv
+//! cargo run -p contention-bench --bin sweep [-- --scenario sc1|sc2] [--jobs N] [--ilp-budget N] > sweep.csv
 //! ```
+//!
+//! After the CSV, the fault-tolerant evaluator re-runs every pair
+//! (profiles come from the memo cache) and reports its fTC fallback
+//! rate on stderr; `--ilp-budget N` caps the ILP node budget for that
+//! report. The CSV itself always uses the exact models, so stdout stays
+//! byte-identical regardless of the budget.
 
-use contention_bench::{engine_from_args, sweep_csv, write_engine_report};
+use contention_bench::{
+    engine_from_args, ilp_budget_from_args, sweep_csv, sweep_fallback_report, write_engine_report,
+};
 use tc27x_sim::DeploymentScenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,10 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         None => DeploymentScenario::Scenario1,
     };
+    let budget = ilp_budget_from_args(&args)?;
     let engine = engine_from_args(&args)?;
 
     print!("{}", sweep_csv(&engine, scenario)?);
 
+    eprintln!("{}", sweep_fallback_report(&engine, scenario, budget)?);
     write_engine_report(&engine);
     Ok(())
 }

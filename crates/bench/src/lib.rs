@@ -15,16 +15,19 @@
 //! dependency-free [`harness`] (median-of-N over `std::time::Instant`).
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod harness;
 
 use contention::{
-    ContentionModel, FsbModel, FtcModel, IdealModel, IlpPtacModel, Platform, WcetEstimate,
+    ContentionModel, EvalOptions, Evaluator, FsbModel, FtcModel, IdealModel, IlpPtacModel,
+    Platform, WcetEstimate,
 };
 use mbta::{ExecEngine, SimJob};
 use tc27x_sim::{
     CoreId, DataObject, DeploymentScenario, Pattern, Placement, Program, Region, TaskSpec,
 };
+use workloads::LoadLevel;
 
 /// Formats paper-vs-measured cells for table output.
 pub fn paper_vs(measured: impl std::fmt::Display, paper: impl std::fmt::Display) -> String {
@@ -162,7 +165,13 @@ pub fn sweep_csv(
         });
     }
     let mut outcomes = engine.run_batch(&batch)?.into_iter();
-    let app = outcomes.next().expect("app profile").into_profile();
+    // `run_batch` returns exactly one outcome per submitted job.
+    let mut next = move || {
+        outcomes
+            .next()
+            .unwrap_or_else(|| unreachable!("batch yields one outcome per job"))
+    };
+    let app = next().into_profile();
 
     let ftc = FtcModel::new(&platform);
     let ilp = IlpPtacModel::new(&platform, mbta::constraints_for(scenario));
@@ -174,8 +183,8 @@ pub fn sweep_csv(
     );
     let iso = app.counters().ccnt as f64;
     for intensity in intensities {
-        let load = outcomes.next().expect("contender profile").into_profile();
-        let observed = outcomes.next().expect("co-run observation").into_observed();
+        let load = next().into_profile();
+        let observed = next().into_observed();
         csv.push_str(&format!(
             "{intensity},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
             ftc.wcet_estimate(&app, &[&load])?.ratio(),
@@ -186,6 +195,137 @@ pub fn sweep_csv(
         ));
     }
     Ok(csv)
+}
+
+/// How often the fault-tolerant evaluator degraded to the fTC bound
+/// over a set of (app, contender) pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FallbackReport {
+    /// Pairs bounded by the exact ILP-PTAC solve.
+    pub ilp: usize,
+    /// Pairs that fell back to the contender-independent fTC bound.
+    pub ftc: usize,
+}
+
+impl FallbackReport {
+    /// Fraction of pairs that fell back, in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        let total = self.ilp + self.ftc;
+        if total == 0 {
+            0.0
+        } else {
+            self.ftc as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for FallbackReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fallback rate: {}/{} pairs degraded to fTC ({:.0}%)",
+            self.ftc,
+            self.ilp + self.ftc,
+            self.rate() * 100.0
+        )
+    }
+}
+
+/// Runs the fault-tolerant [`Evaluator`] over every (app, contender)
+/// pair of the intensity sweep and counts which model produced each
+/// bound. Isolation profiles come from the engine's memo cache, so
+/// calling this after [`sweep_csv`] re-runs no simulations.
+///
+/// # Errors
+///
+/// Propagates engine and model errors.
+pub fn sweep_fallback_report(
+    engine: &ExecEngine,
+    scenario: DeploymentScenario,
+    node_budget: Option<u64>,
+) -> Result<FallbackReport, mbta::ExperimentError> {
+    let platform = Platform::tc277_reference();
+    let (app_core, load_core) = (CoreId(1), CoreId(2));
+    let app = engine.isolation(&workloads::control_loop(scenario, app_core, 42), app_core)?;
+
+    let mut options = EvalOptions::for_scenario(mbta::constraints_for(scenario));
+    if let Some(budget) = node_budget {
+        options.ilp.node_budget = budget;
+    }
+    let evaluator = Evaluator::new(&platform, options);
+
+    let mut report = FallbackReport::default();
+    for intensity in (0..=1_000).step_by(100) {
+        let load = engine.isolation(&scaled_contender(load_core, intensity), load_core)?;
+        let evaluated = evaluator.bound(&app, &load)?;
+        if evaluated.source.is_fallback() {
+            report.ftc += 1;
+        } else {
+            report.ilp += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// [`sweep_fallback_report`] for one Figure 4 panel: the three
+/// contender levels of `scenario` against the control-loop app, using
+/// the same specs (and thus the same memoized profiles) as
+/// [`mbta::figure4_panel_with`].
+///
+/// # Errors
+///
+/// Propagates engine and model errors.
+pub fn panel_fallback_report(
+    engine: &ExecEngine,
+    scenario: DeploymentScenario,
+    seed: u64,
+    node_budget: Option<u64>,
+) -> Result<FallbackReport, mbta::ExperimentError> {
+    let platform = Platform::tc277_reference();
+    let (app_core, load_core) = (CoreId(1), CoreId(2));
+    let app = engine.isolation(&workloads::control_loop(scenario, app_core, seed), app_core)?;
+
+    let mut options = EvalOptions::for_scenario(mbta::constraints_for(scenario));
+    if let Some(budget) = node_budget {
+        options.ilp.node_budget = budget;
+    }
+    let evaluator = Evaluator::new(&platform, options);
+
+    let mut report = FallbackReport::default();
+    for level in LoadLevel::all() {
+        let spec =
+            workloads::contender(scenario, level, load_core, seed.wrapping_add(level as u64));
+        let load = engine.isolation(&spec, load_core)?;
+        let evaluated = evaluator.bound(&app, &load)?;
+        if evaluated.source.is_fallback() {
+            report.ftc += 1;
+        } else {
+            report.ilp += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Parses an optional `--ilp-budget N` from a binary's argument vector.
+///
+/// # Errors
+///
+/// Returns a human-readable message on a missing, non-numeric or zero
+/// value.
+pub fn ilp_budget_from_args(args: &[String]) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == "--ilp-budget") {
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--ilp-budget requires a value".to_string())?;
+            match v.parse::<u64>() {
+                Ok(0) => Err("--ilp-budget must be at least 1".into()),
+                Ok(n) => Ok(Some(n)),
+                Err(_) => Err(format!("invalid --ilp-budget `{v}`")),
+            }
+        }
+        None => Ok(None),
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +354,29 @@ mod tests {
         assert!(jobs_from_args(&argv("--jobs")).is_err());
         assert!(jobs_from_args(&argv("--jobs zero")).is_err());
         assert!(jobs_from_args(&argv("--jobs 0")).is_err());
+    }
+
+    #[test]
+    fn ilp_budget_flag_parses() {
+        assert_eq!(ilp_budget_from_args(&argv("")).unwrap(), None);
+        assert_eq!(
+            ilp_budget_from_args(&argv("--ilp-budget 7")).unwrap(),
+            Some(7)
+        );
+        assert!(ilp_budget_from_args(&argv("--ilp-budget")).is_err());
+        assert!(ilp_budget_from_args(&argv("--ilp-budget 0")).is_err());
+        assert!(ilp_budget_from_args(&argv("--ilp-budget x")).is_err());
+    }
+
+    #[test]
+    fn fallback_report_formats() {
+        let r = FallbackReport { ilp: 9, ftc: 3 };
+        assert!((r.rate() - 0.25).abs() < 1e-12);
+        assert_eq!(
+            r.to_string(),
+            "fallback rate: 3/12 pairs degraded to fTC (25%)"
+        );
+        assert_eq!(FallbackReport::default().rate(), 0.0);
     }
 
     #[test]

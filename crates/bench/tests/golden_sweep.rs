@@ -1,0 +1,43 @@
+//! Golden regression for the ILP-PTAC evaluation output: with the
+//! default solve budget the sweep CSV must stay byte-identical to the
+//! captured pre-refactor run, at any worker count. This pins down that
+//! neither the validation pass, the budget plumbing nor the engine
+//! hardening changed a single emitted digit.
+
+use contention_bench::{sweep_csv, sweep_fallback_report};
+use mbta::ExecEngine;
+use tc27x_sim::DeploymentScenario;
+
+const GOLDEN: &str = include_str!("golden/sweep_sc1.csv");
+
+#[test]
+fn sweep_csv_matches_golden_capture_at_jobs_1_and_4() {
+    for jobs in [1usize, 4] {
+        let engine = ExecEngine::new(jobs);
+        let csv = sweep_csv(&engine, DeploymentScenario::Scenario1).unwrap();
+        assert_eq!(
+            csv, GOLDEN,
+            "sweep CSV diverged from the golden capture at --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn default_budget_never_falls_back_budget_one_always_does() {
+    let engine = ExecEngine::new(2);
+    // Warm the memo cache so both reports replay cached profiles.
+    sweep_csv(&engine, DeploymentScenario::Scenario1).unwrap();
+
+    let exact = sweep_fallback_report(&engine, DeploymentScenario::Scenario1, None).unwrap();
+    assert_eq!(exact.ftc, 0, "default budget must solve every pair exactly");
+    assert_eq!(exact.ilp, 11);
+    assert_eq!(exact.rate(), 0.0);
+
+    let starved = sweep_fallback_report(&engine, DeploymentScenario::Scenario1, Some(1)).unwrap();
+    assert_eq!(
+        starved.ilp, 0,
+        "a node budget of 1 must always degrade to fTC"
+    );
+    assert_eq!(starved.ftc, 11);
+    assert_eq!(starved.rate(), 1.0);
+}

@@ -81,7 +81,7 @@ impl<'p> FsbModel<'p> {
             .into_iter()
             .map(|(t, o)| self.platform.latency(t, o))
             .max()
-            .expect("some pair is always feasible")
+            .unwrap_or_else(|| unreachable!("some pair is always feasible"))
     }
 }
 

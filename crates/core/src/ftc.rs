@@ -97,7 +97,7 @@ impl<'p> FtcModel<'p> {
                 }
             })
             .max()
-            .expect("code can reach at least one target")
+            .unwrap_or_else(|| unreachable!("code can reach at least one target"))
     }
 
     /// Eq. 7: the longest delay a data request can suffer (adds the

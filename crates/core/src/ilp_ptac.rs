@@ -247,6 +247,28 @@ impl<'p> IlpPtacModel<'p> {
         a: &IsolationProfile,
         b: &IsolationProfile,
     ) -> Result<IlpPtacSolution, ModelError> {
+        self.solve_inner(a, b, true)
+    }
+
+    /// Like [`solve_detailed`](Self::solve_detailed) but *without* the
+    /// internal LP-relaxation fallback: a blown node budget surfaces as
+    /// [`ModelError::Ilp`] with [`ilp::SolveError::BudgetExhausted`] so a
+    /// caller can degrade to a different (sound) model instead — see the
+    /// [`evaluate`](crate::evaluate) pipeline, which falls back to fTC.
+    pub fn solve_exact(
+        &self,
+        a: &IsolationProfile,
+        b: &IsolationProfile,
+    ) -> Result<IlpPtacSolution, ModelError> {
+        self.solve_inner(a, b, false)
+    }
+
+    fn solve_inner(
+        &self,
+        a: &IsolationProfile,
+        b: &IsolationProfile,
+        relax_on_budget: bool,
+    ) -> Result<IlpPtacSolution, ModelError> {
         let pairs = self.platform.paths().pairs();
         let mut p = Problem::maximize();
 
@@ -263,7 +285,7 @@ impl<'p> IlpPtacModel<'p> {
         // interference variable stays: contender requests of type o can
         // still delay τa's *other*-type requests at that slave. The
         // per-target sum constraints bound it correctly.
-        let mut nba: Vec<Option<Var>> = Vec::with_capacity(pairs.len());
+        let mut nba: Vec<Var> = Vec::with_capacity(pairs.len());
         for &(t, o) in &pairs {
             let ub = {
                 // n_{b→a}^{t,o} ≤ n_a^{t,co} + n_a^{t,da} ≤ sum of ubs;
@@ -272,14 +294,13 @@ impl<'p> IlpPtacModel<'p> {
                 let data_ub = a.counters().dmem_stall;
                 (code_ub + data_ub) as i128
             };
-            nba.push(Some(p.add_int_var(format!("n_ba[{t},{o}]"), ub)));
+            nba.push(p.add_int_var(format!("n_ba[{t},{o}]"), ub));
         }
-        let nba_get = |t: Target, o: Operation| -> Var {
-            nba[pairs
+        let nba_get = |t: Target, o: Operation| -> Option<Var> {
+            pairs
                 .iter()
                 .position(|&(pt, po)| pt == t && po == o)
-                .expect("feasible pair")]
-            .expect("always created")
+                .map(|i| nba[i])
         };
 
         // Per-target sums of τa's requests.
@@ -294,12 +315,13 @@ impl<'p> IlpPtacModel<'p> {
         };
 
         // Eq. 10: dfl (data only).
-        let dfl_ba = nba_get(Target::Dfl, Operation::Data);
-        p.add_le(dfl_ba, ta_sum(Target::Dfl));
-        if let Some(vb) = &vb {
-            match vb.get(&pairs, Target::Dfl, Operation::Data) {
-                Some(nb) => p.add_le(dfl_ba, nb),
-                None => p.add_le(dfl_ba, 0),
+        if let Some(dfl_ba) = nba_get(Target::Dfl, Operation::Data) {
+            p.add_le(dfl_ba, ta_sum(Target::Dfl));
+            if let Some(vb) = &vb {
+                match vb.get(&pairs, Target::Dfl, Operation::Data) {
+                    Some(nb) => p.add_le(dfl_ba, nb),
+                    None => p.add_le(dfl_ba, 0),
+                }
             }
         }
 
@@ -311,7 +333,7 @@ impl<'p> IlpPtacModel<'p> {
                 if !self.platform.paths().is_feasible(t, o) {
                     continue;
                 }
-                let v = nba_get(t, o);
+                let Some(v) = nba_get(t, o) else { continue };
                 p.add_le(v, sum_a.clone());
                 both += v;
                 if let Some(vb) = &vb {
@@ -327,18 +349,39 @@ impl<'p> IlpPtacModel<'p> {
 
         // Objective (Eq. 9): Σ n_{b→a}^{t,o} · l^{t,o}.
         let mut objective = LinExpr::new();
-        for &(t, o) in &pairs {
-            objective += nba_get(t, o) * (self.platform.latency(t, o) as i128);
+        for (i, &(t, o)) in pairs.iter().enumerate() {
+            objective += nba[i] * (self.platform.latency(t, o) as i128);
         }
         p.set_objective(objective);
 
         p.set_node_limit(self.options.node_budget);
         // Exact first; on a blown node budget fall back to the LP
         // relaxation, whose value dominates the ILP optimum and is
-        // therefore still a valid contention bound.
-        let (sol, relaxed) = match p.solve() {
-            Ok(s) => (s, false),
-            Err(ilp::SolveError::LimitExceeded(_)) => (p.solve_relaxation()?, true),
+        // therefore still a valid contention bound. The exact path
+        // surfaces the exhaustion instead so callers can pick their own
+        // fallback (the evaluate pipeline degrades to fTC); it also
+        // demands the search finish *strictly within* the budget — a
+        // solve that spends its whole allowance counts as exhausted, so
+        // a budget of 1 is a guaranteed-fallback switch regardless of
+        // how easy the instance happens to be.
+        let (sol, relaxed) = match p.solve_with_stats() {
+            Ok((s, stats)) => {
+                if !relax_on_budget && stats.nodes_explored >= self.options.node_budget {
+                    return Err(ilp::SolveError::BudgetExhausted {
+                        budget: ilp::Budget::Nodes,
+                        limit: self.options.node_budget,
+                    }
+                    .into());
+                }
+                (s, false)
+            }
+            Err(e @ ilp::SolveError::BudgetExhausted { .. }) => {
+                if relax_on_budget {
+                    (p.solve_relaxation()?, true)
+                } else {
+                    return Err(e.into());
+                }
+            }
             Err(e) => return Err(e.into()),
         };
 
@@ -350,8 +393,8 @@ impl<'p> IlpPtacModel<'p> {
         let mut mapping = AccessCounts::new();
         let mut code = 0u64;
         let mut data = 0u64;
-        for &(t, o) in &pairs {
-            let v = value_of(nba_get(t, o));
+        for (i, &(t, o)) in pairs.iter().enumerate() {
+            let v = value_of(nba[i]);
             mapping.set(t, o, v);
             let delay = v * self.platform.latency(t, o);
             match o {

@@ -49,10 +49,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 mod counts;
 mod error;
+pub mod evaluate;
 mod fsb;
 mod ftc;
 mod ideal;
@@ -63,10 +65,12 @@ pub mod rta;
 mod scenario;
 mod sensitivity;
 mod signature;
+pub mod validate;
 mod wcet;
 
 pub use counts::AccessBounds;
 pub use error::ModelError;
+pub use evaluate::{BoundSource, EvalOptions, EvaluatedBound, Evaluator};
 pub use fsb::FsbModel;
 pub use ftc::FtcModel;
 pub use ideal::IdealModel;
@@ -76,6 +80,7 @@ pub use profile::{AccessCounts, DebugCounters, IsolationProfile, ParseProfileErr
 pub use scenario::ScenarioConstraints;
 pub use sensitivity::{CounterKind, Sensitivity, SensitivityReport, Side};
 pub use signature::{ContenderSignature, StableHasher};
+pub use validate::{ValidationIssue, ValidationPolicy, ValidationReport, Validator};
 pub use wcet::{ContentionBound, ContentionModel, WcetEstimate};
 
 /// Alias kept for readers coming from the paper: the latency table is a

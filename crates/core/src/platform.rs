@@ -301,7 +301,7 @@ impl Platform {
             .into_iter()
             .map(|t| self.stall(t, Operation::Code))
             .min()
-            .expect("code can always reach some target")
+            .unwrap_or_else(|| unreachable!("code can always reach some target"))
     }
 
     /// Eq. 3: the smallest stall a data request can incur.
@@ -311,7 +311,7 @@ impl Platform {
             .into_iter()
             .map(|t| self.stall(t, Operation::Data))
             .min()
-            .expect("data can always reach some target")
+            .unwrap_or_else(|| unreachable!("data can always reach some target"))
     }
 }
 

@@ -17,7 +17,7 @@
 //! Branching picks the integer variable whose relaxation value is
 //! fractional and closest to 1/2, splitting into `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`.
 
-use crate::error::SolveError;
+use crate::error::{Budget, SolveError};
 use crate::model::{Problem, Sense};
 use crate::rational::Rational;
 use crate::simplex::{is_feasible, solve_lp, BoundOverrides, LpSolution};
@@ -74,7 +74,10 @@ pub(crate) fn solve_with_stats(problem: &Problem) -> Result<(Solution, SolveStat
 
     while let Some(node) = stack.pop() {
         if nodes_left == 0 {
-            return Err(SolveError::LimitExceeded(problem.node_limit));
+            return Err(SolveError::BudgetExhausted {
+                budget: Budget::Nodes,
+                limit: problem.node_limit,
+            });
         }
         nodes_left -= 1;
         stats.nodes_explored += 1;
@@ -187,9 +190,15 @@ pub(crate) fn solve_with_stats(problem: &Problem) -> Result<(Solution, SolveStat
     }
 }
 
-fn remap_limit(e: SolveError, budget: u64) -> SolveError {
+fn remap_limit(e: SolveError, limit: u64) -> SolveError {
     match e {
-        SolveError::LimitExceeded(_) => SolveError::LimitExceeded(budget),
+        SolveError::BudgetExhausted {
+            budget: Budget::Pivots,
+            ..
+        } => SolveError::BudgetExhausted {
+            budget: Budget::Pivots,
+            limit,
+        },
         other => other,
     }
 }
@@ -325,8 +334,8 @@ mod tests {
         p.add_eq(obj * 2, 19);
         p.set_node_limit(3);
         match p.solve() {
-            Err(SolveError::LimitExceeded(3)) | Err(SolveError::Infeasible) => {}
-            other => panic!("expected limit or infeasible, got {other:?}"),
+            Err(SolveError::BudgetExhausted { limit: 3, .. }) | Err(SolveError::Infeasible) => {}
+            other => panic!("expected budget exhaustion or infeasible, got {other:?}"),
         }
     }
 }

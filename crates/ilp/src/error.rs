@@ -22,10 +22,17 @@ pub enum SolveError {
     Infeasible,
     /// The objective is unbounded over the feasible region.
     Unbounded,
-    /// The solver exceeded its iteration or node budget.
+    /// A deterministic work budget ran out before the solve finished.
     ///
-    /// Carries the budget that was exhausted.
-    LimitExceeded(u64),
+    /// Budgets are counted in solver work units (branch & bound nodes
+    /// or simplex pivots), never wall-clock time, so exhaustion is
+    /// bit-identical across thread counts and machines.
+    BudgetExhausted {
+        /// Which budget ran out.
+        budget: Budget,
+        /// The configured limit that was reached.
+        limit: u64,
+    },
     /// A variable was used with a problem that did not create it.
     ForeignVariable,
     /// A variable bound pair is contradictory (`lower > upper`).
@@ -35,13 +42,31 @@ pub enum SolveError {
     },
 }
 
+/// The kind of deterministic work budget a solve can exhaust.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Budget {
+    /// Branch & bound nodes (LP relaxations solved).
+    Nodes,
+    /// Simplex pivots, summed across all nodes.
+    Pivots,
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Budget::Nodes => write!(f, "node"),
+            Budget::Pivots => write!(f, "pivot"),
+        }
+    }
+}
+
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveError::Infeasible => write!(f, "problem is infeasible"),
             SolveError::Unbounded => write!(f, "objective is unbounded"),
-            SolveError::LimitExceeded(n) => {
-                write!(f, "solver budget of {n} iterations exceeded")
+            SolveError::BudgetExhausted { budget, limit } => {
+                write!(f, "solver {budget} budget of {limit} exhausted")
             }
             SolveError::ForeignVariable => {
                 write!(f, "variable does not belong to this problem")
@@ -63,7 +88,12 @@ mod tests {
     fn display_messages_are_lowercase_and_concise() {
         assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
         assert_eq!(SolveError::Unbounded.to_string(), "objective is unbounded");
-        assert!(SolveError::LimitExceeded(42).to_string().contains("42"));
+        let budget = SolveError::BudgetExhausted {
+            budget: Budget::Nodes,
+            limit: 42,
+        };
+        assert!(budget.to_string().contains("42"));
+        assert!(budget.to_string().contains("node"));
         assert!(SolveError::InvalidBounds { name: "n_a".into() }
             .to_string()
             .contains("n_a"));

@@ -41,6 +41,7 @@
 //! [`contention`]: ../contention/index.html
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 mod branch_bound;
@@ -51,7 +52,7 @@ mod rational;
 mod simplex;
 mod solution;
 
-pub use error::SolveError;
+pub use error::{Budget, SolveError};
 pub use expr::{LinExpr, Var};
 pub use model::{Constraint, Problem, Relation, Sense, SolveStats, VarBuilder};
 pub use rational::Rational;

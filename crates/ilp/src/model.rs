@@ -340,8 +340,8 @@ impl Problem {
     ///
     /// [`SolveError::Infeasible`] if no assignment satisfies all
     /// constraints and bounds, [`SolveError::Unbounded`] if the objective
-    /// can grow without limit, [`SolveError::LimitExceeded`] if the
-    /// node/iteration budget runs out, and
+    /// can grow without limit, [`SolveError::BudgetExhausted`] if the
+    /// node/pivot budget runs out, and
     /// [`SolveError::InvalidBounds`] for contradictory variable bounds.
     pub fn solve(&self) -> Result<Solution, SolveError> {
         self.validate_bounds()?;

@@ -8,7 +8,7 @@
 //! termination (no cycling) at the cost of some extra pivots — irrelevant
 //! at the problem sizes produced by the contention models.
 
-use crate::error::SolveError;
+use crate::error::{Budget, SolveError};
 use crate::expr::Var;
 use crate::model::{Problem, Relation, Sense};
 use crate::rational::Rational;
@@ -149,7 +149,10 @@ impl Tableau {
             self.pivot(r, s);
 
             if *budget == 0 {
-                return Err(SolveError::LimitExceeded(0));
+                return Err(SolveError::BudgetExhausted {
+                    budget: Budget::Pivots,
+                    limit: 0,
+                });
             }
             *budget -= 1;
         }

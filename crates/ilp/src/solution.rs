@@ -53,9 +53,10 @@ impl Solution {
     /// Panics if the stored value is fractional (only possible for
     /// continuous variables) or if `v` is foreign.
     pub fn int_value(&self, v: Var) -> i128 {
-        self.values[v.index()]
+        let value = self.values[v.index()];
+        value
             .to_integer()
-            .expect("variable has a fractional value")
+            .unwrap_or_else(|| panic!("variable has a fractional value: {value}"))
     }
 
     /// Evaluates an arbitrary linear expression under this assignment.

@@ -18,9 +18,9 @@
 //! iteration minus the sequential stall isolates the non-sequential
 //! fetch latency.
 
-use crate::exec::{ExecEngine, SimJob};
+use crate::exec::{ExecEngine, JobError, SimJob};
 use contention::{DebugCounters, LatencyTable, Operation, Platform, StallTable, Target};
-use tc27x_sim::{CoreId, DataObject, Pattern, Placement, Program, Region, SimError, TaskSpec};
+use tc27x_sim::{CoreId, DataObject, Pattern, Placement, Program, Region, TaskSpec};
 use workloads::micro;
 
 /// The calibrated tables (the reproduction of Table 2).
@@ -121,7 +121,7 @@ fn probe_batch(core: CoreId) -> Vec<SimJob> {
 /// ```
 /// use contention::{Operation, Platform, Target};
 ///
-/// # fn main() -> Result<(), tc27x_sim::SimError> {
+/// # fn main() -> Result<(), mbta::JobError> {
 /// let cal = mbta::calibrate()?;
 /// // The campaign recovers Table 2 exactly on the reference platform.
 /// let reference = Platform::tc277_reference();
@@ -130,7 +130,7 @@ fn probe_batch(core: CoreId) -> Vec<SimJob> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn calibrate() -> Result<Calibration, SimError> {
+pub fn calibrate() -> Result<Calibration, JobError> {
     calibrate_with(&ExecEngine::sequential())
 }
 
@@ -141,7 +141,7 @@ pub fn calibrate() -> Result<Calibration, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors from the probe runs.
-pub fn calibrate_with(engine: &ExecEngine) -> Result<Calibration, SimError> {
+pub fn calibrate_with(engine: &ExecEngine) -> Result<Calibration, JobError> {
     let core = CoreId(1);
     let mut stall = StallTable::new();
     let mut latency = LatencyTable::new();
@@ -153,9 +153,12 @@ pub fn calibrate_with(engine: &ExecEngine) -> Result<Calibration, SimError> {
         .collect::<Vec<DebugCounters>>()
         .into_iter();
     let mut pair = move || {
-        let a = readings.next().expect("probe batch covers every reading");
-        let b = readings.next().expect("probe batch covers every reading");
-        (a, b)
+        let mut one = || {
+            readings
+                .next()
+                .unwrap_or_else(|| unreachable!("probe batch covers every reading"))
+        };
+        (one(), one())
     };
 
     // --- code stalls: ΔPMEM_STALL per line over streaming probes,

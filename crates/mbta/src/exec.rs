@@ -21,7 +21,7 @@
 //! use tc27x_sim::{CoreId, DeploymentScenario};
 //! use workloads::control_loop;
 //!
-//! # fn main() -> Result<(), tc27x_sim::SimError> {
+//! # fn main() -> Result<(), mbta::JobError> {
 //! let engine = ExecEngine::new(2);
 //! let spec = control_loop(DeploymentScenario::Scenario1, CoreId(1), 42);
 //! let first = engine.isolation(&spec, CoreId(1))?;
@@ -36,10 +36,81 @@ use crate::pool;
 use crate::runner::{isolation_profile, observed_corun};
 use contention::{IsolationProfile, StableHasher};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 use tc27x_sim::{CoreId, SimError, TaskSpec};
+
+/// Why one job in a batch failed.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum JobFailure {
+    /// The simulation returned an error.
+    Sim(SimError),
+    /// The job panicked; the payload message is preserved. The panic is
+    /// contained to the job — the rest of the batch still runs, and the
+    /// engine (including its memo cache) stays usable.
+    Panic(String),
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobFailure::Sim(e) => write!(f, "{e}"),
+            JobFailure::Panic(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl Error for JobFailure {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JobFailure::Sim(e) => Some(e),
+            JobFailure::Panic(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for JobFailure {
+    fn from(e: SimError) -> Self {
+        JobFailure::Sim(e)
+    }
+}
+
+/// The first (by batch index) failing job of a batch.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    /// Index of the failing job within the submitted batch.
+    pub index: usize,
+    /// What went wrong.
+    pub cause: JobFailure,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} failed: {}", self.index, self.cause)
+    }
+}
+
+impl Error for JobError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One simulation job for the engine.
 #[derive(Clone, Debug)]
@@ -63,6 +134,11 @@ pub enum SimJob {
         /// Contender core.
         load_core: CoreId,
     },
+    /// Deliberately panics when executed — a fault-injection hook for
+    /// exercising the engine's panic containment. Never cached; shows
+    /// up as [`JobFailure::Panic`] at its batch index while the rest of
+    /// the batch completes normally.
+    Poison,
 }
 
 /// The result of one [`SimJob`], in batch order.
@@ -231,6 +307,14 @@ impl ExecEngine {
         h.finish()
     }
 
+    /// Locks the memo cache, recovering from poisoning: the cache only
+    /// ever holds fully-constructed profiles (inserts happen after a
+    /// job's result exists), so a panic while the lock was held cannot
+    /// have left a torn entry behind.
+    fn cache_lock(&self) -> MutexGuard<'_, HashMap<u64, IsolationProfile>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Runs a batch of jobs and returns their outcomes in batch order,
     /// identical for any worker count.
     ///
@@ -238,12 +322,32 @@ impl ExecEngine {
     /// deduplicated within the batch; only the remainder is simulated,
     /// in parallel. If several jobs fail, the error of the
     /// lowest-indexed failing job is returned (again independent of the
-    /// worker count).
+    /// worker count); every other job still runs to completion, and
+    /// successful isolation profiles still land in the memo cache. Use
+    /// [`run_batch_detailed`](Self::run_batch_detailed) to see every
+    /// per-job result instead of only the first failure.
     ///
     /// # Errors
     ///
-    /// Propagates the first (by batch index) link or simulation error.
-    pub fn run_batch(&self, batch: &[SimJob]) -> Result<Vec<SimOutcome>, SimError> {
+    /// Returns the first (by batch index) failing job: a link or
+    /// simulation error, or a contained panic.
+    pub fn run_batch(&self, batch: &[SimJob]) -> Result<Vec<SimOutcome>, JobError> {
+        let detailed = self.run_batch_detailed(batch);
+        let mut outcomes = Vec::with_capacity(detailed.len());
+        for (index, result) in detailed.into_iter().enumerate() {
+            match result {
+                Ok(o) => outcomes.push(o),
+                Err(cause) => return Err(JobError { index, cause }),
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Runs a batch and returns one result per job, in batch order. A
+    /// failing — even panicking — job never aborts the batch: its slot
+    /// carries the [`JobFailure`] and every other job completes
+    /// normally.
+    pub fn run_batch_detailed(&self, batch: &[SimJob]) -> Vec<Result<SimOutcome, JobFailure>> {
         let t0 = Instant::now();
         let result = self.run_batch_inner(batch);
         self.wall_nanos
@@ -251,12 +355,12 @@ impl ExecEngine {
         result
     }
 
-    fn run_batch_inner(&self, batch: &[SimJob]) -> Result<Vec<SimOutcome>, SimError> {
+    fn run_batch_inner(&self, batch: &[SimJob]) -> Vec<Result<SimOutcome, JobFailure>> {
         // Phase 1: plan — consult the cache, dedupe within the batch.
         let mut plan = Vec::with_capacity(batch.len());
         let mut first_by_fp: HashMap<u64, usize> = HashMap::new();
         {
-            let cache = self.cache.lock().expect("memo cache poisoned");
+            let cache = self.cache_lock();
             for (i, job) in batch.iter().enumerate() {
                 match job {
                     SimJob::Isolation { spec, core } => {
@@ -273,12 +377,17 @@ impl ExecEngine {
                             plan.push(Plan::Execute);
                         }
                     }
-                    SimJob::Corun { .. } => plan.push(Plan::Execute),
+                    SimJob::Corun { .. } | SimJob::Poison => plan.push(Plan::Execute),
                 }
             }
         }
 
-        // Phase 2: simulate the remainder on the pool.
+        // Phase 2: simulate the remainder on the pool. Each job runs
+        // under `catch_unwind`, so a panicking job poisons neither the
+        // pool nor the batch — it becomes a `JobFailure::Panic` at its
+        // own index. `AssertUnwindSafe` is sound here: the closure only
+        // captures `&batch`, which the unwinding job cannot have
+        // mutated.
         let exec_idx: Vec<usize> = plan
             .iter()
             .enumerate()
@@ -287,24 +396,27 @@ impl ExecEngine {
             .collect();
         self.runs
             .fetch_add(exec_idx.len() as u64, Ordering::Relaxed);
-        let executed: Vec<Result<SimOutcome, SimError>> =
-            pool::run_indexed(&exec_idx, self.jobs, |_, &i| Self::execute(&batch[i]));
+        let executed: Vec<Result<SimOutcome, JobFailure>> =
+            pool::run_indexed(&exec_idx, self.jobs, |_, &i| {
+                panic::catch_unwind(AssertUnwindSafe(|| Self::execute(&batch[i])))
+                    .unwrap_or_else(|payload| Err(JobFailure::Panic(panic_message(payload))))
+            });
 
-        // Phase 3: merge in batch order; fill the cache; first error
-        // (by batch index) wins.
-        let mut by_index: HashMap<usize, Result<SimOutcome, SimError>> =
+        // Phase 3: merge in batch order; fill the cache from the jobs
+        // that succeeded.
+        let mut by_index: HashMap<usize, Result<SimOutcome, JobFailure>> =
             exec_idx.into_iter().zip(executed).collect();
-        let mut outcomes: Vec<SimOutcome> = Vec::with_capacity(batch.len());
+        let mut outcomes: Vec<Result<SimOutcome, JobFailure>> = Vec::with_capacity(batch.len());
         let mut fresh: Vec<(u64, IsolationProfile)> = Vec::new();
         for (i, entry) in plan.iter().enumerate() {
             let outcome = match entry {
-                Plan::Cached(p) => SimOutcome::Isolation(p.clone()),
+                Plan::Cached(p) => Ok(SimOutcome::Isolation(p.clone())),
                 Plan::Alias(j) => outcomes[*j].clone(),
                 Plan::Execute => {
-                    let r = by_index
-                        .remove(&i)
-                        .expect("every planned job has a result")?;
-                    if let (SimOutcome::Isolation(p), SimJob::Isolation { spec, core }) =
+                    let r = by_index.remove(&i).unwrap_or_else(|| {
+                        Err(JobFailure::Panic("planned job produced no result".into()))
+                    });
+                    if let (Ok(SimOutcome::Isolation(p)), SimJob::Isolation { spec, core }) =
                         (&r, &batch[i])
                     {
                         fresh.push((Self::fingerprint(spec, *core), p.clone()));
@@ -315,13 +427,12 @@ impl ExecEngine {
             outcomes.push(outcome);
         }
         if !fresh.is_empty() {
-            let mut cache = self.cache.lock().expect("memo cache poisoned");
-            cache.extend(fresh);
+            self.cache_lock().extend(fresh);
         }
-        Ok(outcomes)
+        outcomes
     }
 
-    fn execute(job: &SimJob) -> Result<SimOutcome, SimError> {
+    fn execute(job: &SimJob) -> Result<SimOutcome, JobFailure> {
         match job {
             SimJob::Isolation { spec, core } => {
                 Ok(SimOutcome::Isolation(isolation_profile(spec, *core)?))
@@ -334,6 +445,7 @@ impl ExecEngine {
             } => Ok(SimOutcome::Corun(observed_corun(
                 app, *app_core, load, *load_core,
             )?)),
+            SimJob::Poison => panic!("deliberately poisoned job"),
         }
     }
 
@@ -341,8 +453,8 @@ impl ExecEngine {
     ///
     /// # Errors
     ///
-    /// Propagates link and simulation errors.
-    pub fn isolation(&self, spec: &TaskSpec, core: CoreId) -> Result<IsolationProfile, SimError> {
+    /// Propagates link and simulation errors (as the failing job).
+    pub fn isolation(&self, spec: &TaskSpec, core: CoreId) -> Result<IsolationProfile, JobError> {
         let mut out = self.run_batch(std::slice::from_ref(&SimJob::Isolation {
             spec: spec.clone(),
             core,
@@ -355,14 +467,14 @@ impl ExecEngine {
     ///
     /// # Errors
     ///
-    /// Propagates link and simulation errors.
+    /// Propagates link and simulation errors (as the failing job).
     pub fn corun(
         &self,
         app: &TaskSpec,
         app_core: CoreId,
         load: &TaskSpec,
         load_core: CoreId,
-    ) -> Result<u64, SimError> {
+    ) -> Result<u64, JobError> {
         let mut out = self.run_batch(std::slice::from_ref(&SimJob::Corun {
             app: app.clone(),
             app_core,
@@ -374,12 +486,12 @@ impl ExecEngine {
 
     /// Number of isolation profiles currently memoized.
     pub fn cached_profiles(&self) -> usize {
-        self.cache.lock().expect("memo cache poisoned").len()
+        self.cache_lock().len()
     }
 
     /// Drops every memoized profile (counters are kept).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("memo cache poisoned").clear();
+        self.cache_lock().clear();
     }
 
     /// Snapshot of the engine's counters.
@@ -518,12 +630,68 @@ mod tests {
                 core: CoreId(1),
             },
         ];
-        let seq_err = ExecEngine::sequential()
-            .run_batch(&batch)
-            .unwrap_err()
-            .to_string();
-        let par_err = engine.run_batch(&batch).unwrap_err().to_string();
-        assert_eq!(seq_err, par_err);
+        let seq_err = ExecEngine::sequential().run_batch(&batch).unwrap_err();
+        let par_err = engine.run_batch(&batch).unwrap_err();
+        assert_eq!(seq_err.index, 0);
+        assert_eq!(par_err.index, 0);
+        assert_eq!(seq_err.to_string(), par_err.to_string());
+        assert!(matches!(seq_err.cause, JobFailure::Sim(_)));
+    }
+
+    #[test]
+    fn poisoned_job_is_contained_and_indexed() {
+        let engine = ExecEngine::new(4);
+        let batch = vec![
+            SimJob::Isolation {
+                spec: app(),
+                core: CoreId(1),
+            },
+            SimJob::Poison,
+            SimJob::Corun {
+                app: app(),
+                app_core: CoreId(1),
+                load: load(LoadLevel::High),
+                load_core: CoreId(2),
+            },
+        ];
+        // run_batch reports the poisoned job at its exact index…
+        let err = engine.run_batch(&batch).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(matches!(err.cause, JobFailure::Panic(_)));
+        assert!(err.to_string().contains("job 1 failed"));
+
+        // …while the other jobs in the batch still completed: the
+        // detailed view carries their results, and the engine (cache
+        // included) remains fully usable afterwards.
+        let detailed = engine.run_batch_detailed(&batch);
+        assert_eq!(detailed.len(), 3);
+        let expected = isolation_profile(&app(), CoreId(1)).unwrap();
+        let profile = detailed[0].clone().unwrap().into_profile();
+        assert_eq!(profile.counters(), expected.counters());
+        assert!(detailed[1].is_err());
+        let observed = detailed[2].clone().unwrap().into_observed();
+        assert!(observed >= expected.counters().ccnt);
+
+        let after = engine.isolation(&app(), CoreId(1)).unwrap();
+        assert_eq!(after.counters(), expected.counters());
+        assert!(engine.report().cache_hits >= 1, "cache survived the panic");
+    }
+
+    #[test]
+    fn panic_while_cache_locked_does_not_wedge_the_engine() {
+        // Poison the memo-cache mutex directly: a thread panics while
+        // holding the lock. The engine must recover instead of
+        // propagating the poison forever.
+        let engine = ExecEngine::new(2);
+        engine.isolation(&app(), CoreId(1)).unwrap();
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = engine.cache_lock();
+            panic!("poison the cache lock");
+        }));
+        assert!(res.is_err());
+        assert_eq!(engine.cached_profiles(), 1);
+        engine.isolation(&app(), CoreId(1)).unwrap();
+        assert!(engine.report().cache_hits >= 1);
     }
 
     #[test]

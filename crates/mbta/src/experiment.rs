@@ -1,7 +1,7 @@
 //! The paper's evaluation protocol (§4.2): profile in isolation, feed
 //! the models, validate against co-run observations.
 
-use crate::exec::{ExecEngine, SimJob};
+use crate::exec::{ExecEngine, JobError, SimJob};
 use contention::{
     ContentionModel, FtcModel, IdealModel, IlpPtacModel, IsolationProfile, ModelError, Platform,
     ScenarioConstraints, WcetEstimate,
@@ -19,6 +19,9 @@ pub enum ExperimentError {
     Sim(SimError),
     /// A model failed.
     Model(ModelError),
+    /// A batched engine job failed (simulation error or contained
+    /// panic), identified by its batch index.
+    Job(JobError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -26,6 +29,7 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
             ExperimentError::Model(e) => write!(f, "model failed: {e}"),
+            ExperimentError::Job(e) => write!(f, "engine {e}"),
         }
     }
 }
@@ -35,6 +39,7 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::Sim(e) => Some(e),
             ExperimentError::Model(e) => Some(e),
+            ExperimentError::Job(e) => Some(e),
         }
     }
 }
@@ -48,6 +53,12 @@ impl From<SimError> for ExperimentError {
 impl From<ModelError> for ExperimentError {
     fn from(e: ModelError) -> Self {
         ExperimentError::Model(e)
+    }
+}
+
+impl From<JobError> for ExperimentError {
+    fn from(e: JobError) -> Self {
+        ExperimentError::Job(e)
     }
 }
 
@@ -158,7 +169,7 @@ pub fn figure4_panel_with(
         });
     }
     let mut outcomes = engine.run_batch(&batch)?.into_iter();
-    let app = outcomes.next().expect("app profile").into_profile();
+    let app = next_outcome(&mut outcomes).into_profile();
 
     let ftc_model = match scenario {
         DeploymentScenario::Scenario2 => FtcModel::new(platform).assume_dirty_lmu(),
@@ -169,8 +180,8 @@ pub fn figure4_panel_with(
 
     let mut cells = Vec::new();
     for level in LoadLevel::all() {
-        let load = outcomes.next().expect("contender profile").into_profile();
-        let observed = outcomes.next().expect("co-run observation").into_observed();
+        let load = next_outcome(&mut outcomes).into_profile();
+        let observed = next_outcome(&mut outcomes).into_observed();
         cells.push(Figure4Cell {
             level,
             ftc: ftc_model.wcet_estimate(&app, &[&load])?,
@@ -237,9 +248,17 @@ pub fn table6_block_with(
     let mut outcomes = engine.run_batch(&batch)?.into_iter();
     Ok(Table6Block {
         scenario,
-        core1: outcomes.next().expect("app profile").into_profile(),
-        core2: outcomes.next().expect("contender profile").into_profile(),
+        core1: next_outcome(&mut outcomes).into_profile(),
+        core2: next_outcome(&mut outcomes).into_profile(),
     })
+}
+
+/// `run_batch` returns exactly one outcome per submitted job, so a
+/// local batch always yields as many outcomes as it listed jobs.
+fn next_outcome(outcomes: &mut std::vec::IntoIter<crate::SimOutcome>) -> crate::SimOutcome {
+    outcomes
+        .next()
+        .unwrap_or_else(|| unreachable!("batch yields one outcome per job"))
 }
 
 #[cfg(test)]

@@ -36,21 +36,24 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 mod calibration;
 mod exec;
 mod experiment;
+mod faults;
 mod pool;
 pub mod report;
 mod runner;
 
 pub use calibration::{calibrate, calibrate_with, Calibration};
-pub use exec::{EngineReport, ExecEngine, SimJob, SimOutcome};
+pub use exec::{EngineReport, ExecEngine, JobError, JobFailure, SimJob, SimOutcome};
 pub use experiment::{
     constraints_for, figure4_panel, figure4_panel_with, table6_block, table6_block_with,
     ExperimentError, Figure4Cell, Figure4Panel, Table6Block,
 };
+pub use faults::{perturb_profile, to_sim_counters};
 pub use runner::{
     hwm_campaign, hwm_campaign_with, isolation_profile, observed_corun, to_model_counters,
     to_model_counts, HwmMeasurement,

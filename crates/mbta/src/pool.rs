@@ -8,7 +8,7 @@
 //! bounds, no channels, no external crates.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Runs `f` over every job, on up to `workers` threads, returning the
 /// results in job order.
@@ -41,16 +41,20 @@ where
                     break;
                 }
                 let out = f(i, &jobs[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                // Poison recovery: a poisoned slot still stores the
+                // value — overwriting the `Option` cannot tear it.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
             });
         }
     });
+    // `thread::scope` re-raises any worker panic before we get here, so
+    // every slot has been claimed and filled exactly once.
     slots
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index was claimed exactly once")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| unreachable!("every job index is claimed exactly once"))
         })
         .collect()
 }

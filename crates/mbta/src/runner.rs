@@ -97,7 +97,11 @@ impl HwmMeasurement {
 /// # Panics
 ///
 /// Panics if `runs == 0`.
-pub fn hwm_campaign(spec: &TaskSpec, core: CoreId, runs: u32) -> Result<HwmMeasurement, SimError> {
+pub fn hwm_campaign(
+    spec: &TaskSpec,
+    core: CoreId,
+    runs: u32,
+) -> Result<HwmMeasurement, crate::JobError> {
     hwm_campaign_with(&crate::ExecEngine::sequential(), spec, core, runs)
 }
 
@@ -118,7 +122,7 @@ pub fn hwm_campaign_with(
     spec: &TaskSpec,
     core: CoreId,
     runs: u32,
-) -> Result<HwmMeasurement, SimError> {
+) -> Result<HwmMeasurement, crate::JobError> {
     assert!(runs > 0, "a campaign needs at least one run");
     let batch: Vec<crate::SimJob> = (0..runs)
         .map(|r| {
@@ -139,7 +143,9 @@ pub fn hwm_campaign_with(
         envelope.pcache_miss = envelope.pcache_miss.max(c.pcache_miss);
         envelope.dcache_miss_clean = envelope.dcache_miss_clean.max(c.dcache_miss_clean);
         envelope.dcache_miss_dirty = envelope.dcache_miss_dirty.max(c.dcache_miss_dirty);
-        let g = p.ptac().expect("isolation profiles carry ground truth");
+        let g = p
+            .ptac()
+            .unwrap_or_else(|| unreachable!("isolation profiles carry ground truth"));
         ptac = AccessCounts::from_fn(|t, o| ptac.get(t, o).max(g.get(t, o)));
         ccnts.push(c.ccnt);
     }

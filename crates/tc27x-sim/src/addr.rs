@@ -333,7 +333,7 @@ impl MemMap {
             .iter()
             .find(|e| e.region == region)
             .map(|e| e.size)
-            .expect("region not mapped")
+            .unwrap_or_else(|| unreachable!("region not mapped"))
     }
 }
 

@@ -164,7 +164,7 @@ impl Cache {
         let victim = ways
             .iter_mut()
             .min_by_key(|w| if w.valid { (1, w.lru) } else { (0, 0) })
-            .expect("sets are never empty");
+            .unwrap_or_else(|| unreachable!("sets are never empty"));
         let evicted_dirty = (victim.valid && victim.dirty).then(|| victim.tag * sets + set as u32);
         victim.tag = tag;
         victim.valid = true;

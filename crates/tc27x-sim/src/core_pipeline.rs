@@ -225,7 +225,9 @@ impl CorePipeline {
                 if now < at {
                     self.state = State::PostNext { at, rest, after };
                 } else {
-                    let op = rest.pop_front().expect("PostNext implies another op");
+                    let Some(op) = rest.pop_front() else {
+                        unreachable!("PostNext implies another op");
+                    };
                     self.post_chain_op(now, sri, op, rest, after);
                 }
             }
@@ -424,7 +426,7 @@ impl CorePipeline {
     ) {
         let target = region
             .sri_target()
-            .expect("shared code regions have an SRI target");
+            .unwrap_or_else(|| unreachable!("shared code regions have an SRI target"));
         let sequential = self.last_sri_line[target.index()] == Some(line.wrapping_sub(1));
         let timing = config.slave(target);
         let service = if sequential && target.is_pflash() {
@@ -495,7 +497,7 @@ impl CorePipeline {
         let target = o
             .region
             .sri_target()
-            .expect("shared data regions have an SRI target");
+            .unwrap_or_else(|| unreachable!("shared data regions have an SRI target"));
         let timing = config.slave(target);
         let data_hide = config.hide_cycles(AccessClass::Data, target, false);
         // The flash prefetch buffer also streams sequential data reads.
@@ -526,13 +528,12 @@ impl CorePipeline {
                     if let Some(victim_line) = evicted_dirty {
                         self.counters.dcache_miss_dirty += 1;
                         let victim_addr = crate::addr::Addr(victim_line * LINE_BYTES);
-                        let victim_loc = map
-                            .decode(victim_addr)
-                            .expect("victim lines come from mapped addresses");
-                        let victim_target = victim_loc
-                            .region
-                            .sri_target()
-                            .expect("cacheable data lives in shared regions");
+                        let victim_loc = map.decode(victim_addr).unwrap_or_else(|| {
+                            unreachable!("victim lines come from mapped addresses")
+                        });
+                        let victim_target = victim_loc.region.sri_target().unwrap_or_else(|| {
+                            unreachable!("cacheable data lives in shared regions")
+                        });
                         chain.push_back(ChainOp {
                             target: victim_target,
                             class: AccessClass::Data,
@@ -552,7 +553,9 @@ impl CorePipeline {
                         hide: data_hide,
                     });
                     self.last_sri_line[target.index()] = Some(line);
-                    let first = chain.pop_front().expect("chain has at least the fill");
+                    let Some(first) = chain.pop_front() else {
+                        unreachable!("chain has at least the fill");
+                    };
                     self.post_chain_op(now, sri, first, chain, AfterChain::NextInstr);
                 }
             }

@@ -52,6 +52,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod addr;
@@ -59,6 +60,7 @@ pub mod cache;
 pub mod config;
 pub mod core_pipeline;
 pub mod counters;
+pub mod faults;
 pub mod layout;
 pub mod linker;
 pub mod program;
@@ -70,6 +72,7 @@ pub mod trace;
 pub use addr::{Addr, CoreId, MemMap, Region, SriTarget};
 pub use config::SimConfig;
 pub use counters::{DebugCounters, GroundTruth};
+pub use faults::{CounterId, FaultInjector, FaultKind, FaultRecord};
 pub use layout::{
     AccessClass, CodeSegment, DataObject, DeploymentScenario, LayoutError, Placement, TaskSpec,
 };

@@ -144,7 +144,7 @@ impl Sri {
                 .iter()
                 .map(|p| priority[p.core.index()])
                 .max()
-                .expect("queue checked non-empty");
+                .unwrap_or_else(|| unreachable!("queue checked non-empty"));
             let pick = (1..=CoreId::COUNT)
                 .map(|d| (slave.last_grant + d) % CoreId::COUNT)
                 .filter(|&c| priority[c] == best_class)

@@ -233,10 +233,9 @@ impl System {
             return Err(SimError::NothingLoaded);
         }
         self.run_while(move |cores| {
-            !cores[observed.index()]
+            cores[observed.index()]
                 .as_ref()
-                .expect("checked above")
-                .is_done()
+                .is_some_and(|c| !c.is_done())
         })
     }
 
@@ -258,11 +257,10 @@ impl System {
             }
             let grants = self.sri.step(self.now);
             for (i, grant) in grants.iter().enumerate() {
-                if let Some(g) = grant {
-                    self.cores[i]
-                        .as_mut()
-                        .expect("grants only go to loaded cores")
-                        .apply_grant(self.now, *g);
+                // Grants only go to loaded cores; an unloaded slot
+                // simply has no grant to apply.
+                if let (Some(g), Some(core)) = (grant, self.cores[i].as_mut()) {
+                    core.apply_grant(self.now, *g);
                 }
             }
             self.now += 1;

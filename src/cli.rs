@@ -13,8 +13,18 @@
 //! Every subcommand accepts a global `--jobs N` flag sizing the
 //! experiment engine's worker pool (default: the machine's available
 //! parallelism). Results are identical for any `N`.
+//!
+//! Three further global flags control the fault-tolerant evaluation
+//! pipeline: `--strict` rejects counter profiles that violate a
+//! platform invariant, `--repair` (the default) clamps them and warns,
+//! and `--ilp-budget N` caps the ILP solver at `N` branch-and-bound
+//! nodes — when the budget runs out, `bound --model ilp` degrades to
+//! the sound fTC bound and tags the output `fallback=ftc`.
 
-use contention::{ContentionModel, FsbModel, FtcModel, IlpPtacModel, Platform, WcetEstimate};
+use contention::{
+    ContentionModel, EvalOptions, Evaluator, FsbModel, FtcModel, Platform, ValidationPolicy,
+    Validator, WcetEstimate,
+};
 use mbta::ExecEngine;
 use tc27x_sim::{CoreId, DeploymentScenario, SimConfig, System};
 use workloads::LoadLevel;
@@ -123,6 +133,18 @@ fn take_option<'a>(args: &'a [String], key: &str) -> Result<Option<&'a str>, Par
     }
 }
 
+/// Settings of the fault-tolerant evaluation pipeline, shared by every
+/// subcommand (from the global `--strict`/`--repair`/`--ilp-budget`
+/// flags).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PipelineSettings {
+    /// How profile-invariant violations are treated (default: repair).
+    pub policy: ValidationPolicy,
+    /// Branch-and-bound node budget override for the ILP solver; the
+    /// model default when `None`.
+    pub ilp_budget: Option<u64>,
+}
+
 /// A fully parsed invocation: the subcommand plus the global options
 /// every subcommand shares.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -131,10 +153,13 @@ pub struct Invocation {
     pub command: Command,
     /// Worker count for the experiment engine (`--jobs N`).
     pub jobs: usize,
+    /// Evaluation-pipeline settings.
+    pub settings: PipelineSettings,
 }
 
 /// Parses an argument vector (without the program name), extracting the
-/// global `--jobs N` flag before subcommand dispatch.
+/// global `--jobs N`, `--strict`, `--repair` and `--ilp-budget N` flags
+/// before subcommand dispatch.
 ///
 /// # Errors
 ///
@@ -159,10 +184,50 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
             .map(|n| n.get())
             .unwrap_or(1),
     };
+    let strict = take_flag(&mut rest, "--strict");
+    let repair = take_flag(&mut rest, "--repair");
+    if strict && repair {
+        return Err(ParseError(
+            "--strict and --repair are mutually exclusive".into(),
+        ));
+    }
+    let policy = if strict {
+        ValidationPolicy::Strict
+    } else {
+        ValidationPolicy::Repair
+    };
+    let ilp_budget = match rest.iter().position(|a| a == "--ilp-budget") {
+        Some(pos) => {
+            let v = rest
+                .get(pos + 1)
+                .ok_or_else(|| ParseError("--ilp-budget requires a value".into()))?;
+            let n = v
+                .parse::<u64>()
+                .map_err(|_| ParseError(format!("invalid --ilp-budget `{v}`")))?;
+            if n == 0 {
+                return Err(ParseError("--ilp-budget must be at least 1".into()));
+            }
+            rest.drain(pos..pos + 2);
+            Some(n)
+        }
+        None => None,
+    };
     Ok(Invocation {
         command: parse(&rest)?,
         jobs,
+        settings: PipelineSettings { policy, ilp_budget },
     })
+}
+
+/// Removes a boolean flag from `args`, reporting whether it was present.
+fn take_flag(args: &mut Vec<String>, key: &str) -> bool {
+    match args.iter().position(|a| a == key) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
 }
 
 /// Parses an argument vector (without the program name).
@@ -252,6 +317,14 @@ GLOBAL OPTIONS:
     --jobs N                        worker threads for the experiment engine
                                     (default: available parallelism; results
                                     are identical for any N)
+    --strict                        reject counter profiles that violate a
+                                    platform invariant
+    --repair                        clamp inconsistent profiles and warn
+                                    (default)
+    --ilp-budget N                  branch-and-bound node budget for the ILP
+                                    solver; on exhaustion `bound --model ilp`
+                                    degrades to the sound fTC bound and tags
+                                    the output `fallback=ftc`
 ";
 
 /// Executes a parsed invocation: builds the experiment engine from the
@@ -261,7 +334,7 @@ GLOBAL OPTIONS:
 ///
 /// Propagates simulation/model errors as boxed errors.
 pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>> {
-    run_with(&ExecEngine::new(inv.jobs), inv.command)
+    run_with_settings(&ExecEngine::new(inv.jobs), inv.command, inv.settings)
 }
 
 /// Executes a parsed command on a default (available-parallelism)
@@ -275,14 +348,30 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
     run_with(&ExecEngine::with_available_parallelism(), cmd)
 }
 
-/// Executes a parsed command, writing human-readable output to stdout.
-/// All simulations go through `engine`, so repeated profiles are served
-/// from its memo cache and batches spread across its workers.
+/// [`run_with_settings`] under default pipeline settings (repair
+/// policy, model-default ILP budget).
 ///
 /// # Errors
 ///
 /// Propagates simulation/model errors as boxed errors.
 pub fn run_with(engine: &ExecEngine, cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    run_with_settings(engine, cmd, PipelineSettings::default())
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+/// All simulations go through `engine`, so repeated profiles are served
+/// from its memo cache and batches spread across its workers. Profile
+/// validation and the ILP solve budget follow `settings`; repaired
+/// profiles are reported on stderr.
+///
+/// # Errors
+///
+/// Propagates simulation/model errors as boxed errors.
+pub fn run_with_settings(
+    engine: &ExecEngine,
+    cmd: Command,
+    settings: PipelineSettings,
+) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => {
             print!("{USAGE}");
@@ -337,13 +426,46 @@ pub fn run_with(engine: &ExecEngine, cmd: Command) -> Result<(), Box<dyn std::er
                 &workloads::contender(scenario, level, CoreId(2), 7),
                 CoreId(2),
             )?;
-            let est: WcetEstimate = match model {
-                ModelChoice::Ilp => IlpPtacModel::new(&platform, mbta::constraints_for(scenario))
-                    .wcet_estimate(&app, &[&load])?,
-                ModelChoice::Ftc => FtcModel::new(&platform).wcet_estimate(&app, &[&load])?,
-                ModelChoice::Fsb => FsbModel::new(&platform).wcet_estimate(&app, &[&load])?,
-            };
-            println!("{est}");
+            match model {
+                ModelChoice::Ilp => {
+                    // The fault-tolerant pipeline: validate under the
+                    // configured policy, solve the ILP exactly within
+                    // its node budget, degrade to fTC when it runs out.
+                    let mut options = EvalOptions::for_scenario(mbta::constraints_for(scenario));
+                    options.policy = settings.policy;
+                    if let Some(budget) = settings.ilp_budget {
+                        options.ilp.node_budget = budget;
+                    }
+                    let evaluated = Evaluator::new(&platform, options).bound(&app, &load)?;
+                    for report in &evaluated.reports {
+                        if !report.is_clean() {
+                            eprintln!("warning: repaired profile: {}", report.detail());
+                        }
+                    }
+                    let est = WcetEstimate {
+                        isolation_cycles: app.counters().ccnt,
+                        contention_cycles: evaluated.bound.delta_cycles,
+                    };
+                    println!("{est} [{}]", evaluated.source.tag());
+                }
+                ModelChoice::Ftc | ModelChoice::Fsb => {
+                    let validator = Validator::new(&platform, settings.policy);
+                    let (app, report_a) = validator.apply(&app)?;
+                    let (load, report_b) = validator.apply(&load)?;
+                    for report in [&report_a, &report_b] {
+                        if !report.is_clean() {
+                            eprintln!("warning: repaired profile: {}", report.detail());
+                        }
+                    }
+                    let est: WcetEstimate = match model {
+                        ModelChoice::Ftc => {
+                            FtcModel::new(&platform).wcet_estimate(&app, &[&load])?
+                        }
+                        _ => FsbModel::new(&platform).wcet_estimate(&app, &[&load])?,
+                    };
+                    println!("{est}");
+                }
+            }
             Ok(())
         }
         Command::Profile { scenario, level } => {
@@ -501,6 +623,43 @@ mod tests {
     }
 
     #[test]
+    fn parses_pipeline_flags() {
+        let inv = parse_invocation(&argv("bound --scenario sc1 --level high")).unwrap();
+        assert_eq!(inv.settings, PipelineSettings::default());
+        assert_eq!(inv.settings.policy, ValidationPolicy::Repair);
+        assert_eq!(inv.settings.ilp_budget, None);
+
+        let inv = parse_invocation(&argv("--strict bound --scenario sc1 --level high")).unwrap();
+        assert_eq!(inv.settings.policy, ValidationPolicy::Strict);
+
+        let inv = parse_invocation(&argv("bound --repair --scenario sc1 --level high")).unwrap();
+        assert_eq!(inv.settings.policy, ValidationPolicy::Repair);
+
+        let inv = parse_invocation(&argv(
+            "bound --scenario sc1 --ilp-budget 1 --level high --jobs 2",
+        ))
+        .unwrap();
+        assert_eq!(inv.settings.ilp_budget, Some(1));
+        assert_eq!(inv.jobs, 2);
+        assert_eq!(
+            inv.command,
+            Command::Bound {
+                scenario: DeploymentScenario::Scenario1,
+                level: LoadLevel::High,
+                model: ModelChoice::Ilp,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_pipeline_flags() {
+        assert!(parse_invocation(&argv("calibrate --strict --repair")).is_err());
+        assert!(parse_invocation(&argv("calibrate --ilp-budget")).is_err());
+        assert!(parse_invocation(&argv("calibrate --ilp-budget 0")).is_err());
+        assert!(parse_invocation(&argv("calibrate --ilp-budget lots")).is_err());
+    }
+
+    #[test]
     fn usage_mentions_every_subcommand() {
         for sub in [
             "calibrate",
@@ -509,6 +668,9 @@ mod tests {
             "trace",
             "profile",
             "--jobs",
+            "--strict",
+            "--repair",
+            "--ilp-budget",
         ] {
             assert!(USAGE.contains(sub), "{sub}");
         }
