@@ -7,52 +7,75 @@
 //!    literal strict equalities.
 //!
 //! ```text
-//! cargo run -p contention-bench --bin ablation [-- --jobs N]
+//! cargo run -p contention-bench --bin ablation [-- --jobs N] [--ilp-budget N]
 //! ```
 //!
-//! Every variant row asks for the same three contender profiles, so all
-//! but the first pass are served from the engine's memo cache — the
-//! emitted `BENCH_engine.json` shows the hit rate.
+//! `--ilp-budget N` caps the branch-and-bound node budget of every
+//! ILP-PTAC variant (a budget exhaustion shows up as an error cell, not
+//! an abort); `--journal`/`--resume` run the profile measurements as a
+//! crash-safe campaign. Every variant row asks for the same three
+//! contender profiles, so all but the first pass are served from the
+//! engine's memo cache — the emitted `BENCH_engine.json` shows the hit
+//! rate.
 
 use contention::{
     ContentionModel, FsbModel, FtcModel, IlpPtacModel, IlpPtacOptions, Platform,
     ScenarioConstraints,
 };
-use contention_bench::{engine_from_args, write_engine_report};
+use contention_bench::{campaign_from_args, report_campaign, write_engine_report, CommonArgs};
 use mbta::report::Table;
+use mbta::BatchRunner;
 use tc27x_sim::{CoreId, DeploymentScenario};
 use workloads::{contender, control_loop, LoadLevel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let engine = engine_from_args(&args)?;
+    let common = CommonArgs::parse(&args)?;
+    let engine = common.engine();
+    let campaign = campaign_from_args(&engine, &common)?;
+    let runner: &dyn BatchRunner = match campaign.as_ref() {
+        Some(c) => c,
+        None => &engine,
+    };
+    let budgeted = |mut opts: IlpPtacOptions| {
+        if let Some(budget) = common.ilp_budget {
+            opts.node_budget = budget;
+        }
+        opts
+    };
     let platform = Platform::tc277_reference();
     let scenario = DeploymentScenario::Scenario1;
-    let app = engine.isolation(&control_loop(scenario, CoreId(1), 42), CoreId(1))?;
+    let app = runner.isolation(&control_loop(scenario, CoreId(1), 42), CoreId(1))?;
 
     println!("ILP-PTAC ablations, Scenario 1, vs contender load\n");
 
     let variants: Vec<(&str, IlpPtacOptions)> = vec![
         (
             "full (tailored, contender, budget)",
-            IlpPtacOptions::for_scenario(ScenarioConstraints::scenario1()),
+            budgeted(IlpPtacOptions::for_scenario(
+                ScenarioConstraints::scenario1(),
+            )),
         ),
         (
             "no scenario tailoring",
-            IlpPtacOptions::for_scenario(ScenarioConstraints::unconstrained()),
+            budgeted(IlpPtacOptions::for_scenario(
+                ScenarioConstraints::unconstrained(),
+            )),
         ),
-        ("no contender constraints (fully TC)", {
-            IlpPtacOptions {
+        (
+            "no contender constraints (fully TC)",
+            budgeted(IlpPtacOptions {
                 contender_constraints: false,
                 ..IlpPtacOptions::for_scenario(ScenarioConstraints::scenario1())
-            }
-        }),
-        ("strict stall equalities", {
-            IlpPtacOptions {
+            }),
+        ),
+        (
+            "strict stall equalities",
+            budgeted(IlpPtacOptions {
                 strict_stall_equality: true,
                 ..IlpPtacOptions::for_scenario(ScenarioConstraints::scenario1())
-            }
-        }),
+            }),
+        ),
     ];
 
     let mut t = Table::new(vec!["variant", "L-Load", "M-Load", "H-Load"]);
@@ -61,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut row = vec![name.to_string()];
         for level in LoadLevel::all() {
             let load_spec = contender(scenario, level, CoreId(2), 7);
-            let load = engine.isolation(&load_spec, CoreId(2))?;
+            let load = runner.isolation(&load_spec, CoreId(2))?;
             match model.wcet_estimate(&app, &[&load]) {
                 Ok(est) => row.push(format!("{:.2}x", est.ratio())),
                 Err(e) => row.push(format!("error: {e}")),
@@ -74,7 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut row = vec!["fTC closed form (reference)".to_string()];
     for level in LoadLevel::all() {
         let load_spec = contender(scenario, level, CoreId(2), 7);
-        let load = engine.isolation(&load_spec, CoreId(2))?;
+        let load = runner.isolation(&load_spec, CoreId(2))?;
         row.push(format!(
             "{:.2}x",
             ftc.wcet_estimate(&app, &[&load])?.ratio()
@@ -94,7 +117,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t = Table::new(vec!["model", "L-Load", "M-Load", "H-Load"]);
     let fsb_aware = FsbModel::new(&platform);
     let fsb_ftc = FsbModel::new(&platform).fully_time_composable();
-    let xbar = IlpPtacModel::new(&platform, ScenarioConstraints::scenario1());
+    let xbar = IlpPtacModel::with_options(
+        &platform,
+        budgeted(IlpPtacOptions::for_scenario(
+            ScenarioConstraints::scenario1(),
+        )),
+    );
     let xbar_ftc = FtcModel::new(&platform);
     for (name, model) in [
         ("cross-bar ILP-PTAC", &xbar as &dyn ContentionModel),
@@ -105,7 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut row = vec![name.to_string()];
         for level in LoadLevel::all() {
             let load_spec = contender(scenario, level, CoreId(2), 7);
-            let load = engine.isolation(&load_spec, CoreId(2))?;
+            let load = runner.isolation(&load_spec, CoreId(2))?;
             row.push(format!(
                 "{:.2}x",
                 model.wcet_estimate(&app, &[&load])?.ratio()
@@ -117,6 +145,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nthe per-slave (cross-bar) models dominate their single-bus");
     println!("reductions in every column — §4.3's subsumption claim, measured.");
 
+    let complete = report_campaign(campaign.as_ref());
     write_engine_report(&engine);
+    if !complete {
+        std::process::exit(2);
+    }
     Ok(())
 }

@@ -15,19 +15,29 @@
 //! panel's seven simulations run as one batch. Each panel also reports
 //! the fault-tolerant evaluator's fTC fallback rate on stderr;
 //! `--ilp-budget N` caps the ILP node budget for that report.
+//! `--journal <file>` / `--resume <file>` run the panels as a
+//! crash-safe campaign (see `contention_bench::campaign_from_args`).
 
 use contention::Platform;
 use contention_bench::{
-    engine_from_args, fig4_cell, ilp_budget_from_args, panel_fallback_report, write_engine_report,
+    campaign_from_args, fig4_cell, panel_fallback_report, report_campaign, write_engine_report,
+    CommonArgs,
 };
 use mbta::report::{ratio, Table};
+use mbta::BatchRunner;
 use tc27x_sim::DeploymentScenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let low_traffic = args.iter().any(|a| a == "--low-traffic");
-    let budget = ilp_budget_from_args(&args)?;
-    let engine = engine_from_args(&args)?;
+    let common = CommonArgs::parse(&args)?;
+    let budget = common.ilp_budget;
+    let engine = common.engine();
+    let campaign = campaign_from_args(&engine, &common)?;
+    let runner: &dyn BatchRunner = match campaign.as_ref() {
+        Some(c) => c,
+        None => &engine,
+    };
     let platform = Platform::tc277_reference();
 
     let scenarios: &[(DeploymentScenario, &str)] = if low_traffic {
@@ -46,10 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(ratios are bound/isolation; 'observed' is the measured co-run)\n");
 
     for (scenario, label) in scenarios {
-        let panel = mbta::figure4_panel_with(&engine, *scenario, &platform, 42)?;
+        let panel = mbta::figure4_panel_with(runner, *scenario, &platform, 42)?;
         eprintln!(
             "{label}: {}",
-            panel_fallback_report(&engine, *scenario, 42, budget)?
+            panel_fallback_report(runner, *scenario, 42, budget)?
         );
         println!(
             "{label}  —  isolation CCNT = {} cycles",
@@ -90,6 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("bounds (~10%) than the 30-40% of the stressing benchmarks.");
     }
 
+    let complete = report_campaign(campaign.as_ref());
     write_engine_report(&engine);
+    if !complete {
+        std::process::exit(2);
+    }
     Ok(())
 }

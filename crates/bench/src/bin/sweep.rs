@@ -10,7 +10,17 @@
 //!
 //! ```text
 //! cargo run -p contention-bench --bin sweep [-- --scenario sc1|sc2] [--jobs N] [--ilp-budget N] > sweep.csv
+//! cargo run -p contention-bench --bin sweep -- --journal sweep.journal > sweep.csv
+//! cargo run -p contention-bench --bin sweep -- --resume sweep.journal > sweep.csv
 //! ```
+//!
+//! With `--journal <file>` every completed simulation is appended to a
+//! crash-safe journal; after an interruption, `--resume <file>` replays
+//! the completed jobs and re-executes only the missing ones — the CSV
+//! is byte-identical to an uninterrupted run at any `--jobs N`. Under a
+//! campaign the sweep also degrades gracefully: a row whose simulation
+//! stays unrecovered is skipped (and named on stderr) instead of
+//! aborting the whole sweep.
 //!
 //! After the CSV, the fault-tolerant evaluator re-runs every pair
 //! (profiles come from the memo cache) and reports its fTC fallback
@@ -19,7 +29,8 @@
 //! byte-identical regardless of the budget.
 
 use contention_bench::{
-    engine_from_args, ilp_budget_from_args, sweep_csv, sweep_fallback_report, write_engine_report,
+    campaign_from_args, report_campaign, sweep_csv, sweep_csv_partial, sweep_fallback_report,
+    write_engine_report, CommonArgs,
 };
 use tc27x_sim::DeploymentScenario;
 
@@ -32,12 +43,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         None => DeploymentScenario::Scenario1,
     };
-    let budget = ilp_budget_from_args(&args)?;
-    let engine = engine_from_args(&args)?;
+    let common = CommonArgs::parse(&args)?;
+    let engine = common.engine();
+    let campaign = campaign_from_args(&engine, &common)?;
 
-    print!("{}", sweep_csv(&engine, scenario)?);
+    let mut sweep_complete = true;
+    match campaign.as_ref() {
+        // Under a campaign, degrade gracefully: keep every computable
+        // row and name the skipped ones instead of aborting.
+        Some(runner) => {
+            let partial = sweep_csv_partial(runner, scenario)?;
+            print!("{}", partial.csv);
+            if !partial.is_complete() {
+                sweep_complete = false;
+                eprintln!(
+                    "sweep: {} row(s) skipped (intensities {:?} permille) — resume to recover",
+                    partial.skipped.len(),
+                    partial.skipped
+                );
+            }
+            eprintln!(
+                "{}",
+                sweep_fallback_report(runner, scenario, common.ilp_budget)?
+            );
+        }
+        None => {
+            print!("{}", sweep_csv(&engine, scenario)?);
+            eprintln!(
+                "{}",
+                sweep_fallback_report(&engine, scenario, common.ilp_budget)?
+            );
+        }
+    }
 
-    eprintln!("{}", sweep_fallback_report(&engine, scenario, budget)?);
+    let campaign_complete = report_campaign(campaign.as_ref());
     write_engine_report(&engine);
+    if !(sweep_complete && campaign_complete) {
+        std::process::exit(2);
+    }
     Ok(())
 }

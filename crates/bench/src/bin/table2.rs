@@ -3,17 +3,31 @@
 //! calibration microbenchmark campaign on the simulated TC277.
 //!
 //! ```text
-//! cargo run -p contention-bench --bin table2 [-- --jobs N]
+//! cargo run -p contention-bench --bin table2 [-- --jobs N] [--journal <file> | --resume <file>]
 //! ```
+//!
+//! The calibration campaign (28 probe runs) accepts the shared flags:
+//! `--jobs N` sizes the engine, and `--journal`/`--resume` make the
+//! campaign crash-safe (`--ilp-budget` is accepted for driver
+//! uniformity; Table 2 runs no ILP solve).
 
 use contention::{Operation, Platform, Target};
-use contention_bench::{engine_from_args, paper_vs, write_engine_report};
+use contention_bench::{
+    campaign_from_args, paper_vs, report_campaign, write_engine_report, CommonArgs,
+};
 use mbta::report::Table;
+use mbta::BatchRunner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let engine = engine_from_args(&args)?;
-    let cal = mbta::calibrate_with(&engine)?;
+    let common = CommonArgs::parse(&args)?;
+    let engine = common.engine();
+    let campaign = campaign_from_args(&engine, &common)?;
+    let runner: &dyn BatchRunner = match campaign.as_ref() {
+        Some(c) => c,
+        None => &engine,
+    };
+    let cal = mbta::calibrate_with(runner)?;
     let paper = Platform::tc277_reference();
 
     println!("Table 2: maximum latency and minimum stall cycles per SRI target");
@@ -61,6 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cal.into_platform().cs_data_min()
     );
 
+    let complete = report_campaign(campaign.as_ref());
     write_engine_report(&engine);
+    if !complete {
+        std::process::exit(2);
+    }
     Ok(())
 }

@@ -7,10 +7,12 @@
 //! ```
 //!
 //! Table 3 needs no simulation, but the binary still takes the common
-//! `--jobs` flag and emits `BENCH_engine.json` (with zero runs) so the
-//! evaluation driver can treat all six artefact binaries uniformly.
+//! flags (`--jobs`, `--ilp-budget`, `--journal`/`--resume`) and emits
+//! `BENCH_engine.json` (with zero runs) so the evaluation driver can
+//! treat all six artefact binaries uniformly. A journal written here
+//! records nothing beyond its header — there are no jobs to journal.
 
-use contention_bench::{engine_from_args, write_engine_report};
+use contention_bench::{campaign_from_args, report_campaign, write_engine_report, CommonArgs};
 use mbta::report::Table;
 use tc27x_sim::{AccessClass, Placement, Region};
 
@@ -24,7 +26,9 @@ fn cell(class: AccessClass, region: Region, cacheable: bool) -> String {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let engine = engine_from_args(&args)?;
+    let common = CommonArgs::parse(&args)?;
+    let engine = common.engine();
+    let campaign = campaign_from_args(&engine, &common)?;
 
     println!("Table 3: constraints on code/data placement w.r.t. SRI slaves");
     println!("('ok' = admissible, 'x' = forbidden; matches the paper cell for cell)\n");
@@ -54,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  Code $ : ok ok x ok     Code n$: ok ok x ok");
     println!("  Data $ : ok ok x ok     Data n$: x  x  ok ok");
 
+    report_campaign(campaign.as_ref());
     write_engine_report(&engine);
     Ok(())
 }

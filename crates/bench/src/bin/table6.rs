@@ -7,12 +7,16 @@
 //! are zero, the relative sizes — is the reproduced artefact.
 //!
 //! ```text
-//! cargo run -p contention-bench --bin table6 [-- --jobs N]
+//! cargo run -p contention-bench --bin table6 [-- --jobs N] [--journal <file> | --resume <file>]
 //! ```
+//!
+//! Accepts the shared driver flags; `--journal`/`--resume` run both
+//! scenario blocks as a crash-safe campaign.
 
 use contention::IsolationProfile;
-use contention_bench::{engine_from_args, write_engine_report};
+use contention_bench::{campaign_from_args, report_campaign, write_engine_report, CommonArgs};
 use mbta::report::Table;
+use mbta::BatchRunner;
 use tc27x_sim::DeploymentScenario;
 
 fn row(label: &str, p: &IsolationProfile) -> Vec<String> {
@@ -29,7 +33,13 @@ fn row(label: &str, p: &IsolationProfile) -> Vec<String> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let engine = engine_from_args(&args)?;
+    let common = CommonArgs::parse(&args)?;
+    let engine = common.engine();
+    let campaign = campaign_from_args(&engine, &common)?;
+    let runner: &dyn BatchRunner = match campaign.as_ref() {
+        Some(c) => c,
+        None => &engine,
+    };
 
     println!("Table 6: counter readings for Scenarios 1 and 2");
     println!("(application on core 1, H-Load contender on core 2)\n");
@@ -39,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Sc1", DeploymentScenario::Scenario1),
         ("Sc2", DeploymentScenario::Scenario2),
     ] {
-        let block = mbta::table6_block_with(&engine, scenario, 42)?;
+        let block = mbta::table6_block_with(runner, scenario, 42)?;
         t.row(row(&format!("{label} Core1"), &block.core1));
         t.row(row(&format!("{label} Core2"), &block.core2));
     }
@@ -54,6 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cacheable data misses; Sc2 data stalls are a small fraction of");
     println!("code stalls; contender traffic is roughly half the app's.");
 
+    let complete = report_campaign(campaign.as_ref());
     write_engine_report(&engine);
+    if !complete {
+        std::process::exit(2);
+    }
     Ok(())
 }

@@ -23,7 +23,8 @@ use contention::{
     ContentionModel, EvalOptions, Evaluator, FsbModel, FtcModel, IdealModel, IlpPtacModel,
     Platform, WcetEstimate,
 };
-use mbta::{ExecEngine, SimJob};
+use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine, SimJob};
+use std::path::PathBuf;
 use tc27x_sim::{
     CoreId, DataObject, DeploymentScenario, Pattern, Placement, Program, Region, TaskSpec,
 };
@@ -130,28 +131,17 @@ pub fn scaled_contender(core: CoreId, intensity_permille: u32) -> TaskSpec {
     ))
 }
 
-/// Builds the full sweep CSV (header plus one row per intensity step)
-/// on the given engine: all isolation runs and co-runs go out as one
-/// batch, and the CSV is assembled from the index-ordered results — so
-/// the returned string is byte-identical for any worker count.
-///
-/// # Errors
-///
-/// Propagates simulation and model errors.
-pub fn sweep_csv(
-    engine: &ExecEngine,
-    scenario: DeploymentScenario,
-) -> Result<String, mbta::ExperimentError> {
-    let platform = Platform::tc277_reference();
+/// The sweep's job list, in the fixed order the CSV assembly consumes:
+/// one app isolation, then per intensity a contender isolation and a
+/// co-run.
+fn sweep_batch(scenario: DeploymentScenario, intensities: &[u32]) -> Vec<SimJob> {
     let (app_core, load_core) = (CoreId(1), CoreId(2));
     let app_spec = workloads::control_loop(scenario, app_core, 42);
-    let intensities: Vec<u32> = (0..=1_000).step_by(100).collect();
-
     let mut batch = vec![SimJob::Isolation {
         spec: app_spec.clone(),
         core: app_core,
     }];
-    for &intensity in &intensities {
+    for &intensity in intensities {
         let load_spec = scaled_contender(load_core, intensity);
         batch.push(SimJob::Isolation {
             spec: load_spec.clone(),
@@ -164,14 +154,89 @@ pub fn sweep_csv(
             load_core,
         });
     }
-    let mut outcomes = engine.run_batch(&batch)?.into_iter();
-    // `run_batch` returns exactly one outcome per submitted job.
-    let mut next = move || {
-        outcomes
+    batch
+}
+
+/// Builds the full sweep CSV (header plus one row per intensity step)
+/// on the given runner: all isolation runs and co-runs go out as one
+/// batch, and the CSV is assembled from the index-ordered results — so
+/// the returned string is byte-identical for any worker count (and for
+/// a [`CampaignRunner`] replaying a journal).
+///
+/// # Errors
+///
+/// Propagates simulation and model errors; the first failing job aborts
+/// the sweep. Use [`sweep_csv_partial`] to degrade gracefully instead.
+pub fn sweep_csv<R: BatchRunner + ?Sized>(
+    runner: &R,
+    scenario: DeploymentScenario,
+) -> Result<String, mbta::ExperimentError> {
+    let partial = sweep_csv_partial(runner, scenario)?;
+    match partial.skipped.first() {
+        None => Ok(partial.csv),
+        Some(&intensity) => {
+            // Reproduce the fail-fast contract: surface the first
+            // failed row's job failure.
+            let index = 1 + 2 * partial.skipped_indices.first().copied().unwrap_or_default();
+            Err(mbta::ExperimentError::Job(mbta::JobError {
+                index,
+                cause: partial
+                    .first_failure
+                    .unwrap_or(mbta::JobFailure::Panic(format!(
+                        "sweep row for intensity {intensity} failed"
+                    ))),
+            }))
+        }
+    }
+}
+
+/// A sweep that finished possibly degraded: every computable row is in
+/// the CSV, and the rows whose simulations failed are named instead of
+/// aborting the whole campaign.
+#[derive(Clone, Debug)]
+pub struct PartialSweep {
+    /// The CSV (header plus every completed row, intensity-ordered).
+    pub csv: String,
+    /// Intensities (permille) whose row was dropped.
+    pub skipped: Vec<u32>,
+    /// Positions of the skipped intensities in the sweep order.
+    pub skipped_indices: Vec<usize>,
+    /// The lowest-indexed job failure among the skipped rows.
+    pub first_failure: Option<mbta::JobFailure>,
+}
+
+impl PartialSweep {
+    /// Whether every row made it into the CSV.
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// [`sweep_csv`] with graceful degradation: a failed contender
+/// isolation or co-run drops only its own row. The app's isolation run
+/// must succeed (every column is relative to it). When nothing fails,
+/// the CSV is byte-identical to [`sweep_csv`]'s.
+///
+/// # Errors
+///
+/// Propagates an app-isolation failure and model errors.
+pub fn sweep_csv_partial<R: BatchRunner + ?Sized>(
+    runner: &R,
+    scenario: DeploymentScenario,
+) -> Result<PartialSweep, mbta::ExperimentError> {
+    let platform = Platform::tc277_reference();
+    let intensities: Vec<u32> = (0..=1_000).step_by(100).collect();
+    let mut results = runner
+        .run_batch_detailed(&sweep_batch(scenario, &intensities))
+        .into_iter();
+    let mut next = move |index: usize| -> Result<mbta::SimOutcome, mbta::JobError> {
+        results
             .next()
             .unwrap_or_else(|| unreachable!("batch yields one outcome per job"))
+            .map_err(|cause| mbta::JobError { index, cause })
     };
-    let app = next().into_profile();
+
+    let app = next(0)?.into_profile();
 
     let ftc = FtcModel::new(&platform);
     let ilp = IlpPtacModel::new(&platform, mbta::constraints_for(scenario));
@@ -181,10 +246,27 @@ pub fn sweep_csv(
     let mut csv = String::from(
         "intensity_permille,ftc_ratio,ilp_ratio,ideal_ratio,fsb_ratio,observed_ratio\n",
     );
+    let mut skipped = Vec::new();
+    let mut skipped_indices = Vec::new();
+    let mut first_failure = None;
     let iso = app.counters().ccnt as f64;
-    for intensity in intensities {
-        let load = next().into_profile();
-        let observed = next().into_observed();
+    for (pos, intensity) in intensities.into_iter().enumerate() {
+        let row = (next(1 + 2 * pos), next(2 + 2 * pos));
+        let (load, observed) = match row {
+            (Ok(load), Ok(observed)) => (load.into_profile(), observed.into_observed()),
+            (load, observed) => {
+                if first_failure.is_none() {
+                    first_failure = [load.err(), observed.err()]
+                        .into_iter()
+                        .flatten()
+                        .next()
+                        .map(|e| e.cause);
+                }
+                skipped.push(intensity);
+                skipped_indices.push(pos);
+                continue;
+            }
+        };
         csv.push_str(&format!(
             "{intensity},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
             ftc.wcet_estimate(&app, &[&load])?.ratio(),
@@ -194,7 +276,12 @@ pub fn sweep_csv(
             observed as f64 / iso,
         ));
     }
-    Ok(csv)
+    Ok(PartialSweep {
+        csv,
+        skipped,
+        skipped_indices,
+        first_failure,
+    })
 }
 
 /// How often the fault-tolerant evaluator degraded to the fTC bound
@@ -239,8 +326,8 @@ impl std::fmt::Display for FallbackReport {
 /// # Errors
 ///
 /// Propagates engine and model errors.
-pub fn sweep_fallback_report(
-    engine: &ExecEngine,
+pub fn sweep_fallback_report<R: BatchRunner + ?Sized>(
+    engine: &R,
     scenario: DeploymentScenario,
     node_budget: Option<u64>,
 ) -> Result<FallbackReport, mbta::ExperimentError> {
@@ -275,8 +362,8 @@ pub fn sweep_fallback_report(
 /// # Errors
 ///
 /// Propagates engine and model errors.
-pub fn panel_fallback_report(
-    engine: &ExecEngine,
+pub fn panel_fallback_report<R: BatchRunner + ?Sized>(
+    engine: &R,
     scenario: DeploymentScenario,
     seed: u64,
     node_budget: Option<u64>,
@@ -326,6 +413,148 @@ pub fn ilp_budget_from_args(args: &[String]) -> Result<Option<u64>, String> {
         }
         None => Ok(None),
     }
+}
+
+/// Parses an optional `--<flag> <path>` from an argument vector.
+fn path_from_args(args: &[String], flag: &str) -> Result<Option<PathBuf>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(PathBuf::from(v)))
+            .ok_or_else(|| format!("{flag} requires a path")),
+        None => Ok(None),
+    }
+}
+
+/// The flags shared by every bench binary, parsed once: engine sizing
+/// (`--jobs N`), solver budget (`--ilp-budget N`), and the crash-safe
+/// campaign options (`--journal <file>`, `--resume <file>`,
+/// `--watchdog-ms N`).
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Worker threads (`--jobs N`, default: available parallelism).
+    pub jobs: usize,
+    /// ILP node budget for the fault-tolerant evaluator
+    /// (`--ilp-budget N`).
+    pub ilp_budget: Option<u64>,
+    /// Write a fresh campaign journal to this path (`--journal <file>`).
+    pub journal: Option<PathBuf>,
+    /// Resume a campaign from this journal (`--resume <file>`).
+    pub resume: Option<PathBuf>,
+    /// Per-job wall-clock watchdog (`--watchdog-ms N`).
+    pub watchdog_millis: Option<u64>,
+}
+
+impl CommonArgs {
+    /// Parses the shared flags from a binary's argument vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed values, or when
+    /// `--journal` and `--resume` are combined (resume already appends
+    /// to the journal it reads).
+    pub fn parse(args: &[String]) -> Result<CommonArgs, String> {
+        let journal = path_from_args(args, "--journal")?;
+        let resume = path_from_args(args, "--resume")?;
+        if journal.is_some() && resume.is_some() {
+            return Err(
+                "--journal and --resume are mutually exclusive (resume appends in place)".into(),
+            );
+        }
+        let watchdog_millis = match args.iter().position(|a| a == "--watchdog-ms") {
+            Some(i) => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--watchdog-ms requires a value".to_string())?;
+                match v.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    Err(_) => return Err(format!("invalid --watchdog-ms `{v}`")),
+                }
+            }
+            None => None,
+        };
+        Ok(CommonArgs {
+            jobs: jobs_from_args(args)?,
+            ilp_budget: ilp_budget_from_args(args)?,
+            journal,
+            resume,
+            watchdog_millis,
+        })
+    }
+
+    /// Builds the experiment engine these flags describe.
+    pub fn engine(&self) -> ExecEngine {
+        ExecEngine::new(self.jobs)
+    }
+
+    /// The campaign configuration these flags describe (default retry
+    /// policy, no fault injection, optional watchdog).
+    pub fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            watchdog_millis: self.watchdog_millis,
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// Builds the crash-safe campaign runner the flags ask for: `Some` when
+/// `--journal` (fresh) or `--resume` (recover + replay) was given,
+/// `None` for a plain in-memory run. Resume recovery is narrated on
+/// stderr — including a torn-trailing-record truncation, which is
+/// warned about, never silent.
+///
+/// # Errors
+///
+/// Propagates journal creation/recovery errors as readable messages.
+pub fn campaign_from_args<'e>(
+    engine: &'e ExecEngine,
+    common: &CommonArgs,
+) -> Result<Option<CampaignRunner<'e>>, String> {
+    let config = common.campaign_config();
+    if let Some(path) = &common.journal {
+        let runner = CampaignRunner::journaled(engine, config, path)
+            .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
+        eprintln!("journal: recording to {}", path.display());
+        return Ok(Some(runner));
+    }
+    if let Some(path) = &common.resume {
+        let (runner, report) = CampaignRunner::resumed(engine, config, path)
+            .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+        eprint!(
+            "resume: {} record(s) recovered from {}",
+            report.records,
+            path.display()
+        );
+        if report.truncated_bytes > 0 {
+            eprint!(
+                " (warning: {} byte(s) of a torn trailing record truncated)",
+                report.truncated_bytes
+            );
+        }
+        eprintln!();
+        return Ok(Some(runner));
+    }
+    Ok(None)
+}
+
+/// Prints the campaign's partial-result manifest and stats to stderr.
+/// Returns `false` when jobs stayed unrecovered — the campaign finished
+/// degraded, and the binary should exit non-zero without discarding the
+/// completed results.
+pub fn report_campaign(campaign: Option<&CampaignRunner<'_>>) -> bool {
+    let Some(campaign) = campaign else {
+        return true;
+    };
+    let stats = campaign.stats();
+    eprintln!(
+        "campaign: {} replayed, {} executed, {} retried, {} fault(s) injected, {} timeout(s)",
+        stats.replayed, stats.executed, stats.retried, stats.injected_faults, stats.timed_out
+    );
+    let manifest = campaign.manifest();
+    if !manifest.is_complete() {
+        eprint!("{}", manifest.render());
+    }
+    manifest.is_complete()
 }
 
 #[cfg(test)]
@@ -385,5 +614,126 @@ mod tests {
         let full = scaled_contender(CoreId(2), 1_000);
         assert_eq!(idle.segments.len(), 1);
         assert_eq!(full.segments.len(), 2);
+    }
+
+    #[test]
+    fn common_args_parse_and_reject() {
+        let c = CommonArgs::parse(&argv(
+            "--jobs 3 --ilp-budget 9 --journal j.log --watchdog-ms 250",
+        ))
+        .unwrap();
+        assert_eq!(c.jobs, 3);
+        assert_eq!(c.ilp_budget, Some(9));
+        assert_eq!(c.journal, Some(PathBuf::from("j.log")));
+        assert_eq!(c.resume, None);
+        assert_eq!(c.watchdog_millis, Some(250));
+        assert_eq!(c.campaign_config().watchdog_millis, Some(250));
+
+        let r = CommonArgs::parse(&argv("--resume j.log")).unwrap();
+        assert_eq!(r.resume, Some(PathBuf::from("j.log")));
+
+        assert!(CommonArgs::parse(&argv("--journal a --resume b")).is_err());
+        assert!(CommonArgs::parse(&argv("--journal")).is_err());
+        assert!(CommonArgs::parse(&argv("--resume")).is_err());
+        assert!(CommonArgs::parse(&argv("--watchdog-ms soon")).is_err());
+    }
+
+    #[test]
+    fn campaign_from_args_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("bench-campaign-args-{}", std::process::id()));
+        let arg_strings = argv(&format!("--jobs 1 --journal {}", path.display()));
+        let common = CommonArgs::parse(&arg_strings).unwrap();
+        let engine = common.engine();
+        let campaign = campaign_from_args(&engine, &common).unwrap().unwrap();
+        assert!(report_campaign(Some(&campaign)), "empty campaign complete");
+        drop(campaign);
+
+        let resume_args = argv(&format!("--jobs 1 --resume {}", path.display()));
+        let common = CommonArgs::parse(&resume_args).unwrap();
+        let engine = common.engine();
+        assert!(campaign_from_args(&engine, &common).unwrap().is_some());
+
+        let plain = CommonArgs::parse(&argv("--jobs 1")).unwrap();
+        assert!(campaign_from_args(&engine, &plain).unwrap().is_none());
+        assert!(report_campaign(None));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The graceful-degradation path must not change a healthy sweep:
+    /// `sweep_csv_partial` with nothing failing is byte-identical to
+    /// `sweep_csv`, on the plain engine and under a campaign.
+    #[test]
+    fn partial_sweep_matches_sweep_when_nothing_fails() {
+        let engine = ExecEngine::new(2);
+        let full = sweep_csv(&engine, DeploymentScenario::Scenario1).unwrap();
+        let partial = sweep_csv_partial(&engine, DeploymentScenario::Scenario1).unwrap();
+        assert!(partial.is_complete());
+        assert_eq!(partial.csv, full);
+
+        let campaign = CampaignRunner::new(&engine, CampaignConfig::default());
+        let campaigned = sweep_csv_partial(&campaign, DeploymentScenario::Scenario1).unwrap();
+        assert!(campaigned.is_complete());
+        assert_eq!(campaigned.csv, full);
+    }
+
+    /// Under an always-faulting campaign with retries exhausted, the
+    /// partial sweep keeps the header, names every skipped intensity,
+    /// and the strict `sweep_csv` surfaces the underlying job failure.
+    #[test]
+    fn partial_sweep_degrades_and_strict_sweep_fails() {
+        use mbta::{FaultPlan, RetryPolicy};
+        let engine = ExecEngine::new(2);
+        let config = CampaignConfig {
+            retry: RetryPolicy { max_attempts: 1 },
+            fault: Some(FaultPlan {
+                rate_permille: 1_000,
+                seed: 3,
+            }),
+            watchdog_millis: None,
+        };
+        let campaign = CampaignRunner::new(&engine, config);
+        // The app isolation itself fails → the whole sweep is an error.
+        assert!(sweep_csv_partial(&campaign, DeploymentScenario::Scenario1).is_err());
+        assert!(sweep_csv(&campaign, DeploymentScenario::Scenario1).is_err());
+    }
+
+    /// When only row jobs stay unrecovered (the app's isolation
+    /// survives), the partial sweep keeps every healthy row, names the
+    /// skipped intensities, and the strict `sweep_csv` still errors.
+    #[test]
+    fn partial_sweep_skips_only_failed_rows() {
+        use mbta::{FaultPlan, RetryPolicy};
+        // The fault plan is a pure function of (seed, job key, attempt),
+        // so this scan is deterministic: find a plan that spares the app
+        // but permanently kills at least one row job.
+        for seed in 0..64 {
+            let engine = ExecEngine::new(2);
+            let config = CampaignConfig {
+                retry: RetryPolicy { max_attempts: 1 },
+                fault: Some(FaultPlan {
+                    rate_permille: 300,
+                    seed,
+                }),
+                watchdog_millis: None,
+            };
+            let campaign = CampaignRunner::new(&engine, config);
+            let Ok(partial) = sweep_csv_partial(&campaign, DeploymentScenario::Scenario1) else {
+                continue;
+            };
+            if partial.is_complete() {
+                continue;
+            }
+            let rows = partial.csv.lines().count() - 1;
+            assert!(partial.csv.starts_with("intensity_permille,"));
+            assert_eq!(rows + partial.skipped.len(), 11, "seed {seed}");
+            assert_eq!(partial.skipped.len(), partial.skipped_indices.len());
+            assert!(partial.first_failure.is_some(), "seed {seed}");
+            // The fail-fast variant surfaces the same campaign state as
+            // an error instead of a degraded CSV.
+            assert!(sweep_csv(&campaign, DeploymentScenario::Scenario1).is_err());
+            return;
+        }
+        panic!("no fault seed in 0..64 produced a row-wise degradation");
     }
 }

@@ -5,10 +5,11 @@
 //! hardening changed a single emitted digit.
 
 use contention_bench::{sweep_csv, sweep_fallback_report};
-use mbta::ExecEngine;
+use mbta::{CampaignConfig, CampaignRunner, ExecEngine};
 use tc27x_sim::DeploymentScenario;
 
 const GOLDEN: &str = include_str!("golden/sweep_sc1.csv");
+const GOLDEN_SC2: &str = include_str!("golden/sweep_sc2.csv");
 
 #[test]
 fn sweep_csv_matches_golden_capture_at_jobs_1_and_4() {
@@ -20,6 +21,47 @@ fn sweep_csv_matches_golden_capture_at_jobs_1_and_4() {
             "sweep CSV diverged from the golden capture at --jobs {jobs}"
         );
     }
+}
+
+#[test]
+fn scenario2_sweep_csv_matches_golden_capture() {
+    for jobs in [1usize, 4] {
+        let engine = ExecEngine::new(jobs);
+        let csv = sweep_csv(&engine, DeploymentScenario::Scenario2).unwrap();
+        assert_eq!(
+            csv, GOLDEN_SC2,
+            "Scenario 2 sweep CSV diverged from the golden capture at --jobs {jobs}"
+        );
+    }
+}
+
+/// The crash-safety machinery must be invisible in the output: a
+/// journaled Scenario 2 sweep, and a resume of that journal on a fresh
+/// single-worker engine, both reproduce the golden capture byte for
+/// byte.
+#[test]
+fn journaled_and_resumed_sweeps_match_the_golden_capture() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("bench-golden-journal-{}", std::process::id()));
+    {
+        let engine = ExecEngine::new(4);
+        let campaign =
+            CampaignRunner::journaled(&engine, CampaignConfig::default(), &path).unwrap();
+        let csv = sweep_csv(&campaign, DeploymentScenario::Scenario2).unwrap();
+        assert_eq!(csv, GOLDEN_SC2, "journaled sweep diverged from golden");
+    }
+    let engine = ExecEngine::new(1);
+    let (campaign, report) =
+        CampaignRunner::resumed(&engine, CampaignConfig::default(), &path).unwrap();
+    assert_eq!(report.truncated_bytes, 0);
+    let csv = sweep_csv(&campaign, DeploymentScenario::Scenario2).unwrap();
+    assert_eq!(csv, GOLDEN_SC2, "resumed sweep diverged from golden");
+    assert_eq!(
+        engine.report().simulations_run,
+        0,
+        "resume must replay, not re-simulate"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -33,7 +33,7 @@
 //! ```
 
 use crate::pool;
-use crate::runner::{isolation_profile, observed_corun};
+use crate::runner::{isolation_profile_budgeted, observed_corun_budgeted};
 use contention::{IsolationProfile, StableHasher};
 use std::collections::HashMap;
 use std::error::Error;
@@ -54,6 +54,31 @@ pub enum JobFailure {
     /// contained to the job — the rest of the batch still runs, and the
     /// engine (including its memo cache) stays usable.
     Panic(String),
+    /// A campaign watchdog gave up on the job after `millis` of
+    /// wall-clock time. The job is recorded and the campaign degrades
+    /// gracefully instead of aborting (see [`crate::CampaignRunner`]).
+    TimedOut {
+        /// The watchdog limit that expired, in milliseconds.
+        millis: u64,
+    },
+    /// A transient, retryable fault — e.g. a dropped DSU counter read
+    /// injected by a campaign fault plan. Distinct from permanent
+    /// failures (link errors, exhausted budgets): the campaign retry
+    /// policy re-measures these with the attempt folded into the seed.
+    Transient {
+        /// Human-readable description of the fault.
+        detail: String,
+    },
+}
+
+impl JobFailure {
+    /// Whether a bounded campaign retry may recover this failure.
+    /// Only [`JobFailure::Transient`] qualifies: simulation errors are
+    /// deterministic, a panic indicates a harness bug, and a timed-out
+    /// job would time out again within the same watchdog.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobFailure::Transient { .. })
+    }
 }
 
 impl fmt::Display for JobFailure {
@@ -61,6 +86,10 @@ impl fmt::Display for JobFailure {
         match self {
             JobFailure::Sim(e) => write!(f, "{e}"),
             JobFailure::Panic(msg) => write!(f, "job panicked: {msg}"),
+            JobFailure::TimedOut { millis } => {
+                write!(f, "job exceeded the {millis} ms watchdog")
+            }
+            JobFailure::Transient { detail } => write!(f, "transient fault: {detail}"),
         }
     }
 }
@@ -69,7 +98,7 @@ impl Error for JobFailure {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             JobFailure::Sim(e) => Some(e),
-            JobFailure::Panic(_) => None,
+            _ => None,
         }
     }
 }
@@ -102,7 +131,7 @@ impl Error for JobError {
 }
 
 /// Renders a panic payload the way the default hook would.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -142,7 +171,7 @@ pub enum SimJob {
 }
 
 /// The result of one [`SimJob`], in batch order.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SimOutcome {
     /// Profile from an isolation job.
     Isolation(IsolationProfile),
@@ -244,6 +273,7 @@ impl EngineReport {
 /// the memo cache and counters live for the engine's lifetime.
 pub struct ExecEngine {
     jobs: usize,
+    cycle_budget: Option<u64>,
     cache: Mutex<HashMap<u64, IsolationProfile>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -266,12 +296,30 @@ impl ExecEngine {
     pub fn new(jobs: usize) -> Self {
         ExecEngine {
             jobs: jobs.max(1),
+            cycle_budget: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             runs: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Variant with a per-job simulated-cycle budget (builder style):
+    /// every job this engine executes aborts with
+    /// [`SimError::CycleLimit`] past `limit` cycles. The budget never
+    /// changes a successful result — the simulator is deterministic and
+    /// the budget only caps how far a run may go — so the memo cache
+    /// stays valid across budgets.
+    #[must_use]
+    pub fn with_cycle_budget(mut self, limit: Option<u64>) -> Self {
+        self.cycle_budget = limit;
+        self
+    }
+
+    /// The per-job cycle budget, if one is configured.
+    pub fn cycle_budget(&self) -> Option<u64> {
+        self.cycle_budget
     }
 
     /// An engine that executes everything inline on the caller's
@@ -398,7 +446,7 @@ impl ExecEngine {
             .fetch_add(exec_idx.len() as u64, Ordering::Relaxed);
         let executed: Vec<Result<SimOutcome, JobFailure>> =
             pool::run_indexed(&exec_idx, self.jobs, |_, &i| {
-                panic::catch_unwind(AssertUnwindSafe(|| Self::execute(&batch[i])))
+                panic::catch_unwind(AssertUnwindSafe(|| self.execute_job(&batch[i])))
                     .unwrap_or_else(|payload| Err(JobFailure::Panic(panic_message(payload))))
             });
 
@@ -432,21 +480,8 @@ impl ExecEngine {
         outcomes
     }
 
-    fn execute(job: &SimJob) -> Result<SimOutcome, JobFailure> {
-        match job {
-            SimJob::Isolation { spec, core } => {
-                Ok(SimOutcome::Isolation(isolation_profile(spec, *core)?))
-            }
-            SimJob::Corun {
-                app,
-                app_core,
-                load,
-                load_core,
-            } => Ok(SimOutcome::Corun(observed_corun(
-                app, *app_core, load, *load_core,
-            )?)),
-            SimJob::Poison => panic!("deliberately poisoned job"),
-        }
+    fn execute_job(&self, job: &SimJob) -> Result<SimOutcome, JobFailure> {
+        execute_job_budgeted(job, self.cycle_budget)
     }
 
     /// Memoized single isolation run.
@@ -504,11 +539,162 @@ impl ExecEngine {
             wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }
+
+    /// Inserts an externally obtained isolation profile into the memo
+    /// cache under its job's fingerprint. The campaign runner uses this
+    /// to feed journal-replayed profiles back into the cache, so a
+    /// resumed campaign serves follow-up model evaluations without
+    /// re-simulating.
+    pub(crate) fn prime(&self, job: &SimJob, profile: IsolationProfile) {
+        if let SimJob::Isolation { spec, core } = job {
+            self.cache_lock()
+                .insert(Self::fingerprint(spec, *core), profile);
+        }
+    }
+}
+
+/// Executes one job inline with an optional simulated-cycle budget —
+/// the uncached execution path shared by the engine's workers and the
+/// campaign runner's watchdogged threads.
+pub(crate) fn execute_job_budgeted(
+    job: &SimJob,
+    cycle_budget: Option<u64>,
+) -> Result<SimOutcome, JobFailure> {
+    match job {
+        SimJob::Isolation { spec, core } => Ok(SimOutcome::Isolation(isolation_profile_budgeted(
+            spec,
+            *core,
+            cycle_budget,
+        )?)),
+        SimJob::Corun {
+            app,
+            app_core,
+            load,
+            load_core,
+        } => Ok(SimOutcome::Corun(observed_corun_budgeted(
+            app,
+            *app_core,
+            load,
+            *load_core,
+            cycle_budget,
+        )?)),
+        SimJob::Poison => panic!("deliberately poisoned job"),
+    }
+}
+
+/// The stable FNV key of one job — the identity under which the
+/// campaign journal records its outcome. Isolation jobs reuse the memo
+/// cache's fingerprint (spec, core, platform tag); co-runs hash both
+/// task/core pairs under their own tag. Equal jobs get equal keys on
+/// every platform and in every process, which is what lets a journal
+/// written at `--jobs 4` resume at `--jobs 1`.
+pub fn job_key(job: &SimJob) -> u64 {
+    match job {
+        SimJob::Isolation { spec, core } => ExecEngine::fingerprint(spec, *core),
+        SimJob::Corun {
+            app,
+            app_core,
+            load,
+            load_core,
+        } => {
+            let mut h = StableHasher::new();
+            h.write_str("tc277/corun/v1");
+            h.write_u8(app_core.0);
+            h.write_str(&format!("{app:?}"));
+            h.write_u8(load_core.0);
+            h.write_str(&format!("{load:?}"));
+            h.finish()
+        }
+        SimJob::Poison => {
+            let mut h = StableHasher::new();
+            h.write_str("tc277/poison/v1");
+            h.finish()
+        }
+    }
+}
+
+/// Anything that can run a batch of simulation jobs and return their
+/// outcomes in batch order.
+///
+/// Two implementations exist: [`ExecEngine`] (the in-memory parallel
+/// engine) and [`crate::CampaignRunner`] (the crash-safe layer that
+/// journals every outcome, replays completed jobs on resume, retries
+/// transient faults and watchdogs each job). Experiment drivers —
+/// [`crate::figure4_panel_with`], [`crate::table6_block_with`],
+/// [`crate::calibrate_with`], the bench sweep — are generic over this
+/// trait, so any campaign can be made durable by swapping the runner.
+pub trait BatchRunner: Sync {
+    /// Runs a batch and returns one result per job, in batch order. A
+    /// failing job must not abort the batch: its slot carries the
+    /// [`JobFailure`] and every other job completes.
+    fn run_batch_detailed(&self, batch: &[SimJob]) -> Vec<Result<SimOutcome, JobFailure>>;
+
+    /// Runs a batch of jobs and returns their outcomes in batch order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by batch index) failing job.
+    fn run_batch(&self, batch: &[SimJob]) -> Result<Vec<SimOutcome>, JobError> {
+        let detailed = self.run_batch_detailed(batch);
+        let mut outcomes = Vec::with_capacity(detailed.len());
+        for (index, result) in detailed.into_iter().enumerate() {
+            match result {
+                Ok(o) => outcomes.push(o),
+                Err(cause) => return Err(JobError { index, cause }),
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Single isolation run through the runner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failing job.
+    fn isolation(&self, spec: &TaskSpec, core: CoreId) -> Result<IsolationProfile, JobError> {
+        let mut out = self.run_batch(std::slice::from_ref(&SimJob::Isolation {
+            spec: spec.clone(),
+            core,
+        }))?;
+        Ok(out.remove(0).into_profile())
+    }
+
+    /// Single co-run observation through the runner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failing job.
+    fn corun(
+        &self,
+        app: &TaskSpec,
+        app_core: CoreId,
+        load: &TaskSpec,
+        load_core: CoreId,
+    ) -> Result<u64, JobError> {
+        let mut out = self.run_batch(std::slice::from_ref(&SimJob::Corun {
+            app: app.clone(),
+            app_core,
+            load: load.clone(),
+            load_core,
+        }))?;
+        Ok(out.remove(0).into_observed())
+    }
+}
+
+impl BatchRunner for ExecEngine {
+    fn run_batch_detailed(&self, batch: &[SimJob]) -> Vec<Result<SimOutcome, JobFailure>> {
+        ExecEngine::run_batch_detailed(self, batch)
+    }
+
+    fn run_batch(&self, batch: &[SimJob]) -> Result<Vec<SimOutcome>, JobError> {
+        ExecEngine::run_batch(self, batch)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::isolation_profile;
     use tc27x_sim::DeploymentScenario;
     use workloads::{contender, control_loop, LoadLevel};
 
@@ -692,6 +878,86 @@ mod tests {
         assert_eq!(engine.cached_profiles(), 1);
         engine.isolation(&app(), CoreId(1)).unwrap();
         assert!(engine.report().cache_hits >= 1);
+    }
+
+    #[test]
+    fn job_keys_are_stable_and_distinguish_jobs() {
+        let iso = SimJob::Isolation {
+            spec: app(),
+            core: CoreId(1),
+        };
+        let co = SimJob::Corun {
+            app: app(),
+            app_core: CoreId(1),
+            load: load(LoadLevel::High),
+            load_core: CoreId(2),
+        };
+        assert_eq!(job_key(&iso), job_key(&iso.clone()));
+        assert_eq!(job_key(&co), job_key(&co.clone()));
+        assert_ne!(job_key(&iso), job_key(&co));
+        assert_ne!(job_key(&iso), job_key(&SimJob::Poison));
+        // The isolation key IS the memo-cache fingerprint.
+        assert_eq!(job_key(&iso), ExecEngine::fingerprint(&app(), CoreId(1)));
+    }
+
+    #[test]
+    fn engine_cycle_budget_fails_fast_without_poisoning_the_cache() {
+        let starved = ExecEngine::new(2).with_cycle_budget(Some(10));
+        assert_eq!(starved.cycle_budget(), Some(10));
+        let err = starved.isolation(&app(), CoreId(1)).unwrap_err();
+        assert!(matches!(
+            err.cause,
+            JobFailure::Sim(SimError::CycleLimit { limit: 10 })
+        ));
+        assert_eq!(starved.cached_profiles(), 0, "failed runs are not cached");
+        // A sufficient budget reproduces the unbudgeted profile.
+        let free = ExecEngine::sequential();
+        let reference = free.isolation(&app(), CoreId(1)).unwrap();
+        let roomy = ExecEngine::new(2).with_cycle_budget(Some(u64::MAX));
+        let budgeted = roomy.isolation(&app(), CoreId(1)).unwrap();
+        assert_eq!(budgeted.counters(), reference.counters());
+    }
+
+    #[test]
+    fn transient_classification_and_display() {
+        assert!(JobFailure::Transient {
+            detail: "injected dropped read".into()
+        }
+        .is_transient());
+        assert!(!JobFailure::TimedOut { millis: 50 }.is_transient());
+        assert!(!JobFailure::Panic("boom".into()).is_transient());
+        assert!(!JobFailure::Sim(SimError::NothingLoaded).is_transient());
+        assert_eq!(
+            JobFailure::TimedOut { millis: 50 }.to_string(),
+            "job exceeded the 50 ms watchdog"
+        );
+        assert_eq!(
+            JobFailure::Transient {
+                detail: "injected dropped read".into()
+            }
+            .to_string(),
+            "transient fault: injected dropped read"
+        );
+    }
+
+    #[test]
+    fn primed_profiles_are_served_as_cache_hits() {
+        let donor = ExecEngine::sequential();
+        let profile = donor.isolation(&app(), CoreId(1)).unwrap();
+        let engine = ExecEngine::new(2);
+        engine.prime(
+            &SimJob::Isolation {
+                spec: app(),
+                core: CoreId(1),
+            },
+            profile.clone(),
+        );
+        assert_eq!(engine.cached_profiles(), 1);
+        let served = engine.isolation(&app(), CoreId(1)).unwrap();
+        assert_eq!(served.counters(), profile.counters());
+        let r = engine.report();
+        assert_eq!(r.cache_hits, 1);
+        assert_eq!(r.simulations_run, 0, "primed profile skipped simulation");
     }
 
     #[test]

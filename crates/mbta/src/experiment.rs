@@ -1,7 +1,7 @@
 //! The paper's evaluation protocol (§4.2): profile in isolation, feed
 //! the models, validate against co-run observations.
 
-use crate::exec::{ExecEngine, JobError, SimJob};
+use crate::exec::{BatchRunner, ExecEngine, JobError, SimJob};
 use contention::{
     ContentionModel, FtcModel, IdealModel, IlpPtacModel, IsolationProfile, ModelError, Platform,
     ScenarioConstraints, WcetEstimate,
@@ -134,16 +134,18 @@ pub fn figure4_panel(
     figure4_panel_with(&ExecEngine::sequential(), scenario, platform, seed)
 }
 
-/// [`figure4_panel`] on a caller-supplied engine: all seven simulations
+/// [`figure4_panel`] on a caller-supplied runner: all seven simulations
 /// of a panel (one app isolation, three contender isolations, three
 /// co-runs) are submitted as one batch, so they spread across the
 /// engine's workers and repeated profiles come from the memo cache.
+/// Generic over [`BatchRunner`], so the same protocol runs on a plain
+/// [`ExecEngine`] or a crash-safe [`crate::CampaignRunner`].
 ///
 /// # Errors
 ///
 /// Propagates simulation and model errors.
-pub fn figure4_panel_with(
-    engine: &ExecEngine,
+pub fn figure4_panel_with<R: BatchRunner + ?Sized>(
+    engine: &R,
     scenario: DeploymentScenario,
     platform: &Platform,
     seed: u64,
@@ -223,14 +225,14 @@ pub fn table6_block(
     table6_block_with(&ExecEngine::sequential(), scenario, seed)
 }
 
-/// [`table6_block`] on a caller-supplied engine: both isolation runs go
-/// out as one batch.
+/// [`table6_block`] on a caller-supplied runner: both isolation runs go
+/// out as one batch. Generic over [`BatchRunner`].
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn table6_block_with(
-    engine: &ExecEngine,
+pub fn table6_block_with<R: BatchRunner + ?Sized>(
+    engine: &R,
     scenario: DeploymentScenario,
     seed: u64,
 ) -> Result<Table6Block, ExperimentError> {

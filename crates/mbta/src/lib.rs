@@ -40,21 +40,30 @@
 #![warn(missing_docs)]
 
 mod calibration;
+mod campaign;
 mod exec;
 mod experiment;
 mod faults;
+mod journal;
 mod pool;
 pub mod report;
 mod runner;
 
 pub use calibration::{calibrate, calibrate_with, Calibration};
-pub use exec::{EngineReport, ExecEngine, JobError, JobFailure, SimJob, SimOutcome};
+pub use campaign::{
+    CampaignConfig, CampaignManifest, CampaignRunner, CampaignStats, FaultPlan, ManifestEntry,
+    RetryPolicy,
+};
+pub use exec::{
+    job_key, BatchRunner, EngineReport, ExecEngine, JobError, JobFailure, SimJob, SimOutcome,
+};
 pub use experiment::{
     constraints_for, figure4_panel, figure4_panel_with, table6_block, table6_block_with,
     ExperimentError, Figure4Cell, Figure4Panel, Table6Block,
 };
 pub use faults::{perturb_profile, to_sim_counters};
+pub use journal::{Journal, JournalEntry, JournalError, JournaledOutcome, RecoveryReport};
 pub use runner::{
-    hwm_campaign, hwm_campaign_with, isolation_profile, observed_corun, to_model_counters,
-    to_model_counts, HwmMeasurement,
+    hwm_campaign, hwm_campaign_with, isolation_profile, isolation_profile_budgeted, observed_corun,
+    observed_corun_budgeted, to_model_counters, to_model_counts, HwmMeasurement,
 };

@@ -57,7 +57,33 @@ pub fn to_model_counts(g: tc27x_sim::GroundTruth) -> AccessCounts {
 /// # }
 /// ```
 pub fn isolation_profile(spec: &TaskSpec, core: CoreId) -> Result<IsolationProfile, SimError> {
-    let mut sys = System::tc277();
+    isolation_profile_budgeted(spec, core, None)
+}
+
+/// [`isolation_profile`] with an optional per-job cycle budget: when
+/// `max_cycles` is `Some`, the run aborts with
+/// [`SimError::CycleLimit`] at that many simulated cycles instead of
+/// the default half-billion cap. Campaign runners use this so a
+/// runaway synthetic program fails fast and deterministically.
+///
+/// A budget never changes a *successful* profile — the simulator is
+/// deterministic and the budget only decides how long a run may take —
+/// so budgeted and unbudgeted successes are interchangeable.
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+pub fn isolation_profile_budgeted(
+    spec: &TaskSpec,
+    core: CoreId,
+    max_cycles: Option<u64>,
+) -> Result<IsolationProfile, SimError> {
+    let mut sys = match max_cycles {
+        Some(limit) => {
+            System::with_config(tc27x_sim::SimConfig::tc277_reference().with_max_cycles(limit))
+        }
+        None => System::tc277(),
+    };
     sys.load(core, spec)?;
     let out = sys.run()?;
     Ok(
@@ -167,7 +193,28 @@ pub fn observed_corun(
     load: &TaskSpec,
     load_core: CoreId,
 ) -> Result<u64, SimError> {
-    let mut sys = System::tc277();
+    observed_corun_budgeted(app, app_core, load, load_core, None)
+}
+
+/// [`observed_corun`] with an optional per-job cycle budget (see
+/// [`isolation_profile_budgeted`] for the budget semantics).
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+pub fn observed_corun_budgeted(
+    app: &TaskSpec,
+    app_core: CoreId,
+    load: &TaskSpec,
+    load_core: CoreId,
+    max_cycles: Option<u64>,
+) -> Result<u64, SimError> {
+    let mut sys = match max_cycles {
+        Some(limit) => {
+            System::with_config(tc27x_sim::SimConfig::tc277_reference().with_max_cycles(limit))
+        }
+        None => System::tc277(),
+    };
     sys.load(app_core, app)?;
     sys.load(load_core, load)?;
     let out = sys.run_until(app_core)?;
@@ -221,6 +268,22 @@ mod tests {
         let iso = isolation_profile(&app, a).unwrap().counters().ccnt;
         let co = observed_corun(&app, a, &load, b).unwrap();
         assert!(co > iso, "co-run {co} must exceed isolation {iso}");
+    }
+
+    #[test]
+    fn cycle_budget_aborts_or_matches_the_unbudgeted_run() {
+        let core = CoreId(1);
+        let app = control_loop(DeploymentScenario::Scenario1, core, 42);
+        // A starvation budget aborts deterministically…
+        let err = isolation_profile_budgeted(&app, core, Some(10)).unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { limit: 10 }));
+        // …while a sufficient budget reproduces the unbudgeted profile
+        // bit for bit.
+        let free = isolation_profile(&app, core).unwrap();
+        let budgeted =
+            isolation_profile_budgeted(&app, core, Some(free.counters().ccnt + 1)).unwrap();
+        assert_eq!(budgeted.counters(), free.counters());
+        assert_eq!(budgeted.ptac(), free.ptac());
     }
 
     #[test]

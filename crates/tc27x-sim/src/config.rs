@@ -112,6 +112,19 @@ impl SimConfig {
         self
     }
 
+    /// Variant with an explicit per-run cycle budget (builder style):
+    /// the run aborts with [`crate::SimError::CycleLimit`] once `limit`
+    /// simulated cycles have elapsed. Campaign runners use this as a
+    /// deterministic per-job guard underneath their wall-clock
+    /// watchdogs — a livelocked job terminates at a simulated-cycle
+    /// bound instead of burning host CPU until the default half-billion
+    /// cycle cap.
+    #[must_use]
+    pub fn with_max_cycles(mut self, limit: u64) -> Self {
+        self.max_cycles = limit;
+        self
+    }
+
     /// Variant with explicit SRI master priorities (builder style).
     #[must_use]
     pub fn with_master_priority(mut self, priority: [u8; CoreId::COUNT]) -> Self {
@@ -207,6 +220,13 @@ mod tests {
         assert_eq!(cs(SriTarget::Lmu, Code), 11);
         assert_eq!(cs(SriTarget::Lmu, Data), 10);
         assert_eq!(cs(SriTarget::Dfl, Data), 42);
+    }
+
+    #[test]
+    fn max_cycles_builder_overrides_the_default() {
+        let c = SimConfig::tc277_reference().with_max_cycles(1_000);
+        assert_eq!(c.max_cycles, 1_000);
+        assert_eq!(SimConfig::tc277_reference().max_cycles, 500_000_000);
     }
 
     #[test]

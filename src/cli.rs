@@ -20,12 +20,19 @@
 //! and `--ilp-budget N` caps the ILP solver at `N` branch-and-bound
 //! nodes — when the budget runs out, `bound --model ilp` degrades to
 //! the sound fTC bound and tags the output `fallback=ftc`.
+//!
+//! Finally, `--journal <file>` records every completed simulation to a
+//! crash-safe write-ahead journal, `--resume <file>` replays a journal
+//! (re-executing only what is missing), and `--watchdog-ms N` puts a
+//! wall-clock watchdog on every simulation job. Output is byte-identical
+//! with and without a journal.
 
 use contention::{
     ContentionModel, EvalOptions, Evaluator, FsbModel, FtcModel, Platform, ValidationPolicy,
     Validator, WcetEstimate,
 };
-use mbta::ExecEngine;
+use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine};
+use std::path::PathBuf;
 use tc27x_sim::{CoreId, DeploymentScenario, SimConfig, System};
 use workloads::LoadLevel;
 
@@ -145,6 +152,25 @@ pub struct PipelineSettings {
     pub ilp_budget: Option<u64>,
 }
 
+/// Campaign options from the global `--journal`/`--resume`/
+/// `--watchdog-ms` flags.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CampaignOptions {
+    /// Record a fresh crash-safe journal at this path.
+    pub journal: Option<PathBuf>,
+    /// Resume (replay + complete) the journal at this path.
+    pub resume: Option<PathBuf>,
+    /// Per-job wall-clock watchdog in milliseconds.
+    pub watchdog_millis: Option<u64>,
+}
+
+impl CampaignOptions {
+    /// Whether any campaign machinery was requested at all.
+    pub fn is_active(&self) -> bool {
+        self.journal.is_some() || self.resume.is_some()
+    }
+}
+
 /// A fully parsed invocation: the subcommand plus the global options
 /// every subcommand shares.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -155,6 +181,8 @@ pub struct Invocation {
     pub jobs: usize,
     /// Evaluation-pipeline settings.
     pub settings: PipelineSettings,
+    /// Crash-safe campaign options.
+    pub campaign: CampaignOptions,
 }
 
 /// Parses an argument vector (without the program name), extracting the
@@ -212,10 +240,28 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
         }
         None => None,
     };
+    let journal = take_value(&mut rest, "--journal")?.map(PathBuf::from);
+    let resume = take_value(&mut rest, "--resume")?.map(PathBuf::from);
+    if journal.is_some() && resume.is_some() {
+        return Err(ParseError(
+            "--journal and --resume are mutually exclusive (resume appends in place)".into(),
+        ));
+    }
+    let watchdog_millis = take_value(&mut rest, "--watchdog-ms")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| ParseError(format!("invalid --watchdog-ms `{v}`")))
+        })
+        .transpose()?;
     Ok(Invocation {
         command: parse(&rest)?,
         jobs,
         settings: PipelineSettings { policy, ilp_budget },
+        campaign: CampaignOptions {
+            journal,
+            resume,
+            watchdog_millis,
+        },
     })
 }
 
@@ -227,6 +273,21 @@ fn take_flag(args: &mut Vec<String>, key: &str) -> bool {
             true
         }
         None => false,
+    }
+}
+
+/// Removes a `--key value` pair from `args`, returning the value.
+fn take_value(args: &mut Vec<String>, key: &str) -> Result<Option<String>, ParseError> {
+    match args.iter().position(|a| a == key) {
+        Some(pos) => {
+            if pos + 1 >= args.len() {
+                return Err(ParseError(format!("{key} requires a value")));
+            }
+            let value = args.remove(pos + 1);
+            args.remove(pos);
+            Ok(Some(value))
+        }
+        None => Ok(None),
     }
 }
 
@@ -325,21 +386,76 @@ GLOBAL OPTIONS:
                                     solver; on exhaustion `bound --model ilp`
                                     degrades to the sound fTC bound and tags
                                     the output `fallback=ftc`
+    --journal FILE                  record every completed simulation to a
+                                    crash-safe write-ahead journal
+    --resume FILE                   replay a journal, re-executing only the
+                                    missing jobs; output is byte-identical to
+                                    an uninterrupted run
+    --watchdog-ms N                 wall-clock watchdog per simulation job;
+                                    livelocked jobs are journalled as timed
+                                    out instead of hanging the campaign
 ";
 
 /// Executes a parsed invocation: builds the experiment engine from the
-/// global options and runs the subcommand on it.
+/// global options, wraps it in a crash-safe [`CampaignRunner`] when
+/// `--journal`/`--resume` ask for one, and runs the subcommand on it.
+/// An incomplete campaign (jobs left unrecovered after retries and
+/// watchdog) prints its partial-result manifest to stderr and fails.
 ///
 /// # Errors
 ///
-/// Propagates simulation/model errors as boxed errors.
+/// Propagates simulation/model/journal errors as boxed errors.
 pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>> {
-    run_with_settings(&ExecEngine::new(inv.jobs), inv.command, inv.settings)
+    let engine = ExecEngine::new(inv.jobs);
+    let config = CampaignConfig {
+        watchdog_millis: inv.campaign.watchdog_millis,
+        ..CampaignConfig::default()
+    };
+    let campaign = if let Some(path) = &inv.campaign.journal {
+        let runner = CampaignRunner::journaled(&engine, config, path)?;
+        eprintln!("journal: recording to {}", path.display());
+        Some(runner)
+    } else if let Some(path) = &inv.campaign.resume {
+        let (runner, report) = CampaignRunner::resumed(&engine, config, path)?;
+        eprint!(
+            "resume: {} record(s) recovered from {}",
+            report.records,
+            path.display()
+        );
+        if report.truncated_bytes > 0 {
+            eprint!(
+                " (warning: {} byte(s) of a torn trailing record truncated)",
+                report.truncated_bytes
+            );
+        }
+        eprintln!();
+        Some(runner)
+    } else {
+        None
+    };
+    let runner: &dyn BatchRunner = match campaign.as_ref() {
+        Some(c) => c,
+        None => &engine,
+    };
+    let result = run_with_settings(runner, inv.command, inv.settings);
+    if let Some(campaign) = campaign.as_ref() {
+        let manifest = campaign.manifest();
+        if !manifest.is_complete() {
+            eprint!("{}", manifest.render());
+            if result.is_ok() {
+                return Err(Box::new(ParseError(format!(
+                    "campaign finished degraded: {} job(s) unrecovered (see manifest above)",
+                    manifest.unrecovered.len()
+                ))));
+            }
+        }
+    }
+    result
 }
 
 /// Executes a parsed command on a default (available-parallelism)
 /// engine. Kept as the simple entry point; [`run_invocation`] honours
-/// `--jobs`.
+/// `--jobs` and the campaign flags.
 ///
 /// # Errors
 ///
@@ -354,21 +470,22 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
 /// # Errors
 ///
 /// Propagates simulation/model errors as boxed errors.
-pub fn run_with(engine: &ExecEngine, cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
-    run_with_settings(engine, cmd, PipelineSettings::default())
+pub fn run_with(runner: &dyn BatchRunner, cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    run_with_settings(runner, cmd, PipelineSettings::default())
 }
 
 /// Executes a parsed command, writing human-readable output to stdout.
-/// All simulations go through `engine`, so repeated profiles are served
-/// from its memo cache and batches spread across its workers. Profile
-/// validation and the ILP solve budget follow `settings`; repaired
-/// profiles are reported on stderr.
+/// All simulations go through `runner` — a bare [`ExecEngine`] or a
+/// crash-safe [`CampaignRunner`] — so repeated profiles are served
+/// from the memo cache (or journal replay) and batches spread across
+/// the workers. Profile validation and the ILP solve budget follow
+/// `settings`; repaired profiles are reported on stderr.
 ///
 /// # Errors
 ///
 /// Propagates simulation/model errors as boxed errors.
 pub fn run_with_settings(
-    engine: &ExecEngine,
+    engine: &dyn BatchRunner,
     cmd: Command,
     settings: PipelineSettings,
 ) -> Result<(), Box<dyn std::error::Error>> {
@@ -660,6 +777,58 @@ mod tests {
     }
 
     #[test]
+    fn parses_campaign_flags() {
+        let inv = parse_invocation(&argv("calibrate")).unwrap();
+        assert_eq!(inv.campaign, CampaignOptions::default());
+        assert!(!inv.campaign.is_active());
+
+        let inv = parse_invocation(&argv("--journal cal.journal calibrate --jobs 2")).unwrap();
+        assert_eq!(inv.campaign.journal, Some(PathBuf::from("cal.journal")));
+        assert_eq!(inv.campaign.resume, None);
+        assert!(inv.campaign.is_active());
+        assert_eq!(inv.command, Command::Calibrate);
+        assert_eq!(inv.jobs, 2);
+
+        let inv = parse_invocation(&argv(
+            "figure4 --resume fig4.journal --watchdog-ms 5000 --scenario sc2",
+        ))
+        .unwrap();
+        assert_eq!(inv.campaign.resume, Some(PathBuf::from("fig4.journal")));
+        assert_eq!(inv.campaign.watchdog_millis, Some(5000));
+        assert_eq!(
+            inv.command,
+            Command::Figure4 {
+                scenario: Some(DeploymentScenario::Scenario2)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_campaign_flags() {
+        assert!(parse_invocation(&argv("calibrate --journal a --resume b")).is_err());
+        assert!(parse_invocation(&argv("calibrate --journal")).is_err());
+        assert!(parse_invocation(&argv("calibrate --resume")).is_err());
+        assert!(parse_invocation(&argv("calibrate --watchdog-ms")).is_err());
+        assert!(parse_invocation(&argv("calibrate --watchdog-ms soon")).is_err());
+    }
+
+    /// End-to-end through `run_invocation`: a journaled calibrate run
+    /// followed by a resumed one, both exercising the campaign plumbing
+    /// behind the global flags.
+    #[test]
+    fn run_invocation_journals_and_resumes() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("aurix-cli-journal-{}", std::process::id()));
+        let journal_args = argv(&format!("--jobs 1 --journal {} calibrate", path.display()));
+        run_invocation(parse_invocation(&journal_args).unwrap()).unwrap();
+        assert!(path.exists(), "journal file must be written");
+
+        let resume_args = argv(&format!("--jobs 1 --resume {} calibrate", path.display()));
+        run_invocation(parse_invocation(&resume_args).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn usage_mentions_every_subcommand() {
         for sub in [
             "calibrate",
@@ -671,6 +840,9 @@ mod tests {
             "--strict",
             "--repair",
             "--ilp-budget",
+            "--journal",
+            "--resume",
+            "--watchdog-ms",
         ] {
             assert!(USAGE.contains(sub), "{sub}");
         }
