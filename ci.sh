@@ -23,6 +23,16 @@ for root in src/lib.rs crates/*/src/lib.rs; do
         || { echo "missing unwrap/expect deny attribute: $root"; exit 1; }
 done
 
+echo "==> no per-cycle tick loops outside the reference module"
+# The event kernel owns timing; only crates/tc27x-sim/src/reference.rs
+# may advance the clock one cycle at a time. A `now += 1` / `cycle += 1`
+# anywhere else in the simulator is a reintroduced polling loop.
+if grep -rn --include='*.rs' --exclude=reference.rs -E '(now|cycle|cyc) \+= 1\b' \
+    crates/tc27x-sim/src; then
+    echo "per-cycle tick loop found outside crates/tc27x-sim/src/reference.rs"
+    exit 1
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --workspace --release --offline
 
@@ -35,6 +45,9 @@ cargo test -q --offline -p mbta --test fault_injection
 echo "==> golden sweep regression (byte-identical CSV, fallback rates)"
 cargo test -q --offline -p contention-bench --test golden_sweep
 
+echo "==> engine equivalence property suite (tick vs event, 500 seeded cases)"
+cargo test -q --offline -p tc27x-sim --test engine_equivalence
+
 echo "==> journal recovery property suite (replay idempotence, torn records)"
 cargo test -q --offline -p mbta --test journal_recovery
 
@@ -46,13 +59,13 @@ SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 SWEEP=target/release/sweep
 cargo build --release --offline -p contention-bench --bin sweep
-"$SWEEP" --scenario sc2 --jobs 4 --journal "$SMOKE_DIR/sweep.journal" \
+"$SWEEP" --scenario sc2 --jobs 4 --engine event --journal "$SMOKE_DIR/sweep.journal" \
     > "$SMOKE_DIR/full.csv" 2> /dev/null
 # Simulate the crash: drop the final record's tail (every record is
 # far longer than 3 bytes, so this always tears the last line).
 SIZE=$(wc -c < "$SMOKE_DIR/sweep.journal")
 head -c "$((SIZE - 3))" "$SMOKE_DIR/sweep.journal" > "$SMOKE_DIR/torn.journal"
-"$SWEEP" --scenario sc2 --jobs 1 --resume "$SMOKE_DIR/torn.journal" \
+"$SWEEP" --scenario sc2 --jobs 1 --engine event --resume "$SMOKE_DIR/torn.journal" \
     > "$SMOKE_DIR/resumed.csv" 2> "$SMOKE_DIR/resume.log"
 diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/resumed.csv" \
     || { echo "resumed sweep CSV diverged from the golden capture"; exit 1; }
@@ -60,5 +73,18 @@ diff -u "$SMOKE_DIR/full.csv" "$SMOKE_DIR/resumed.csv" \
     || { echo "resumed sweep CSV diverged from the uninterrupted run"; exit 1; }
 grep -q "torn trailing record truncated" "$SMOKE_DIR/resume.log" \
     || { echo "torn-record truncation was not reported"; cat "$SMOKE_DIR/resume.log"; exit 1; }
+
+echo "==> golden sweep under the tick stepper (engines byte-identical end to end)"
+# The golden CSV was captured under the default (event) engine; the
+# reference stepper must reproduce it byte for byte.
+"$SWEEP" --scenario sc2 --jobs 4 --engine tick > "$SMOKE_DIR/tick.csv" 2> /dev/null
+diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/tick.csv" \
+    || { echo "tick-engine sweep CSV diverged from the golden capture"; exit 1; }
+
+echo "==> simulator throughput report (non-gating)"
+# Tick vs event wall-clock on the Table 2 probe mix; writes
+# BENCH_sim.json. Informational: a slow machine must not fail the gate.
+cargo bench --offline -p contention-bench --bench sim_throughput \
+    || echo "warning: sim_throughput report failed (non-gating)"
 
 echo "==> CI gate passed"

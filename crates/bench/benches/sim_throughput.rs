@@ -1,0 +1,113 @@
+//! Tick vs event timing-kernel throughput on the Table 2 workload mix.
+//!
+//! Each workload is one of the calibration campaign's micro probes —
+//! the same SRI-target mix that reproduces Table 2 — run to completion
+//! on both engines. The stall-heavy probes (DFLASH/LMU word streams,
+//! dirty stores) are where the event kernel should shine: almost every
+//! cycle sits inside a multi-cycle SRI transaction the kernel can skip.
+//! Both engines are bit-identical (asserted here per workload), so the
+//! only difference reported is wall-clock per simulated cycle.
+//!
+//! Writes `BENCH_sim.json`; ci.sh runs this as a non-gating report.
+
+use contention_bench::harness::Harness;
+use std::hint::black_box;
+use std::path::PathBuf;
+use tc27x_sim::{CoreId, Engine, Region, SimConfig, System, TaskSpec};
+use workloads::micro;
+
+/// Runs `spec` in isolation on core 1 under `engine`, returning CCNT.
+fn run_isolated(spec: &TaskSpec, engine: Engine) -> u64 {
+    let cfg = SimConfig::tc277_reference().with_engine(engine);
+    let mut sys = System::with_config(cfg);
+    sys.load(CoreId(1), spec).unwrap();
+    sys.run().unwrap().counters(CoreId(1)).ccnt
+}
+
+/// Runs the co-run pair under `engine`, returning the app core's CCNT.
+fn run_corun(app: &TaskSpec, load: &TaskSpec, engine: Engine) -> u64 {
+    let cfg = SimConfig::tc277_reference().with_engine(engine);
+    let mut sys = System::with_config(cfg);
+    sys.load(CoreId(1), app).unwrap();
+    sys.load(CoreId(2), load).unwrap();
+    sys.run_until(CoreId(1)).unwrap().counters(CoreId(1)).ccnt
+}
+
+fn main() {
+    // `finish()` writes BENCH_<group>.json into the working directory;
+    // anchor it at the repo root regardless of where cargo was invoked.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if let Err(e) = std::env::set_current_dir(&root) {
+        eprintln!("warning: could not enter {}: {e}", root.display());
+    }
+
+    let mut h = Harness::new("sim");
+    h.sample_size(5);
+
+    // The Table 2 probe mix, one per SRI target class. The first two
+    // are stall-heavy (43-cycle DFLASH and 11-cycle LMU services), the
+    // code stream is the PFLASH line-fetch pattern, and the dirty
+    // stores exercise the LMU write-back path.
+    let probes: &[(&str, TaskSpec)] = &[
+        (
+            "data_words_dflash",
+            micro::data_words(CoreId(1), Region::Dflash, 400, false),
+        ),
+        (
+            "data_words_lmu",
+            micro::data_words(CoreId(1), Region::Lmu, 400, false),
+        ),
+        ("code_stream_pf0", micro::code_stream(Region::Pflash0, 320)),
+        ("dirty_stores_lmu", micro::dirty_stores(CoreId(1), 1000)),
+    ];
+
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    for (name, spec) in probes {
+        let cycles = run_isolated(spec, Engine::Event);
+        assert_eq!(
+            cycles,
+            run_isolated(spec, Engine::Tick),
+            "{name}: engines must be bit-identical"
+        );
+        h.throughput_elements(cycles);
+        let mut medians = [0u128; 2];
+        for (slot, engine) in [Engine::Tick, Engine::Event].into_iter().enumerate() {
+            h.bench(&format!("{name}_{engine}"), || {
+                black_box(run_isolated(spec, engine))
+            });
+            medians[slot] = h.results().last().map(|r| r.median_ns).unwrap_or(1);
+        }
+        speedups.push((name, medians[0] as f64 / medians[1].max(1) as f64));
+    }
+
+    // One contended case: the control-loop app against a high contender,
+    // where SRI queueing keeps the event queue busiest.
+    let app = workloads::control_loop(tc27x_sim::DeploymentScenario::Scenario1, CoreId(1), 42);
+    let load = workloads::contender(
+        tc27x_sim::DeploymentScenario::Scenario1,
+        workloads::LoadLevel::High,
+        CoreId(2),
+        7,
+    );
+    let cycles = run_corun(&app, &load, Engine::Event);
+    assert_eq!(
+        cycles,
+        run_corun(&app, &load, Engine::Tick),
+        "corun: engines must be bit-identical"
+    );
+    h.throughput_elements(cycles);
+    let mut medians = [0u128; 2];
+    for (slot, engine) in [Engine::Tick, Engine::Event].into_iter().enumerate() {
+        h.bench(&format!("corun_hload_{engine}"), || {
+            black_box(run_corun(&app, &load, engine))
+        });
+        medians[slot] = h.results().last().map(|r| r.median_ns).unwrap_or(1);
+    }
+    speedups.push(("corun_hload", medians[0] as f64 / medians[1].max(1) as f64));
+
+    for (name, speedup) in &speedups {
+        println!("speedup/{name:<24} event is {speedup:.2}x the tick stepper");
+    }
+
+    h.finish();
+}

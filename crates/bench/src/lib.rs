@@ -26,7 +26,7 @@ use contention::{
 use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine, SimJob};
 use std::path::PathBuf;
 use tc27x_sim::{
-    CoreId, DataObject, DeploymentScenario, Pattern, Placement, Program, Region, TaskSpec,
+    CoreId, DataObject, DeploymentScenario, Engine, Pattern, Placement, Program, Region, TaskSpec,
 };
 use workloads::LoadLevel;
 
@@ -427,13 +427,17 @@ fn path_from_args(args: &[String], flag: &str) -> Result<Option<PathBuf>, String
 }
 
 /// The flags shared by every bench binary, parsed once: engine sizing
-/// (`--jobs N`), solver budget (`--ilp-budget N`), and the crash-safe
-/// campaign options (`--journal <file>`, `--resume <file>`,
-/// `--watchdog-ms N`).
+/// (`--jobs N`), simulator kernel (`--engine tick|event`), solver
+/// budget (`--ilp-budget N`), and the crash-safe campaign options
+/// (`--journal <file>`, `--resume <file>`, `--watchdog-ms N`).
 #[derive(Clone, Debug)]
 pub struct CommonArgs {
     /// Worker threads (`--jobs N`, default: available parallelism).
     pub jobs: usize,
+    /// Simulator timing kernel (`--engine tick|event`, default event).
+    /// The kernels are bit-identical, so every table/figure is
+    /// unaffected — the flag only trades wall-clock speed.
+    pub sim_engine: Engine,
     /// ILP node budget for the fault-tolerant evaluator
     /// (`--ilp-budget N`).
     pub ilp_budget: Option<u64>,
@@ -473,8 +477,18 @@ impl CommonArgs {
             }
             None => None,
         };
+        let sim_engine = match args.iter().position(|a| a == "--engine") {
+            Some(i) => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--engine requires a value".to_string())?;
+                v.parse::<Engine>().map_err(|e| e.to_string())?
+            }
+            None => Engine::default(),
+        };
         Ok(CommonArgs {
             jobs: jobs_from_args(args)?,
+            sim_engine,
             ilp_budget: ilp_budget_from_args(args)?,
             journal,
             resume,
@@ -484,7 +498,7 @@ impl CommonArgs {
 
     /// Builds the experiment engine these flags describe.
     pub fn engine(&self) -> ExecEngine {
-        ExecEngine::new(self.jobs)
+        ExecEngine::new(self.jobs).with_sim_engine(self.sim_engine)
     }
 
     /// The campaign configuration these flags describe (default retry
@@ -623,6 +637,7 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(c.jobs, 3);
+        assert_eq!(c.sim_engine, Engine::Event, "event is the default");
         assert_eq!(c.ilp_budget, Some(9));
         assert_eq!(c.journal, Some(PathBuf::from("j.log")));
         assert_eq!(c.resume, None);
@@ -632,10 +647,16 @@ mod tests {
         let r = CommonArgs::parse(&argv("--resume j.log")).unwrap();
         assert_eq!(r.resume, Some(PathBuf::from("j.log")));
 
+        let t = CommonArgs::parse(&argv("--jobs 1 --engine tick")).unwrap();
+        assert_eq!(t.sim_engine, Engine::Tick);
+        assert_eq!(t.engine().sim_engine(), Engine::Tick);
+
         assert!(CommonArgs::parse(&argv("--journal a --resume b")).is_err());
         assert!(CommonArgs::parse(&argv("--journal")).is_err());
         assert!(CommonArgs::parse(&argv("--resume")).is_err());
         assert!(CommonArgs::parse(&argv("--watchdog-ms soon")).is_err());
+        assert!(CommonArgs::parse(&argv("--engine")).is_err());
+        assert!(CommonArgs::parse(&argv("--engine warp")).is_err());
     }
 
     #[test]

@@ -370,7 +370,12 @@ impl<'e> CampaignRunner<'e> {
                     .unwrap_or_else(|| Err(JobFailure::Panic("engine returned no result".into())))
             }
             Some(millis) => {
-                let result = run_with_watchdog(&run, self.engine.cycle_budget(), millis);
+                let result = run_with_watchdog(
+                    &run,
+                    self.engine.cycle_budget(),
+                    self.engine.sim_engine(),
+                    millis,
+                );
                 if matches!(result, Err(JobFailure::TimedOut { .. })) {
                     self.timed_out.fetch_add(1, Ordering::Relaxed);
                 }
@@ -531,13 +536,14 @@ fn fold_seed(seed: u64, attempt: u32) -> u64 {
 fn run_with_watchdog(
     job: &SimJob,
     cycle_budget: Option<u64>,
+    sim_engine: tc27x_sim::Engine,
     millis: u64,
 ) -> Result<SimOutcome, JobFailure> {
     let (tx, rx) = mpsc::channel();
     let owned = job.clone();
     std::thread::spawn(move || {
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            execute_job_budgeted(&owned, cycle_budget)
+            execute_job_budgeted(&owned, cycle_budget, sim_engine)
         }))
         .unwrap_or_else(|payload| Err(JobFailure::Panic(panic_message(payload))));
         let _ = tx.send(result);

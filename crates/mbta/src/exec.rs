@@ -33,7 +33,6 @@
 //! ```
 
 use crate::pool;
-use crate::runner::{isolation_profile_budgeted, observed_corun_budgeted};
 use contention::{IsolationProfile, StableHasher};
 use std::collections::HashMap;
 use std::error::Error;
@@ -42,7 +41,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
-use tc27x_sim::{CoreId, SimError, TaskSpec};
+use tc27x_sim::{CoreId, Engine, SimError, TaskSpec};
 
 /// Why one job in a batch failed.
 #[derive(Clone, Debug)]
@@ -274,6 +273,7 @@ impl EngineReport {
 pub struct ExecEngine {
     jobs: usize,
     cycle_budget: Option<u64>,
+    sim_engine: Engine,
     cache: Mutex<HashMap<u64, IsolationProfile>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -297,6 +297,7 @@ impl ExecEngine {
         ExecEngine {
             jobs: jobs.max(1),
             cycle_budget: None,
+            sim_engine: Engine::default(),
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -320,6 +321,21 @@ impl ExecEngine {
     /// The per-job cycle budget, if one is configured.
     pub fn cycle_budget(&self) -> Option<u64> {
         self.cycle_budget
+    }
+
+    /// Variant running every job on an explicit simulator timing kernel
+    /// (builder style). The two kernels are bit-identical, so switching
+    /// never changes a result — memo cache, journal keys and goldens
+    /// all stay valid — it only changes how fast jobs execute.
+    #[must_use]
+    pub fn with_sim_engine(mut self, engine: Engine) -> Self {
+        self.sim_engine = engine;
+        self
+    }
+
+    /// The simulator timing kernel jobs run on.
+    pub fn sim_engine(&self) -> Engine {
+        self.sim_engine
     }
 
     /// An engine that executes everything inline on the caller's
@@ -481,7 +497,7 @@ impl ExecEngine {
     }
 
     fn execute_job(&self, job: &SimJob) -> Result<SimOutcome, JobFailure> {
-        execute_job_budgeted(job, self.cycle_budget)
+        execute_job_budgeted(job, self.cycle_budget, self.sim_engine)
     }
 
     /// Memoized single isolation run.
@@ -553,30 +569,30 @@ impl ExecEngine {
     }
 }
 
-/// Executes one job inline with an optional simulated-cycle budget —
-/// the uncached execution path shared by the engine's workers and the
-/// campaign runner's watchdogged threads.
+/// Executes one job inline with an optional simulated-cycle budget on
+/// an explicit timing kernel — the uncached execution path shared by
+/// the engine's workers and the campaign runner's watchdogged threads.
 pub(crate) fn execute_job_budgeted(
     job: &SimJob,
     cycle_budget: Option<u64>,
+    engine: Engine,
 ) -> Result<SimOutcome, JobFailure> {
     match job {
-        SimJob::Isolation { spec, core } => Ok(SimOutcome::Isolation(isolation_profile_budgeted(
-            spec,
-            *core,
-            cycle_budget,
-        )?)),
+        SimJob::Isolation { spec, core } => Ok(SimOutcome::Isolation(
+            crate::runner::isolation_profile_on(spec, *core, cycle_budget, engine)?,
+        )),
         SimJob::Corun {
             app,
             app_core,
             load,
             load_core,
-        } => Ok(SimOutcome::Corun(observed_corun_budgeted(
+        } => Ok(SimOutcome::Corun(crate::runner::observed_corun_on(
             app,
             *app_core,
             load,
             *load_core,
             cycle_budget,
+            engine,
         )?)),
         SimJob::Poison => panic!("deliberately poisoned job"),
     }

@@ -78,12 +78,27 @@ pub fn isolation_profile_budgeted(
     core: CoreId,
     max_cycles: Option<u64>,
 ) -> Result<IsolationProfile, SimError> {
-    let mut sys = match max_cycles {
-        Some(limit) => {
-            System::with_config(tc27x_sim::SimConfig::tc277_reference().with_max_cycles(limit))
-        }
-        None => System::tc277(),
-    };
+    isolation_profile_on(spec, core, max_cycles, tc27x_sim::Engine::default())
+}
+
+/// [`isolation_profile_budgeted`] on an explicit simulator timing
+/// kernel. The kernels are bit-identical, so the choice never changes
+/// the profile — only how fast it is produced.
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+pub fn isolation_profile_on(
+    spec: &TaskSpec,
+    core: CoreId,
+    max_cycles: Option<u64>,
+    engine: tc27x_sim::Engine,
+) -> Result<IsolationProfile, SimError> {
+    let mut config = tc27x_sim::SimConfig::tc277_reference().with_engine(engine);
+    if let Some(limit) = max_cycles {
+        config = config.with_max_cycles(limit);
+    }
+    let mut sys = System::with_config(config);
     sys.load(core, spec)?;
     let out = sys.run()?;
     Ok(
@@ -209,12 +224,35 @@ pub fn observed_corun_budgeted(
     load_core: CoreId,
     max_cycles: Option<u64>,
 ) -> Result<u64, SimError> {
-    let mut sys = match max_cycles {
-        Some(limit) => {
-            System::with_config(tc27x_sim::SimConfig::tc277_reference().with_max_cycles(limit))
-        }
-        None => System::tc277(),
-    };
+    observed_corun_on(
+        app,
+        app_core,
+        load,
+        load_core,
+        max_cycles,
+        tc27x_sim::Engine::default(),
+    )
+}
+
+/// [`observed_corun_budgeted`] on an explicit simulator timing kernel
+/// (see [`isolation_profile_on`] for the engine semantics).
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+pub fn observed_corun_on(
+    app: &TaskSpec,
+    app_core: CoreId,
+    load: &TaskSpec,
+    load_core: CoreId,
+    max_cycles: Option<u64>,
+    engine: tc27x_sim::Engine,
+) -> Result<u64, SimError> {
+    let mut config = tc27x_sim::SimConfig::tc277_reference().with_engine(engine);
+    if let Some(limit) = max_cycles {
+        config = config.with_max_cycles(limit);
+    }
+    let mut sys = System::with_config(config);
     sys.load(app_core, app)?;
     sys.load(load_core, load)?;
     let out = sys.run_until(app_core)?;
@@ -284,6 +322,21 @@ mod tests {
             isolation_profile_budgeted(&app, core, Some(free.counters().ccnt + 1)).unwrap();
         assert_eq!(budgeted.counters(), free.counters());
         assert_eq!(budgeted.ptac(), free.ptac());
+    }
+
+    #[test]
+    fn profiles_are_engine_invariant() {
+        let (a, b) = (CoreId(1), CoreId(2));
+        let app = control_loop(DeploymentScenario::Scenario1, a, 42);
+        let load = contender(DeploymentScenario::Scenario1, LoadLevel::High, b, 7);
+        let tick = isolation_profile_on(&app, a, None, tc27x_sim::Engine::Tick).unwrap();
+        let event = isolation_profile_on(&app, a, None, tc27x_sim::Engine::Event).unwrap();
+        assert_eq!(tick.counters(), event.counters());
+        assert_eq!(tick.ptac(), event.ptac());
+        let co_tick = observed_corun_on(&app, a, &load, b, None, tc27x_sim::Engine::Tick).unwrap();
+        let co_event =
+            observed_corun_on(&app, a, &load, b, None, tc27x_sim::Engine::Event).unwrap();
+        assert_eq!(co_tick, co_event);
     }
 
     #[test]

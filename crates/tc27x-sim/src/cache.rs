@@ -191,6 +191,15 @@ impl Cache {
     }
 }
 
+impl crate::engine::EventSource for Cache {
+    /// Caches are combinational in this model: they only change state
+    /// inside the owning core's step (`access`), never on their own
+    /// clock, so they are permanently passive to the event kernel.
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,7 @@
 
 use crate::addr::{CoreId, SriTarget};
 use crate::cache::CacheGeometry;
+use crate::engine::Engine;
 use crate::layout::AccessClass;
 
 /// Service and hiding parameters of one SRI slave.
@@ -58,6 +59,10 @@ pub struct SimConfig {
     /// run, so its interference can never exceed the budgeted amount.
     /// `None` (default) disables enforcement for the core.
     pub sri_quota: [Option<u64>; CoreId::COUNT],
+    /// Which timing kernel drives the run: the event-driven kernel
+    /// (default) or the per-cycle reference stepper. Bit-identical
+    /// outcomes either way; see [`crate::engine`].
+    pub engine: Engine,
 }
 
 impl SimConfig {
@@ -94,7 +99,15 @@ impl SimConfig {
             master_priority: [0; CoreId::COUNT],
             trace_capacity: 0,
             sri_quota: [None; CoreId::COUNT],
+            engine: Engine::default(),
         }
+    }
+
+    /// Variant driven by an explicit timing kernel (builder style).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Variant with an SRI transaction quota on one core (builder
@@ -227,6 +240,13 @@ mod tests {
         let c = SimConfig::tc277_reference().with_max_cycles(1_000);
         assert_eq!(c.max_cycles, 1_000);
         assert_eq!(SimConfig::tc277_reference().max_cycles, 500_000_000);
+    }
+
+    #[test]
+    fn engine_defaults_to_event_and_builds() {
+        assert_eq!(SimConfig::tc277_reference().engine, Engine::Event);
+        let c = SimConfig::tc277_reference().with_engine(Engine::Tick);
+        assert_eq!(c.engine, Engine::Tick);
     }
 
     #[test]

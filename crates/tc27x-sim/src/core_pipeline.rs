@@ -290,6 +290,23 @@ impl CorePipeline {
         matches!(self.state, State::WaitGrant { .. })
     }
 
+    /// Bulk-charges `delta` provably quiescent cycles: exactly what
+    /// `delta` consecutive [`CorePipeline::step`] calls strictly before
+    /// the core's next event would do — `CCNT` accrues while the core
+    /// waits, nothing else moves. A finished core charges nothing
+    /// (`step` on `Done` is a pure no-op).
+    pub(crate) fn advance(&mut self, delta: u64) {
+        if !matches!(self.state, State::Done) {
+            self.counters.charge_busy(delta);
+        }
+    }
+
+    /// Delegates to the [`crate::engine::EventSource`] impl without
+    /// needing the trait in scope.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        crate::engine::EventSource::next_event(self, now)
+    }
+
     fn post_chain_op(
         &mut self,
         now: u64,
@@ -580,6 +597,26 @@ impl CorePipeline {
                 VecDeque::new(),
                 AfterChain::NextInstr,
             );
+        }
+    }
+}
+
+impl crate::engine::EventSource for CorePipeline {
+    /// The next cycle at which [`CorePipeline::step`] does anything
+    /// beyond `CCNT += 1`:
+    ///
+    /// * `Ready` acts immediately;
+    /// * `Blocked`/`PostNext` act at their recorded deadline (clamped to
+    ///   `now` — a deadline in the past fires on the next step);
+    /// * `WaitGrant` is passive: the wake-up comes from the SRI arbiter,
+    ///   whose own claim covers the queued request;
+    /// * `Done` never acts again.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        match &self.state {
+            State::Done | State::WaitGrant { .. } => None,
+            State::Ready => Some(now),
+            State::Blocked { until } => Some((*until).max(now)),
+            State::PostNext { at, .. } => Some((*at).max(now)),
         }
     }
 }

@@ -34,6 +34,15 @@ impl DebugCounters {
     pub fn dcache_miss_total(&self) -> u64 {
         self.dcache_miss_clean + self.dcache_miss_dirty
     }
+
+    /// Delta accounting for the event kernel: charges `cycles` cycles of
+    /// busy/waiting time to `CCNT` in one bulk update, equivalent to
+    /// `cycles` consecutive per-tick `ccnt += 1` increments. Stall
+    /// counters are *not* touched — stalls are attributed at grant time
+    /// from the transaction's end-to-end latency, never per tick.
+    pub fn charge_busy(&mut self, cycles: u64) {
+        self.ccnt += cycles;
+    }
 }
 
 impl fmt::Display for DebugCounters {
@@ -186,5 +195,18 @@ mod tests {
             assert!(s.contains(needle), "{s}");
         }
         assert_eq!(c.dcache_miss_total(), 11);
+    }
+
+    #[test]
+    fn charge_busy_matches_repeated_increments() {
+        let mut bulk = DebugCounters::default();
+        let mut ticked = DebugCounters::default();
+        bulk.charge_busy(137);
+        for _ in 0..137 {
+            ticked.ccnt += 1;
+        }
+        assert_eq!(bulk, ticked);
+        bulk.charge_busy(0);
+        assert_eq!(bulk.ccnt, 137, "a zero delta charges nothing");
     }
 }

@@ -1,0 +1,294 @@
+//! The event-driven timing kernel and the engine selector.
+//!
+//! The reference stepper ([`crate::reference`]) polls every component
+//! every cycle. That is wasteful precisely in the windows the paper is
+//! about: while all three cores sit out a multi-cycle PFLASH/DFLASH/LMU
+//! transaction, nothing can change except the cycle counters. The event
+//! kernel exploits this: every component *names* the next cycle at
+//! which stepping it could do anything beyond bulk cycle accounting
+//! ([`EventSource::next_event`]), the kernel keeps those claims in a
+//! deterministic binary-heap queue keyed by `(cycle, source rank)`, and
+//! fast-forwards `now` across the provably quiescent gap up to the
+//! earliest claim, charging the skipped cycles to the busy cores in one
+//! delta ([`crate::counters::DebugCounters::charge_busy`]).
+//!
+//! At every *interesting* cycle the kernel then executes exactly one
+//! iteration of the reference tick loop — all cores stepped in index
+//! order, one SRI arbitration step, grants applied in index order — so
+//! counters, traces, [`crate::system::RunOutcome`] and `max_cycles`
+//! behaviour are bit-identical to the stepper by construction. The
+//! randomized differential suite in `tests/engine_equivalence.rs` and
+//! the quiescence argument in `DESIGN.md` §4d keep that claim honest.
+
+use crate::addr::CoreId;
+use crate::core_pipeline::CorePipeline;
+use crate::system::{SimError, System};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which timing kernel drives a [`System`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum Engine {
+    /// The reference cycle stepper: every component is polled every
+    /// cycle. Kept as the differential oracle for the event kernel.
+    Tick,
+    /// The event-driven kernel: components schedule their next
+    /// interesting cycle and quiescent gaps are skipped. Bit-identical
+    /// to [`Engine::Tick`], and the default.
+    #[default]
+    Event,
+}
+
+impl Engine {
+    /// Both engines, reference first.
+    pub fn all() -> [Engine; 2] {
+        [Engine::Tick, Engine::Event]
+    }
+
+    /// The CLI spelling of this engine.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Engine::Tick => "tick",
+            Engine::Event => "event",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error for an unrecognized engine name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseEngineError(String);
+
+impl fmt::Display for ParseEngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown engine `{}` (expected tick or event)", self.0)
+    }
+}
+
+impl std::error::Error for ParseEngineError {}
+
+impl FromStr for Engine {
+    type Err = ParseEngineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tick" | "reference" => Ok(Engine::Tick),
+            "event" => Ok(Engine::Event),
+            other => Err(ParseEngineError(other.to_string())),
+        }
+    }
+}
+
+/// A component the event kernel can ask for its next interesting cycle.
+///
+/// The contract, for a source queried at cycle `now`:
+///
+/// * `Some(e)` with `e >= now` means stepping the component at any
+///   cycle in `now..e` does nothing beyond bulk cycle accounting, and
+///   the component must be stepped at `e`;
+/// * `None` means the component is passive: it will not act on its own
+///   at any future cycle (it is done, or it is waiting on another
+///   source — e.g. a core awaiting an SRI grant, which the SRI's own
+///   claim covers).
+///
+/// The kernel re-queries every source after every executed cycle, so a
+/// claim only needs to be valid until the next state change.
+pub trait EventSource {
+    /// The earliest cycle `>= now` at which this component must be
+    /// stepped, or `None` when it is passive.
+    fn next_event(&self, now: u64) -> Option<u64>;
+}
+
+/// Number of claim slots: one per core, plus the SRI arbiter.
+const RANKS: usize = CoreId::COUNT + 1;
+
+/// The SRI arbiter's rank — after the cores, mirroring the tick loop's
+/// cores-then-SRI order within a cycle.
+pub(crate) const SRI_RANK: u8 = CoreId::COUNT as u8;
+
+/// A deterministic event queue: a min-heap over `(cycle, source rank)`
+/// plus a per-rank claim table. The heap alone cannot be trusted — a
+/// source's claim changes whenever its state does — so entries are
+/// validated against the claim table and stale ones discarded lazily.
+/// Tie-breaking by rank makes the pop order a pure function of the
+/// claims, independent of insertion order.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u8)>>,
+    scheduled: [Option<u64>; RANKS],
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Records `rank`'s current claim, pushing a heap entry only when
+    /// the claim actually changed (unchanged claims re-use their entry).
+    pub(crate) fn claim(&mut self, rank: u8, at: Option<u64>) {
+        if self.scheduled[rank as usize] == at {
+            return;
+        }
+        self.scheduled[rank as usize] = at;
+        if let Some(cycle) = at {
+            self.heap.push(Reverse((cycle, rank)));
+        }
+    }
+
+    /// The earliest currently-valid claim, discarding stale heap
+    /// entries. Does not remove the winning entry — it is invalidated
+    /// through [`EventQueue::claim`] once its source reschedules.
+    pub(crate) fn earliest(&mut self) -> Option<u64> {
+        while let Some(&Reverse((cycle, rank))) = self.heap.peek() {
+            if self.scheduled[rank as usize] == Some(cycle) {
+                return Some(cycle);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+/// Bulk-accounts `delta` provably quiescent cycles: every unfinished
+/// core charges them to CCNT exactly as `delta` per-cycle steps would
+/// have, without touching any other state.
+fn advance_idle(sys: &mut System, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    for core in sys.cores.iter_mut().flatten() {
+        core.advance(delta);
+    }
+}
+
+/// Runs `sys` to the predicate on the event kernel. Mirrors
+/// [`crate::reference::run_tick`] decision for decision; see the module
+/// docs for why the two are bit-identical.
+pub(crate) fn run_event(
+    sys: &mut System,
+    keep_going: &dyn Fn(&[Option<CorePipeline>]) -> bool,
+) -> Result<(), SimError> {
+    let limit = sys.config.max_cycles;
+    let mut queue = EventQueue::new();
+    loop {
+        if !keep_going(&sys.cores) {
+            return Ok(());
+        }
+        if sys.now >= limit {
+            return Err(SimError::CycleLimit { limit });
+        }
+        // Refresh every claim against the current state. Cores rank
+        // 0..COUNT, the SRI last — the same order the tick loop polls.
+        for (rank, slot) in sys.cores.iter().enumerate() {
+            queue.claim(
+                rank as u8,
+                slot.as_ref().and_then(|c| c.next_event(sys.now)),
+            );
+        }
+        queue.claim(SRI_RANK, sys.sri.next_event(sys.now));
+
+        let Some(at) = queue.earliest() else {
+            // Fully quiescent: every core is done and the SRI holds no
+            // queued work (a core awaiting a grant always implies a
+            // queued request, so it cannot be reached here). State can
+            // never change again, but the predicate still wants cycles —
+            // the stepper would idle to the limit; do so in one jump.
+            debug_assert!(
+                sys.cores.iter().flatten().all(CorePipeline::is_done),
+                "an unfinished core must always hold or imply a claim"
+            );
+            advance_idle(sys, limit - sys.now);
+            sys.now = limit;
+            continue;
+        };
+
+        // Fast-forward across the quiescent gap, clamped to the cycle
+        // limit so the loop head raises CycleLimit exactly where the
+        // stepper would. A claim at or beyond the limit also bounces
+        // back to the head: the stepper checks the limit *before*
+        // executing a cycle, so cycle `limit` itself never runs.
+        if at > sys.now {
+            let target = at.min(limit);
+            advance_idle(sys, target - sys.now);
+            sys.now = target;
+            if target < at || target >= limit {
+                continue;
+            }
+        }
+
+        // Execute one interesting cycle exactly like a tick iteration:
+        // cores in index order, one arbitration step, grants in index
+        // order.
+        let now = sys.now;
+        for core in sys.cores.iter_mut().flatten() {
+            core.step(now, &mut sys.sri, &sys.config, &sys.map);
+        }
+        let grants = sys.sri.step(now);
+        for (i, grant) in grants.iter().enumerate() {
+            if let (Some(g), Some(core)) = (grant, sys.cores[i].as_mut()) {
+                core.apply_grant(now, *g);
+            }
+        }
+        sys.now = now + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_parses_and_prints() {
+        assert_eq!("tick".parse::<Engine>().unwrap(), Engine::Tick);
+        assert_eq!("reference".parse::<Engine>().unwrap(), Engine::Tick);
+        assert_eq!("event".parse::<Engine>().unwrap(), Engine::Event);
+        assert_eq!(Engine::Tick.to_string(), "tick");
+        assert_eq!(Engine::Event.to_string(), "event");
+        let err = "warp".parse::<Engine>().unwrap_err();
+        assert!(err.to_string().contains("warp"));
+        assert_eq!(Engine::default(), Engine::Event);
+        assert_eq!(Engine::all(), [Engine::Tick, Engine::Event]);
+    }
+
+    #[test]
+    fn queue_orders_by_cycle_then_rank() {
+        let mut q = EventQueue::new();
+        q.claim(2, Some(10));
+        q.claim(0, Some(10));
+        q.claim(1, Some(5));
+        assert_eq!(q.earliest(), Some(5));
+        // Rank 1 reschedules past the tie; ranks 0 and 2 tie at 10 and
+        // the earliest claim is unchanged by their insertion order.
+        q.claim(1, Some(20));
+        assert_eq!(q.earliest(), Some(10));
+    }
+
+    #[test]
+    fn queue_discards_stale_claims() {
+        let mut q = EventQueue::new();
+        q.claim(0, Some(3));
+        q.claim(0, Some(7));
+        q.claim(1, None);
+        assert_eq!(q.earliest(), Some(7), "the cycle-3 entry is stale");
+        q.claim(0, None);
+        assert_eq!(q.earliest(), None);
+    }
+
+    #[test]
+    fn queue_ignores_reclaim_of_same_cycle() {
+        let mut q = EventQueue::new();
+        q.claim(3, Some(42));
+        for _ in 0..100 {
+            q.claim(3, Some(42));
+        }
+        assert!(q.heap.len() <= 1, "unchanged claims must not grow the heap");
+        assert_eq!(q.earliest(), Some(42));
+    }
+}

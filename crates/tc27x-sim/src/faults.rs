@@ -253,6 +253,15 @@ impl FaultInjector {
     }
 }
 
+impl crate::engine::EventSource for FaultInjector {
+    /// Fault injection perturbs counter *readings* after a run
+    /// completes; it never participates in the cycle loop, so it is
+    /// permanently passive to the event kernel.
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,10 +60,12 @@ pub mod cache;
 pub mod config;
 pub mod core_pipeline;
 pub mod counters;
+pub mod engine;
 pub mod faults;
 pub mod layout;
 pub mod linker;
 pub mod program;
+pub mod reference;
 pub mod rng;
 pub mod sri;
 pub mod system;
@@ -72,6 +74,7 @@ pub mod trace;
 pub use addr::{Addr, CoreId, MemMap, Region, SriTarget};
 pub use config::SimConfig;
 pub use counters::{DebugCounters, GroundTruth};
+pub use engine::{Engine, EventSource, ParseEngineError};
 pub use faults::{CounterId, FaultInjector, FaultKind, FaultRecord};
 pub use layout::{
     AccessClass, CodeSegment, DataObject, DeploymentScenario, LayoutError, Placement, TaskSpec,

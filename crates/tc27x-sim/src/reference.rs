@@ -1,0 +1,42 @@
+//! The reference cycle stepper: the original per-cycle tick loop,
+//! preserved verbatim as the differential oracle for the event kernel
+//! ([`crate::engine`]).
+//!
+//! Every component is polled every cycle, in a fixed order: all cores
+//! (index order), then one SRI arbitration step, then grants applied
+//! (index order), then `now` advances by one. This is deliberately the
+//! *only* place in the crate allowed to tick cycle by cycle — `ci.sh`
+//! greps for per-tick loops elsewhere — so the event kernel can never
+//! quietly regress into a stepper, and the stepper stays available via
+//! [`crate::engine::Engine::Tick`] to re-verify bit-identity at any
+//! time.
+
+use crate::core_pipeline::CorePipeline;
+use crate::system::{SimError, System};
+
+/// Runs `sys` to the predicate on the per-cycle reference stepper.
+pub(crate) fn run_tick(
+    sys: &mut System,
+    keep_going: &dyn Fn(&[Option<CorePipeline>]) -> bool,
+) -> Result<(), SimError> {
+    while keep_going(&sys.cores) {
+        if sys.now >= sys.config.max_cycles {
+            return Err(SimError::CycleLimit {
+                limit: sys.config.max_cycles,
+            });
+        }
+        for core in sys.cores.iter_mut().flatten() {
+            core.step(sys.now, &mut sys.sri, &sys.config, &sys.map);
+        }
+        let grants = sys.sri.step(sys.now);
+        for (i, grant) in grants.iter().enumerate() {
+            // Grants only go to loaded cores; an unloaded slot simply
+            // has no grant to apply.
+            if let (Some(g), Some(core)) = (grant, sys.cores[i].as_mut()) {
+                core.apply_grant(sys.now, *g);
+            }
+        }
+        sys.now += 1;
+    }
+    Ok(())
+}

@@ -32,6 +32,9 @@ pub struct SriRequest {
 struct Pending {
     core: CoreId,
     service: u32,
+    /// Cycle the request was posted — grant time minus this is the
+    /// exact queueing delay the crossbar imposed on the requester.
+    posted_at: u64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -106,14 +109,16 @@ impl Sri {
         self.priority[core.index()]
     }
 
-    /// Posts a request at cycle `now`. The grant arrives through a later
+    /// Posts a request at cycle `now`; the posting cycle is recorded so
+    /// the grant can attribute the exact queueing delay to the slave
+    /// (see [`Sri::queue_delay`]). The grant arrives through a later
     /// (possibly same-cycle) [`Sri::step`].
     ///
     /// # Panics
     ///
     /// Panics if the core already has a request queued at this slave —
     /// cores have at most one outstanding transaction.
-    pub fn post(&mut self, _now: u64, req: SriRequest) {
+    pub fn post(&mut self, now: u64, req: SriRequest) {
         let slave = &mut self.slaves[req.target.index()];
         assert!(
             slave.queue.iter().all(|p| p.core != req.core),
@@ -124,6 +129,7 @@ impl Sri {
         slave.queue.push(Pending {
             core: req.core,
             service: req.service,
+            posted_at: now,
         });
     }
 
@@ -162,7 +168,10 @@ impl Sri {
             slave.last_grant = core_idx;
             slave.busy_until = now + p.service as u64;
             slave.served += 1;
-            slave.queue_delay += slave.queue.len() as u64; // remaining waiters
+            // Exact queueing delay of the granted request, from its
+            // recorded posting cycle (not the per-tick waiter count the
+            // stepper used to approximate this with).
+            slave.queue_delay += now - p.posted_at;
             grants[core_idx] = Some(Grant {
                 complete_at: slave.busy_until,
             });
@@ -175,11 +184,42 @@ impl Sri {
         self.slaves[target.index()].served
     }
 
+    /// Total cycles of queueing delay a slave has imposed on granted
+    /// requests (grant cycle minus posting cycle, summed).
+    pub fn queue_delay(&self, target: SriTarget) -> u64 {
+        self.slaves[target.index()].queue_delay
+    }
+
     /// Returns `true` if no slave has queued or in-flight work at `now`.
+    /// This is the event kernel's quiescence source of truth:
+    /// `is_idle(now)` implies [`Sri::next_event`] returns `None`.
     pub fn is_idle(&self, now: u64) -> bool {
         self.slaves
             .iter()
             .all(|s| s.queue.is_empty() && s.busy_until <= now)
+    }
+
+    /// Delegates to the [`crate::engine::EventSource`] impl without
+    /// needing the trait in scope.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        crate::engine::EventSource::next_event(self, now)
+    }
+}
+
+impl crate::engine::EventSource for Sri {
+    /// The next cycle at which [`Sri::step`] can issue a grant: the
+    /// earliest `busy_until` (clamped to `now`) over slaves with a
+    /// non-empty queue. A busy slave with an *empty* queue needs no
+    /// claim — stepping it is a no-op until someone posts, and the
+    /// poster's own step precedes arbitration within that cycle. With no
+    /// queued work anywhere the arbiter is passive ([`Sri::is_idle`] is
+    /// the stronger, kernel-facing form of this).
+    fn next_event(&self, now: u64) -> Option<u64> {
+        self.slaves
+            .iter()
+            .filter(|s| !s.queue.is_empty())
+            .map(|s| s.busy_until.max(now))
+            .min()
     }
 }
 
@@ -360,5 +400,47 @@ mod tests {
         sri.step(0);
         assert!(!sri.is_idle(5));
         assert!(sri.is_idle(11));
+    }
+
+    #[test]
+    fn idle_implies_no_claim() {
+        let mut sri = Sri::new();
+        // Fresh crossbar: idle, passive.
+        assert!(sri.is_idle(0));
+        assert_eq!(sri.next_event(0), None);
+        // Queued request on a free slave: claim fires immediately.
+        sri.post(3, req(1, SriTarget::Lmu, 11));
+        assert_eq!(sri.next_event(3), Some(3));
+        sri.step(3);
+        // Busy slave, empty queue: no claim, yet not idle — stepping it
+        // is a no-op until someone posts.
+        assert!(!sri.is_idle(7));
+        assert_eq!(sri.next_event(7), None);
+        // Busy slave with a waiter: claim at the freeing cycle.
+        sri.post(7, req(2, SriTarget::Lmu, 11));
+        assert_eq!(sri.next_event(7), Some(14));
+        // Whenever the crossbar is idle, it must also be passive.
+        for t in [14, 25, 1000] {
+            sri.step(t);
+            assert!(sri.is_idle(t + 11));
+            assert_eq!(sri.next_event(t + 11), None);
+        }
+    }
+
+    #[test]
+    fn queue_delay_is_grant_minus_post() {
+        let mut sri = Sri::new();
+        sri.post(0, req(1, SriTarget::Lmu, 11));
+        sri.post(0, req(2, SriTarget::Lmu, 11));
+        let g0 = sri.step(0);
+        assert_eq!(g0.iter().flatten().count(), 1);
+        // First grant came at its posting cycle: zero delay.
+        assert_eq!(sri.queue_delay(SriTarget::Lmu), 0);
+        // Second request waits out the 11-cycle service window.
+        let g11 = sri.step(11);
+        assert_eq!(g11.iter().flatten().count(), 1);
+        assert_eq!(sri.queue_delay(SriTarget::Lmu), 11);
+        // Other slaves were never touched.
+        assert_eq!(sri.queue_delay(SriTarget::Pf0), 0);
     }
 }

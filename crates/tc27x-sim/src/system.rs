@@ -1,5 +1,9 @@
 //! The complete TC277 system: three cores, the SRI crossbar and the
-//! shared memories, stepped in cycle lockstep.
+//! shared memories, driven by a pluggable timing kernel.
+//!
+//! Two engines exist and are bit-identical ([`crate::config::SimConfig::engine`]):
+//! the event-driven kernel ([`crate::engine`], the default) and the
+//! per-cycle reference stepper ([`crate::reference`]).
 //!
 //! # Examples
 //!
@@ -34,6 +38,7 @@ use crate::addr::{CoreId, MemMap};
 use crate::config::SimConfig;
 use crate::core_pipeline::CorePipeline;
 use crate::counters::{DebugCounters, GroundTruth};
+use crate::engine::Engine;
 use crate::layout::{LayoutError, TaskSpec};
 use crate::linker::Linker;
 use crate::sri::Sri;
@@ -41,7 +46,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Result of a completed simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RunOutcome {
     /// Cycles simulated.
     pub cycles: u64,
@@ -49,7 +54,7 @@ pub struct RunOutcome {
 }
 
 /// Per-core results of a run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CoreResult {
     /// Debug counters at the end of the run.
     pub counters: DebugCounters,
@@ -59,6 +64,11 @@ pub struct CoreResult {
     pub finish_cycle: Option<u64>,
     /// `true` if SRI capacity enforcement suspended the core.
     pub suspended: bool,
+    /// Events the core's bounded trace dropped after its buffer filled
+    /// (0 when tracing is disabled or nothing was lost). Surfaced here
+    /// so callers rendering a trace can tell it is truncated without
+    /// holding on to the [`System`].
+    pub trace_dropped: u64,
 }
 
 impl RunOutcome {
@@ -96,6 +106,16 @@ impl RunOutcome {
     /// Panics if no task was loaded on `core`.
     pub fn execution_time(&self, core: CoreId) -> u64 {
         self.counters(core).ccnt
+    }
+
+    /// Events dropped from a core's bounded trace (see
+    /// [`CoreResult::trace_dropped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task was loaded on `core`.
+    pub fn trace_dropped(&self, core: CoreId) -> u64 {
+        self.result(core).trace_dropped
     }
 }
 
@@ -149,12 +169,12 @@ impl From<LayoutError> for SimError {
 
 /// The simulated TC277 system.
 pub struct System {
-    config: SimConfig,
-    map: MemMap,
+    pub(crate) config: SimConfig,
+    pub(crate) map: MemMap,
     linker: Linker,
-    sri: Sri,
-    cores: Vec<Option<CorePipeline>>,
-    now: u64,
+    pub(crate) sri: Sri,
+    pub(crate) cores: Vec<Option<CorePipeline>>,
+    pub(crate) now: u64,
 }
 
 impl System {
@@ -246,26 +266,16 @@ impl System {
         if self.cores.iter().all(Option::is_none) {
             return Err(SimError::NothingLoaded);
         }
-        while keep_going(&self.cores) {
-            if self.now >= self.config.max_cycles {
-                return Err(SimError::CycleLimit {
-                    limit: self.config.max_cycles,
-                });
-            }
-            for core in self.cores.iter_mut().flatten() {
-                core.step(self.now, &mut self.sri, &self.config, &self.map);
-            }
-            let grants = self.sri.step(self.now);
-            for (i, grant) in grants.iter().enumerate() {
-                // Grants only go to loaded cores; an unloaded slot
-                // simply has no grant to apply.
-                if let (Some(g), Some(core)) = (grant, self.cores[i].as_mut()) {
-                    core.apply_grant(self.now, *g);
-                }
-            }
-            self.now += 1;
+        match self.config.engine {
+            Engine::Tick => crate::reference::run_tick(self, &keep_going)?,
+            Engine::Event => crate::engine::run_event(self, &keep_going)?,
         }
-        Ok(RunOutcome {
+        Ok(self.outcome())
+    }
+
+    /// Snapshot of the per-core results, shared by both engines.
+    fn outcome(&self) -> RunOutcome {
+        RunOutcome {
             cycles: self.now,
             per_core: self
                 .cores
@@ -276,10 +286,11 @@ impl System {
                         ground_truth: core.ground_truth(),
                         finish_cycle: core.finish_cycle(),
                         suspended: core.is_suspended(),
+                        trace_dropped: core.trace().dropped(),
                     })
                 })
                 .collect(),
-        })
+        }
     }
 }
 
@@ -572,5 +583,108 @@ mod tests {
             sys.run(),
             Err(SimError::CycleLimit { limit: 100 })
         ));
+    }
+
+    /// Runs one config on both engines and asserts the outcomes are
+    /// bit-identical, including traces.
+    fn assert_engines_agree(cfg: SimConfig, tasks: &[(CoreId, TaskSpec)]) {
+        use crate::engine::Engine;
+        let run = |engine: Engine| {
+            let mut sys = System::with_config(cfg.clone().with_engine(engine));
+            for (core, spec) in tasks {
+                sys.load(*core, spec).unwrap();
+            }
+            let out = sys.run();
+            let traces: Vec<_> = tasks
+                .iter()
+                .map(|(core, _)| sys.trace(*core).records().to_vec())
+                .collect();
+            (out, traces)
+        };
+        let (tick, tick_traces) = run(Engine::Tick);
+        let (event, event_traces) = run(Engine::Event);
+        match (&tick, &event) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.cycles, b.cycles);
+                for (core, _) in tasks {
+                    let (ra, rb) = (a.result(*core), b.result(*core));
+                    assert_eq!(ra.counters, rb.counters, "{core}");
+                    assert_eq!(ra.ground_truth, rb.ground_truth, "{core}");
+                    assert_eq!(ra.finish_cycle, rb.finish_cycle, "{core}");
+                    assert_eq!(ra.suspended, rb.suspended, "{core}");
+                    assert_eq!(ra.trace_dropped, rb.trace_dropped, "{core}");
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("engines disagree on success: tick={a:?} event={b:?}"),
+        }
+        assert_eq!(tick_traces, event_traces);
+    }
+
+    #[test]
+    fn engines_agree_on_an_isolated_run() {
+        assert_engines_agree(
+            SimConfig::tc277_reference().with_trace_capacity(10_000),
+            &[(CoreId(1), spec_with_lmu_loads(50, 3))],
+        );
+    }
+
+    #[test]
+    fn engines_agree_under_contention_with_quota() {
+        let mk = |core: CoreId| {
+            let prog = Program::build(|b| {
+                b.repeat(120, |b| {
+                    b.load("obj", Pattern::Sequential);
+                });
+            });
+            TaskSpec::new("hammer", prog, Placement::pspr(core)).with_object(DataObject::new(
+                "obj",
+                4 << 10,
+                lmu_nc(),
+            ))
+        };
+        let cfg = SimConfig::tc277_reference()
+            .with_sri_quota(CoreId(2), 40)
+            .with_trace_capacity(4_000);
+        assert_engines_agree(
+            cfg,
+            &[
+                (CoreId(0), mk(CoreId(0))),
+                (CoreId(1), mk(CoreId(1))),
+                (CoreId(2), mk(CoreId(2))),
+            ],
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_cycle_limit_truncation() {
+        for limit in [1, 7, 100, 1_000] {
+            assert_engines_agree(
+                SimConfig::tc277_reference().with_max_cycles(limit),
+                &[(CoreId(1), spec_with_lmu_loads(10_000, 0))],
+            );
+        }
+    }
+
+    #[test]
+    fn event_engine_is_the_default() {
+        assert_eq!(
+            System::tc277().config().engine,
+            crate::engine::Engine::Event
+        );
+    }
+
+    #[test]
+    fn outcome_surfaces_trace_truncation() {
+        let cfg = SimConfig::tc277_reference().with_trace_capacity(4);
+        let mut sys = System::with_config(cfg);
+        sys.load(CoreId(1), &spec_with_lmu_loads(25, 0)).unwrap();
+        let out = sys.run().unwrap();
+        assert!(out.trace_dropped(CoreId(1)) > 0);
+        assert_eq!(out.trace_dropped(CoreId(1)), sys.trace(CoreId(1)).dropped());
+        // An untraced run drops nothing.
+        let mut plain = System::tc277();
+        plain.load(CoreId(1), &spec_with_lmu_loads(5, 0)).unwrap();
+        assert_eq!(plain.run().unwrap().trace_dropped(CoreId(1)), 0);
     }
 }

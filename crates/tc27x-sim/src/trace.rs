@@ -140,6 +140,13 @@ impl Trace {
         self.dropped
     }
 
+    /// Returns `true` if the buffer filled up and at least one event
+    /// was silently dropped — renderers should warn the reader that the
+    /// trace is incomplete (see [`crate::system::RunOutcome::trace_dropped`]).
+    pub fn is_truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
     /// Iterates over events of one kind predicate.
     pub fn filter<'a>(
         &'a self,

@@ -1,0 +1,286 @@
+//! Randomized differential suite: the event-driven kernel against the
+//! per-cycle reference stepper.
+//!
+//! Each case index maps through [`SplitMix64`] to one deterministic
+//! reproducer — a random program mix, core placement, config (traces,
+//! SRI quotas, master priorities) and fault seed — which is then run on
+//! **both** engines and compared bit for bit: link/run errors, total
+//! cycles, every core's counters, ground truth, finish cycle,
+//! suspension flag, trace records and drop counts, and the
+//! fault-perturbed counter readings. Successful runs are additionally
+//! re-run truncated at adversarial `max_cycles` cutoffs (1, C−1, C,
+//! C+1 and a random interior point) where the engines must raise — or
+//! not raise — `CycleLimit` identically.
+
+use tc27x_sim::faults::FaultInjector;
+use tc27x_sim::rng::SplitMix64;
+use tc27x_sim::trace::TraceRecord;
+use tc27x_sim::{
+    CoreId, DataObject, Engine, Pattern, Placement, Program, Region, RunOutcome, SimConfig,
+    SimError, System, TaskSpec,
+};
+
+const CASES: u64 = 500;
+const BASE_SEED: u64 = 0xe0e0_4d1f_5eed_0000;
+
+/// One generated workload: tasks pinned to cores, a config, and how to
+/// drive the run.
+#[derive(Clone)]
+struct Case {
+    tasks: Vec<(CoreId, TaskSpec)>,
+    config: SimConfig,
+    /// `Some(core)` uses `run_until(core)`, `None` uses `run()`.
+    observe: Option<CoreId>,
+}
+
+/// Everything observable about one run, for exact comparison.
+#[derive(PartialEq, Debug)]
+struct Observed {
+    outcome: Result<RunOutcome, SimError>,
+    traces: Vec<Vec<TraceRecord>>,
+}
+
+fn random_pattern(rng: &mut SplitMix64) -> Pattern {
+    match rng.below(4) {
+        0 => Pattern::Sequential,
+        1 => Pattern::Stride(4 * (1 + rng.below_u32(8))),
+        2 => Pattern::Random,
+        _ => Pattern::Fixed(rng.below_u32(1 << 10)),
+    }
+}
+
+fn random_code_placement(rng: &mut SplitMix64, core: CoreId) -> Placement {
+    match rng.below(5) {
+        0 => Placement::new(Region::Pflash0, true),
+        1 => Placement::new(Region::Pflash0, false),
+        2 => Placement::new(Region::Pflash1, true),
+        3 => Placement::new(Region::Lmu, false),
+        _ => Placement::pspr(core),
+    }
+}
+
+fn random_data_placement(rng: &mut SplitMix64, core: CoreId) -> Placement {
+    match rng.below(5) {
+        0 => Placement::new(Region::Lmu, false),
+        1 => Placement::new(Region::Lmu, true),
+        2 => Placement::new(Region::Dflash, false),
+        3 => Placement::new(Region::Dflash, true),
+        _ => Placement::dspr(core),
+    }
+}
+
+/// A pre-generated program shape (generated ahead of the builder run so
+/// the RNG draws happen in one deterministic sequence).
+enum PlanOp {
+    Compute(u32),
+    Mem {
+        obj: usize,
+        pattern: Pattern,
+        write: bool,
+    },
+    Loop {
+        count: u32,
+        body: Vec<PlanOp>,
+    },
+}
+
+fn random_plan(rng: &mut SplitMix64, objects: usize, depth: u32) -> Vec<PlanOp> {
+    let len = 2 + rng.below(6) as usize;
+    (0..len)
+        .map(|_| match rng.below(if depth > 0 { 4 } else { 3 }) {
+            0 => PlanOp::Compute(1 + rng.below_u32(16)),
+            1 | 2 => PlanOp::Mem {
+                obj: rng.below(objects as u64) as usize,
+                pattern: random_pattern(rng),
+                write: rng.flip(),
+            },
+            _ => PlanOp::Loop {
+                count: 2 + rng.below_u32(6),
+                body: random_plan(rng, objects, depth - 1),
+            },
+        })
+        .collect()
+}
+
+fn build_plan(b: &mut tc27x_sim::ProgramBuilder, plan: &[PlanOp]) {
+    for op in plan {
+        match op {
+            PlanOp::Compute(n) => {
+                b.compute(*n);
+            }
+            PlanOp::Mem {
+                obj,
+                pattern,
+                write,
+            } => {
+                let name = format!("obj{obj}");
+                if *write {
+                    b.store(name, *pattern);
+                } else {
+                    b.load(name, *pattern);
+                }
+            }
+            PlanOp::Loop { count, body } => {
+                b.repeat(*count, |b| build_plan(b, body));
+            }
+        }
+    }
+}
+
+fn random_task(rng: &mut SplitMix64, case: u64, core: CoreId) -> TaskSpec {
+    let objects = 1 + rng.below(3) as usize;
+    let plan = random_plan(rng, objects, 1);
+    let prog = Program::build(|b| build_plan(b, &plan));
+    let mut spec = TaskSpec::new(
+        format!("rand-{case}-{core}"),
+        prog,
+        random_code_placement(rng, core),
+    );
+    for o in 0..objects {
+        spec = spec.with_object(DataObject::new(
+            format!("obj{o}"),
+            64 + rng.below_u32(4000),
+            random_data_placement(rng, core),
+        ));
+    }
+    spec.seed = rng.next_u64();
+    spec
+}
+
+fn random_case(rng: &mut SplitMix64, case: u64) -> Case {
+    let mut cores: Vec<CoreId> = vec![CoreId(0), CoreId(1), CoreId(2)];
+    let keep = 1 + rng.below(3) as usize;
+    while cores.len() > keep {
+        let drop = rng.below(cores.len() as u64) as usize;
+        cores.remove(drop);
+    }
+    let tasks: Vec<(CoreId, TaskSpec)> = cores
+        .iter()
+        .map(|&c| (c, random_task(rng, case, c)))
+        .collect();
+
+    let mut config = SimConfig::tc277_reference().with_max_cycles(100_000);
+    if rng.flip() {
+        config = config.with_trace_capacity(1 + rng.below(64) as usize);
+    }
+    if rng.below(4) == 0 {
+        config = config.with_sri_quota(CoreId(rng.below(3) as u8), rng.below(40));
+    }
+    if rng.below(4) == 0 {
+        config = config.with_master_priority([
+            rng.below(2) as u8,
+            rng.below(2) as u8,
+            rng.below(2) as u8,
+        ]);
+    }
+    let observe = if tasks.len() > 1 && rng.flip() {
+        Some(tasks[rng.below(tasks.len() as u64) as usize].0)
+    } else {
+        None
+    };
+    Case {
+        tasks,
+        config,
+        observe,
+    }
+}
+
+/// Runs the case on one engine and captures everything observable.
+fn observe(case: &Case, engine: Engine, max_cycles: Option<u64>) -> Observed {
+    let mut config = case.config.clone().with_engine(engine);
+    if let Some(limit) = max_cycles {
+        config = config.with_max_cycles(limit);
+    }
+    let mut sys = System::with_config(config);
+    for (core, spec) in &case.tasks {
+        if let Err(e) = sys.load(*core, spec) {
+            // A link rejection happens before any engine runs; record it
+            // and compare it across engines all the same.
+            return Observed {
+                outcome: Err(e),
+                traces: Vec::new(),
+            };
+        }
+    }
+    let outcome = match case.observe {
+        Some(core) => sys.run_until(core),
+        None => sys.run(),
+    };
+    let traces = case
+        .tasks
+        .iter()
+        .map(|(core, _)| sys.trace(*core).records().to_vec())
+        .collect();
+    Observed { outcome, traces }
+}
+
+/// Asserts bit-identity of two observations, with per-core detail in
+/// the failure message.
+fn assert_identical(case_no: u64, label: &str, case: &Case, tick: &Observed, event: &Observed) {
+    if let (Ok(a), Ok(b)) = (&tick.outcome, &event.outcome) {
+        assert_eq!(a.cycles, b.cycles, "case {case_no} ({label}): total cycles");
+        for (core, _) in &case.tasks {
+            assert_eq!(
+                a.result(*core),
+                b.result(*core),
+                "case {case_no} ({label}): result for {core}"
+            );
+        }
+    }
+    assert_eq!(
+        tick, event,
+        "case {case_no} ({label}): engines must be bit-identical"
+    );
+}
+
+#[test]
+fn engines_are_bit_identical_on_random_workloads() {
+    let mut compared = 0u64;
+    let mut truncations = 0u64;
+    for case_no in 0..CASES {
+        let mut rng = SplitMix64::new(BASE_SEED.wrapping_add(case_no));
+        let case = random_case(&mut rng, case_no);
+
+        let tick = observe(&case, Engine::Tick, None);
+        let event = observe(&case, Engine::Event, None);
+        assert_identical(case_no, "full run", &case, &tick, &event);
+        compared += 1;
+
+        let Ok(outcome) = &tick.outcome else {
+            continue;
+        };
+
+        // Fault plans: seeded perturbation of the final counter readings
+        // must agree bit for bit (faults are a pure post-run function of
+        // the counters, so identical counters force identical faults —
+        // this locks that property in).
+        let eo = event
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|_| unreachable!("checked identical above"));
+        for (core, _) in &case.tasks {
+            let fault_seed = BASE_SEED ^ case_no ^ (core.0 as u64);
+            let a = FaultInjector::new(fault_seed).perturb(&outcome.counters(*core));
+            let b = FaultInjector::new(fault_seed).perturb(&eo.counters(*core));
+            assert_eq!(a, b, "case {case_no}: faulted readings for {core}");
+        }
+
+        // Adversarial truncation: cut the run at the boundary cycles
+        // around its natural length plus a random interior point.
+        let natural = outcome.cycles;
+        let mut cuts = vec![1, natural.saturating_sub(1).max(1), natural, natural + 1];
+        if natural > 2 {
+            cuts.push(1 + rng.below(natural - 1));
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        for cut in cuts {
+            let t = observe(&case, Engine::Tick, Some(cut));
+            let e = observe(&case, Engine::Event, Some(cut));
+            assert_identical(case_no, &format!("cut at {cut}"), &case, &t, &e);
+            truncations += 1;
+        }
+    }
+    assert!(compared >= 500, "suite must cover at least 500 cases");
+    assert!(truncations > 500, "truncation cutoffs must be exercised");
+}

@@ -33,7 +33,7 @@ use contention::{
 };
 use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine};
 use std::path::PathBuf;
-use tc27x_sim::{CoreId, DeploymentScenario, SimConfig, System};
+use tc27x_sim::{CoreId, DeploymentScenario, Engine, SimConfig, System};
 use workloads::LoadLevel;
 
 /// A parsed invocation.
@@ -150,6 +150,10 @@ pub struct PipelineSettings {
     /// Branch-and-bound node budget override for the ILP solver; the
     /// model default when `None`.
     pub ilp_budget: Option<u64>,
+    /// Simulator timing kernel (`--engine tick|event`; default event).
+    /// The kernels are bit-identical — this flag only trades speed, and
+    /// `tick` exists to re-verify that claim on any command.
+    pub engine: Engine,
 }
 
 /// Campaign options from the global `--journal`/`--resume`/
@@ -240,6 +244,10 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
         }
         None => None,
     };
+    let engine = take_value(&mut rest, "--engine")?
+        .map(|v| v.parse::<Engine>().map_err(|e| ParseError(e.to_string())))
+        .transpose()?
+        .unwrap_or_default();
     let journal = take_value(&mut rest, "--journal")?.map(PathBuf::from);
     let resume = take_value(&mut rest, "--resume")?.map(PathBuf::from);
     if journal.is_some() && resume.is_some() {
@@ -256,7 +264,11 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
     Ok(Invocation {
         command: parse(&rest)?,
         jobs,
-        settings: PipelineSettings { policy, ilp_budget },
+        settings: PipelineSettings {
+            policy,
+            ilp_budget,
+            engine,
+        },
         campaign: CampaignOptions {
             journal,
             resume,
@@ -386,6 +398,11 @@ GLOBAL OPTIONS:
                                     solver; on exhaustion `bound --model ilp`
                                     degrades to the sound fTC bound and tags
                                     the output `fallback=ftc`
+    --engine tick|event             simulator timing kernel (default: event).
+                                    `event` skips provably quiescent cycles;
+                                    `tick` is the reference per-cycle stepper.
+                                    The two are bit-identical, so every other
+                                    output is unaffected by this flag
     --journal FILE                  record every completed simulation to a
                                     crash-safe write-ahead journal
     --resume FILE                   replay a journal, re-executing only the
@@ -406,7 +423,7 @@ GLOBAL OPTIONS:
 ///
 /// Propagates simulation/model/journal errors as boxed errors.
 pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>> {
-    let engine = ExecEngine::new(inv.jobs);
+    let engine = ExecEngine::new(inv.jobs).with_sim_engine(inv.settings.engine);
     let config = CampaignConfig {
         watchdog_millis: inv.campaign.watchdog_millis,
         ..CampaignConfig::default()
@@ -597,10 +614,20 @@ pub fn run_with_settings(
             Ok(())
         }
         Command::Trace { scenario, limit } => {
-            let cfg = SimConfig::tc277_reference().with_trace_capacity(limit.max(1));
+            let cfg = SimConfig::tc277_reference()
+                .with_trace_capacity(limit.max(1))
+                .with_engine(settings.engine);
             let mut sys = System::with_config(cfg);
             sys.load(CoreId(1), &workloads::control_loop(scenario, CoreId(1), 42))?;
-            sys.run()?;
+            let out = sys.run()?;
+            if out.trace_dropped(CoreId(1)) > 0 {
+                eprintln!(
+                    "warning: trace truncated — {} event(s) were dropped after the \
+                     {}-event buffer filled; raise --limit to capture them",
+                    out.trace_dropped(CoreId(1)),
+                    limit.max(1)
+                );
+            }
             let trace = sys.trace(CoreId(1));
             for r in trace.records().iter().take(limit) {
                 println!("{r}");
@@ -777,6 +804,33 @@ mod tests {
     }
 
     #[test]
+    fn parses_engine_flag() {
+        let inv = parse_invocation(&argv("calibrate")).unwrap();
+        assert_eq!(inv.settings.engine, Engine::Event, "event is the default");
+
+        let inv = parse_invocation(&argv("--engine tick calibrate")).unwrap();
+        assert_eq!(inv.settings.engine, Engine::Tick);
+        let inv = parse_invocation(&argv("calibrate --engine reference")).unwrap();
+        assert_eq!(inv.settings.engine, Engine::Tick);
+        let inv = parse_invocation(&argv("trace --engine event --limit 3")).unwrap();
+        assert_eq!(inv.settings.engine, Engine::Event);
+        assert_eq!(
+            inv.command,
+            Command::Trace {
+                scenario: DeploymentScenario::Scenario1,
+                limit: 3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_engine_values() {
+        assert!(parse_invocation(&argv("calibrate --engine")).is_err());
+        let err = parse_invocation(&argv("calibrate --engine warp")).unwrap_err();
+        assert!(err.to_string().contains("warp"));
+    }
+
+    #[test]
     fn parses_campaign_flags() {
         let inv = parse_invocation(&argv("calibrate")).unwrap();
         assert_eq!(inv.campaign, CampaignOptions::default());
@@ -843,6 +897,7 @@ mod tests {
             "--journal",
             "--resume",
             "--watchdog-ms",
+            "--engine",
         ] {
             assert!(USAGE.contains(sub), "{sub}");
         }
