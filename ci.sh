@@ -81,6 +81,31 @@ echo "==> golden sweep under the tick stepper (engines byte-identical end to end
 diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/tick.csv" \
     || { echo "tick-engine sweep CSV diverged from the golden capture"; exit 1; }
 
+echo "==> telemetry determinism gate (schema lint, cross-jobs/engine det identity)"
+# The Scenario 1 sweep with a recorder attached: every record must pass
+# the schema lint, and — because sc1's default solve budget never falls
+# back (asserted by golden_sweep) — the run must prove itself
+# warning-free (--deny-warn). The deterministic subset must be
+# byte-identical across worker counts and timing kernels, and the
+# Chrome export must be a valid trace. (sc2 legitimately emits an
+# ilp.fallback warning at the default budget, so it is not used here.)
+LINT=target/release/telemetry_lint
+cargo build --release --offline -p contention-bench --bin telemetry_lint
+"$SWEEP" --scenario sc1 --jobs 1 --engine event --telemetry "$SMOKE_DIR/t1.jsonl" \
+    > /dev/null 2> /dev/null
+"$SWEEP" --scenario sc1 --jobs 4 --engine event --telemetry "$SMOKE_DIR/t4.jsonl" \
+    > /dev/null 2> /dev/null
+"$SWEEP" --scenario sc1 --jobs 4 --engine tick --telemetry "$SMOKE_DIR/ttick.jsonl" \
+    > /dev/null 2> /dev/null
+"$LINT" "$SMOKE_DIR/t1.jsonl" --deny-warn --det-diff "$SMOKE_DIR/t4.jsonl" \
+    || { echo "telemetry det subset differs across --jobs"; exit 1; }
+"$LINT" "$SMOKE_DIR/t1.jsonl" --deny-warn --det-diff "$SMOKE_DIR/ttick.jsonl" \
+    || { echo "telemetry det subset differs across timing kernels"; exit 1; }
+"$SWEEP" --scenario sc1 --jobs 2 --telemetry "$SMOKE_DIR/t.trace:chrome" \
+    > /dev/null 2> /dev/null
+"$LINT" --chrome "$SMOKE_DIR/t.trace" \
+    || { echo "chrome trace export failed validation"; exit 1; }
+
 echo "==> simulator throughput report (non-gating)"
 # Tick vs event wall-clock on the Table 2 probe mix; writes
 # BENCH_sim.json. Informational: a slow machine must not fail the gate.

@@ -3,7 +3,7 @@
 //! journal resumes (replay, zero simulation), and the raw fsync'd
 //! append throughput. Writes `BENCH_campaign.json` at the repo root.
 
-use contention_bench::harness::Harness;
+use contention_bench::harness::{Harness, MetaEnvelope};
 use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine, Journal, SimJob, SimOutcome};
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -50,6 +50,9 @@ fn main() {
     }
 
     let mut h = Harness::new("campaign");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Every engine below is ExecEngine::new(2) on the default kernel.
+    h.set_envelope(MetaEnvelope::new(&args, "event", 2));
     h.sample_size(5);
     let batch = panel_batch();
 

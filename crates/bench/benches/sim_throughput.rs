@@ -10,7 +10,7 @@
 //!
 //! Writes `BENCH_sim.json`; ci.sh runs this as a non-gating report.
 
-use contention_bench::harness::Harness;
+use contention_bench::harness::{Harness, MetaEnvelope};
 use std::hint::black_box;
 use std::path::PathBuf;
 use tc27x_sim::{CoreId, Engine, Region, SimConfig, System, TaskSpec};
@@ -42,6 +42,9 @@ fn main() {
     }
 
     let mut h = Harness::new("sim");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Each probe runs on both kernels, single-threaded.
+    h.set_envelope(MetaEnvelope::new(&args, "tick+event", 1));
     h.sample_size(5);
 
     // The Table 2 probe mix, one per SRI target class. The first two

@@ -32,8 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let low_traffic = args.iter().any(|a| a == "--low-traffic");
     let common = CommonArgs::parse(&args)?;
     let budget = common.ilp_budget;
-    let engine = common.engine();
-    let campaign = campaign_from_args(&engine, &common)?;
+    let telemetry = common.recorder("figure4");
+    if let Some(t) = &telemetry {
+        t.meta(
+            "variant",
+            mbta::Val::str(if low_traffic {
+                "low-traffic"
+            } else {
+                "standard"
+            }),
+        );
+    }
+    let engine = common.engine_with(telemetry.as_ref());
+    let campaign = campaign_from_args(&engine, &common, telemetry.as_deref())?;
     let runner: &dyn BatchRunner = match campaign.as_ref() {
         Some(c) => c,
         None => &engine,
@@ -59,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let panel = mbta::figure4_panel_with(runner, *scenario, &platform, 42)?;
         eprintln!(
             "{label}: {}",
-            panel_fallback_report(runner, *scenario, 42, budget)?
+            panel_fallback_report(runner, *scenario, 42, budget, telemetry.as_deref())?
         );
         println!(
             "{label}  —  isolation CCNT = {} cycles",
@@ -100,8 +111,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("bounds (~10%) than the 30-40% of the stressing benchmarks.");
     }
 
-    let complete = report_campaign(campaign.as_ref());
-    write_engine_report(&engine);
+    let complete = report_campaign(campaign.as_ref(), telemetry.as_deref());
+    write_engine_report(&engine, &common.envelope(&args[1..]));
+    if let Some(t) = &telemetry {
+        // The reproducibility footer goes under the figure: how the
+        // numbers above were obtained, from deterministic counters only.
+        print!("{}", mbta::report::reproducibility_footer(t));
+    }
+    common.flush_telemetry(telemetry.as_ref())?;
     if !complete {
         std::process::exit(2);
     }

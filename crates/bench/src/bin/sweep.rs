@@ -36,16 +36,20 @@ use tc27x_sim::DeploymentScenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let scenario = match args.iter().position(|a| a == "--scenario") {
+    let (scenario, scenario_label) = match args.iter().position(|a| a == "--scenario") {
         Some(i) => match args.get(i + 1).map(String::as_str) {
-            Some("sc2") => DeploymentScenario::Scenario2,
-            _ => DeploymentScenario::Scenario1,
+            Some("sc2") => (DeploymentScenario::Scenario2, "sc2"),
+            _ => (DeploymentScenario::Scenario1, "sc1"),
         },
-        None => DeploymentScenario::Scenario1,
+        None => (DeploymentScenario::Scenario1, "sc1"),
     };
     let common = CommonArgs::parse(&args)?;
-    let engine = common.engine();
-    let campaign = campaign_from_args(&engine, &common)?;
+    let telemetry = common.recorder(&format!("sweep {scenario_label}"));
+    if let Some(t) = &telemetry {
+        t.meta("scenario", mbta::Val::str(scenario_label));
+    }
+    let engine = common.engine_with(telemetry.as_ref());
+    let campaign = campaign_from_args(&engine, &common, telemetry.as_deref())?;
 
     let mut sweep_complete = true;
     match campaign.as_ref() {
@@ -64,20 +68,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             eprintln!(
                 "{}",
-                sweep_fallback_report(runner, scenario, common.ilp_budget)?
+                sweep_fallback_report(runner, scenario, common.ilp_budget, telemetry.as_deref())?
             );
         }
         None => {
             print!("{}", sweep_csv(&engine, scenario)?);
             eprintln!(
                 "{}",
-                sweep_fallback_report(&engine, scenario, common.ilp_budget)?
+                sweep_fallback_report(&engine, scenario, common.ilp_budget, telemetry.as_deref())?
             );
         }
     }
 
-    let campaign_complete = report_campaign(campaign.as_ref());
-    write_engine_report(&engine);
+    let campaign_complete = report_campaign(campaign.as_ref(), telemetry.as_deref());
+    write_engine_report(&engine, &common.envelope(&args[1..]));
+    if let Some(t) = &telemetry {
+        eprint!("{}", mbta::report::reproducibility_footer(t));
+    }
+    common.flush_telemetry(telemetry.as_ref())?;
     if !(sweep_complete && campaign_complete) {
         std::process::exit(2);
     }

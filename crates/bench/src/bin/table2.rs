@@ -21,8 +21,9 @@ use mbta::BatchRunner;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let common = CommonArgs::parse(&args)?;
-    let engine = common.engine();
-    let campaign = campaign_from_args(&engine, &common)?;
+    let telemetry = common.recorder("table2");
+    let engine = common.engine_with(telemetry.as_ref());
+    let campaign = campaign_from_args(&engine, &common, telemetry.as_deref())?;
     let runner: &dyn BatchRunner = match campaign.as_ref() {
         Some(c) => c,
         None => &engine,
@@ -75,8 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cal.into_platform().cs_data_min()
     );
 
-    let complete = report_campaign(campaign.as_ref());
-    write_engine_report(&engine);
+    let complete = report_campaign(campaign.as_ref(), telemetry.as_deref());
+    write_engine_report(&engine, &common.envelope(&args[1..]));
+    common.flush_telemetry(telemetry.as_ref())?;
     if !complete {
         std::process::exit(2);
     }

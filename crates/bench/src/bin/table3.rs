@@ -27,8 +27,9 @@ fn cell(class: AccessClass, region: Region, cacheable: bool) -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let common = CommonArgs::parse(&args)?;
-    let engine = common.engine();
-    let campaign = campaign_from_args(&engine, &common)?;
+    let telemetry = common.recorder("table3");
+    let engine = common.engine_with(telemetry.as_ref());
+    let campaign = campaign_from_args(&engine, &common, telemetry.as_deref())?;
 
     println!("Table 3: constraints on code/data placement w.r.t. SRI slaves");
     println!("('ok' = admissible, 'x' = forbidden; matches the paper cell for cell)\n");
@@ -58,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  Code $ : ok ok x ok     Code n$: ok ok x ok");
     println!("  Data $ : ok ok x ok     Data n$: x  x  ok ok");
 
-    report_campaign(campaign.as_ref());
-    write_engine_report(&engine);
+    report_campaign(campaign.as_ref(), telemetry.as_deref());
+    write_engine_report(&engine, &common.envelope(&args[1..]));
+    common.flush_telemetry(telemetry.as_ref())?;
     Ok(())
 }

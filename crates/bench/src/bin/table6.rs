@@ -34,8 +34,9 @@ fn row(label: &str, p: &IsolationProfile) -> Vec<String> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let common = CommonArgs::parse(&args)?;
-    let engine = common.engine();
-    let campaign = campaign_from_args(&engine, &common)?;
+    let telemetry = common.recorder("table6");
+    let engine = common.engine_with(telemetry.as_ref());
+    let campaign = campaign_from_args(&engine, &common, telemetry.as_deref())?;
     let runner: &dyn BatchRunner = match campaign.as_ref() {
         Some(c) => c,
         None => &engine,
@@ -64,8 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cacheable data misses; Sc2 data stalls are a small fraction of");
     println!("code stalls; contender traffic is roughly half the app's.");
 
-    let complete = report_campaign(campaign.as_ref());
-    write_engine_report(&engine);
+    let complete = report_campaign(campaign.as_ref(), telemetry.as_deref());
+    write_engine_report(&engine, &common.envelope(&args[1..]));
+    if let Some(t) = &telemetry {
+        // The reproducibility footer goes under the table: how the
+        // numbers above were obtained, from deterministic counters only.
+        print!("{}", mbta::report::reproducibility_footer(t));
+    }
+    common.flush_telemetry(telemetry.as_ref())?;
     if !complete {
         std::process::exit(2);
     }

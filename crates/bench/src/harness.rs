@@ -13,6 +13,60 @@ use std::time::Instant;
 
 const TARGET_SAMPLE_NANOS: u128 = 2_000_000; // ~2 ms per sample
 
+/// The shared metadata envelope every `BENCH_*.json` carries, so two
+/// result files can be compared knowing they came from the same
+/// configuration: a stable fingerprint of the argument vector, the
+/// simulator timing kernel, the worker count and the harness version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetaEnvelope {
+    /// FNV-1a fingerprint of the (program-name-stripped) argument
+    /// vector, so differently-configured runs never diff clean.
+    pub config_fingerprint: u64,
+    /// The simulator timing kernel the run used (`tick`, `event`, or a
+    /// combination for benches that exercise both).
+    pub engine: String,
+    /// Worker threads the run was sized to.
+    pub jobs: u64,
+    /// The harness package version (`CARGO_PKG_VERSION`).
+    pub harness_version: String,
+}
+
+impl MetaEnvelope {
+    /// Builds the envelope from an argument vector (pass `argv[1..]` so
+    /// the binary's install path doesn't perturb the fingerprint).
+    pub fn new(args: &[String], engine: impl Into<String>, jobs: u64) -> Self {
+        // Join on a separator that cannot appear in shell words so
+        // ["a b"] and ["a", "b"] fingerprint differently.
+        let joined = args.join("\u{1f}");
+        MetaEnvelope {
+            config_fingerprint: obs::fnv1a(joined.as_bytes()),
+            engine: engine.into(),
+            jobs,
+            harness_version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+
+    /// Renders the envelope as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut engine = String::new();
+        obs::json::escape_into(&self.engine, &mut engine);
+        format!(
+            "{{\"config_fingerprint\": \"{:016x}\", \"engine\": {engine}, \
+             \"jobs\": {}, \"harness_version\": \"{}\"}}",
+            self.config_fingerprint, self.jobs, self.harness_version
+        )
+    }
+
+    /// Splices the envelope into a rendered top-level JSON object (one
+    /// that starts with `{\n`), as its first `"meta"` member.
+    pub fn wrap(&self, body: &str) -> String {
+        match body.strip_prefix("{\n") {
+            Some(rest) => format!("{{\n  \"meta\": {},\n{rest}", self.to_json()),
+            None => body.to_string(),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct BenchResult {
     pub name: String,
@@ -29,6 +83,7 @@ pub struct Harness {
     group: String,
     sample_size: usize,
     elements: Option<u64>,
+    envelope: Option<MetaEnvelope>,
     results: Vec<BenchResult>,
 }
 
@@ -38,8 +93,16 @@ impl Harness {
             group: group.to_string(),
             sample_size: 10,
             elements: None,
+            envelope: None,
             results: Vec::new(),
         }
+    }
+
+    /// Attaches the metadata envelope emitted as the `meta` member of
+    /// `BENCH_<group>.json`.
+    pub fn set_envelope(&mut self, envelope: MetaEnvelope) -> &mut Self {
+        self.envelope = Some(envelope);
+        self
     }
 
     /// Number of timed samples per benchmark (the median is reported).
@@ -114,6 +177,9 @@ impl Harness {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"group\": \"{}\",\n", self.group));
+        if let Some(envelope) = &self.envelope {
+            out.push_str(&format!("  \"meta\": {},\n", envelope.to_json()));
+        }
         out.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -161,5 +227,37 @@ mod tests {
         let json = h.to_json();
         assert!(json.contains("\"group\": \"selftest\""));
         assert!(json.contains("\"name\": \"spin\""));
+    }
+
+    #[test]
+    fn envelope_fingerprints_args_and_wraps_reports() {
+        let args = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        let a = MetaEnvelope::new(&args("--jobs 2"), "event", 2);
+        let b = MetaEnvelope::new(&args("--jobs 4"), "event", 4);
+        assert_ne!(a.config_fingerprint, b.config_fingerprint);
+        // ["a b"] and ["a", "b"] must not collide.
+        assert_ne!(
+            MetaEnvelope::new(&["a b".to_string()], "tick", 1).config_fingerprint,
+            MetaEnvelope::new(&args("a b"), "tick", 1).config_fingerprint
+        );
+
+        let json = a.to_json();
+        assert!(obs::json::parse(&json).is_ok(), "{json}");
+        assert!(json.contains("\"engine\": \"event\""));
+        assert!(json.contains("\"jobs\": 2"));
+        assert!(json.contains(env!("CARGO_PKG_VERSION")));
+
+        let wrapped = a.wrap("{\n  \"x\": 1\n}\n");
+        assert!(obs::json::parse(&wrapped).is_ok(), "{wrapped}");
+        assert!(wrapped.starts_with("{\n  \"meta\": {"));
+        assert!(wrapped.contains("\"x\": 1"));
+
+        let mut h = Harness::new("enveloped");
+        h.set_envelope(a);
+        h.sample_size(1);
+        h.bench("nop", || 0u64);
+        let doc = h.to_json();
+        assert!(doc.contains("\"meta\": {\"config_fingerprint\""), "{doc}");
+        assert!(obs::json::parse(&doc).is_ok());
     }
 }

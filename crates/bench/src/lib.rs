@@ -23,8 +23,9 @@ use contention::{
     ContentionModel, EvalOptions, Evaluator, FsbModel, FtcModel, IdealModel, IlpPtacModel,
     Platform, WcetEstimate,
 };
-use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine, SimJob};
+use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine, SimJob, Telemetry};
 use std::path::PathBuf;
+use std::sync::Arc;
 use tc27x_sim::{
     CoreId, DataObject, DeploymentScenario, Engine, Pattern, Placement, Program, Region, TaskSpec,
 };
@@ -76,10 +77,16 @@ pub fn engine_from_args(args: &[String]) -> Result<ExecEngine, String> {
 }
 
 /// Prints the engine's lifetime stats to stderr and writes
-/// `BENCH_engine.json` (jobs, wall-clock, runs/sec, cache hit rate) —
-/// stderr/file so piped stdout (tables, CSV) stays clean.
-pub fn write_engine_report(engine: &ExecEngine) {
+/// `BENCH_engine.json` (jobs, wall-clock, runs/sec, cache hit rate,
+/// plus the shared [`harness::MetaEnvelope`]) — stderr/file so piped
+/// stdout (tables, CSV) stays clean. When the engine carries a
+/// telemetry recorder, the report is also folded into it
+/// ([`Telemetry::record_engine`]).
+pub fn write_engine_report(engine: &ExecEngine, envelope: &harness::MetaEnvelope) {
     let r = engine.report();
+    if let Some(t) = engine.telemetry() {
+        t.record_engine(&r);
+    }
     eprintln!(
         "engine: {} jobs, {} simulations in {:.2}s ({:.1} runs/s), cache hit rate {:.0}%",
         r.jobs,
@@ -88,7 +95,7 @@ pub fn write_engine_report(engine: &ExecEngine) {
         r.runs_per_sec(),
         r.hit_rate() * 100.0
     );
-    if let Err(e) = r.write("BENCH_engine.json") {
+    if let Err(e) = std::fs::write("BENCH_engine.json", envelope.wrap(&r.to_json())) {
         eprintln!("warning: could not write BENCH_engine.json: {e}");
     }
 }
@@ -323,6 +330,11 @@ impl std::fmt::Display for FallbackReport {
 /// bound. Isolation profiles come from the engine's memo cache, so
 /// calling this after [`sweep_csv`] re-runs no simulations.
 ///
+/// With a `telemetry` recorder, every solve lands as a span plus node
+/// counters ([`Telemetry::record_solve`]); a non-zero fallback rate is
+/// additionally recorded on the `ilp.fallback` warning channel (quiet —
+/// the caller owns the stderr rendering of the report).
+///
 /// # Errors
 ///
 /// Propagates engine and model errors.
@@ -330,6 +342,7 @@ pub fn sweep_fallback_report<R: BatchRunner + ?Sized>(
     engine: &R,
     scenario: DeploymentScenario,
     node_budget: Option<u64>,
+    telemetry: Option<&Telemetry>,
 ) -> Result<FallbackReport, mbta::ExperimentError> {
     let platform = Platform::tc277_reference();
     let (app_core, load_core) = (CoreId(1), CoreId(2));
@@ -343,12 +356,26 @@ pub fn sweep_fallback_report<R: BatchRunner + ?Sized>(
 
     let mut report = FallbackReport::default();
     for intensity in (0..=1_000).step_by(100) {
-        let load = engine.isolation(&scaled_contender(load_core, intensity), load_core)?;
+        let spec = scaled_contender(load_core, intensity);
+        let label = format!("solve:{}", spec.name);
+        let load = engine.isolation(&spec, load_core)?;
         let evaluated = evaluator.bound(&app, &load)?;
+        if let Some(t) = telemetry {
+            t.record_solve(
+                label,
+                evaluated.nodes_explored,
+                evaluated.source.is_fallback(),
+            );
+        }
         if evaluated.source.is_fallback() {
             report.ftc += 1;
         } else {
             report.ilp += 1;
+        }
+    }
+    if let Some(t) = telemetry {
+        if report.ftc > 0 {
+            t.warn_quiet("ilp.fallback", report.to_string());
         }
     }
     Ok(report)
@@ -367,6 +394,7 @@ pub fn panel_fallback_report<R: BatchRunner + ?Sized>(
     scenario: DeploymentScenario,
     seed: u64,
     node_budget: Option<u64>,
+    telemetry: Option<&Telemetry>,
 ) -> Result<FallbackReport, mbta::ExperimentError> {
     let platform = Platform::tc277_reference();
     let (app_core, load_core) = (CoreId(1), CoreId(2));
@@ -382,12 +410,25 @@ pub fn panel_fallback_report<R: BatchRunner + ?Sized>(
     for level in LoadLevel::all() {
         let spec =
             workloads::contender(scenario, level, load_core, seed.wrapping_add(level as u64));
+        let label = format!("solve:{}", spec.name);
         let load = engine.isolation(&spec, load_core)?;
         let evaluated = evaluator.bound(&app, &load)?;
+        if let Some(t) = telemetry {
+            t.record_solve(
+                label,
+                evaluated.nodes_explored,
+                evaluated.source.is_fallback(),
+            );
+        }
         if evaluated.source.is_fallback() {
             report.ftc += 1;
         } else {
             report.ilp += 1;
+        }
+    }
+    if let Some(t) = telemetry {
+        if report.ftc > 0 {
+            t.warn_quiet("ilp.fallback", report.to_string());
         }
     }
     Ok(report)
@@ -428,8 +469,9 @@ fn path_from_args(args: &[String], flag: &str) -> Result<Option<PathBuf>, String
 
 /// The flags shared by every bench binary, parsed once: engine sizing
 /// (`--jobs N`), simulator kernel (`--engine tick|event`), solver
-/// budget (`--ilp-budget N`), and the crash-safe campaign options
-/// (`--journal <file>`, `--resume <file>`, `--watchdog-ms N`).
+/// budget (`--ilp-budget N`), the crash-safe campaign options
+/// (`--journal <file>`, `--resume <file>`, `--watchdog-ms N`), and the
+/// telemetry sink (`--telemetry <path>[:jsonl|chrome|summary]`).
 #[derive(Clone, Debug)]
 pub struct CommonArgs {
     /// Worker threads (`--jobs N`, default: available parallelism).
@@ -447,6 +489,8 @@ pub struct CommonArgs {
     pub resume: Option<PathBuf>,
     /// Per-job wall-clock watchdog (`--watchdog-ms N`).
     pub watchdog_millis: Option<u64>,
+    /// Telemetry sink (`--telemetry <path>[:format]`; `-` is stderr).
+    pub telemetry: Option<mbta::SinkSpec>,
 }
 
 impl CommonArgs {
@@ -486,6 +530,15 @@ impl CommonArgs {
             }
             None => Engine::default(),
         };
+        let telemetry = match args.iter().position(|a| a == "--telemetry") {
+            Some(i) => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--telemetry requires a path[:format]".to_string())?;
+                Some(v.parse::<mbta::SinkSpec>().map_err(|e| e.to_string())?)
+            }
+            None => None,
+        };
         Ok(CommonArgs {
             jobs: jobs_from_args(args)?,
             sim_engine,
@@ -493,12 +546,53 @@ impl CommonArgs {
             journal,
             resume,
             watchdog_millis,
+            telemetry,
         })
+    }
+
+    /// Creates the telemetry recorder for the named command when
+    /// `--telemetry` was given, `None` otherwise. The recorder is an
+    /// `Arc` because the engine shares it with the binary's own
+    /// recording calls.
+    pub fn recorder(&self, command: &str) -> Option<Arc<Telemetry>> {
+        self.telemetry
+            .as_ref()
+            .map(|_| Arc::new(Telemetry::new(command)))
     }
 
     /// Builds the experiment engine these flags describe.
     pub fn engine(&self) -> ExecEngine {
-        ExecEngine::new(self.jobs).with_sim_engine(self.sim_engine)
+        self.engine_with(None)
+    }
+
+    /// [`engine`](Self::engine) with an attached telemetry recorder
+    /// (pass the value [`recorder`](Self::recorder) returned).
+    pub fn engine_with(&self, telemetry: Option<&Arc<Telemetry>>) -> ExecEngine {
+        let engine = ExecEngine::new(self.jobs).with_sim_engine(self.sim_engine);
+        match telemetry {
+            Some(t) => engine.with_telemetry(Arc::clone(t)),
+            None => engine,
+        }
+    }
+
+    /// The [`harness::MetaEnvelope`] describing this run: fingerprint
+    /// of `args` (pass `argv[1..]`), timing kernel and worker count.
+    pub fn envelope(&self, args: &[String]) -> harness::MetaEnvelope {
+        harness::MetaEnvelope::new(args, self.sim_engine.to_string(), self.jobs as u64)
+    }
+
+    /// Renders the recorder to the `--telemetry` sink. A no-op when the
+    /// flag (and thus the recorder) is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a readable message when writing the sink fails.
+    pub fn flush_telemetry(&self, telemetry: Option<&Arc<Telemetry>>) -> Result<(), String> {
+        if let (Some(spec), Some(t)) = (&self.telemetry, telemetry) {
+            t.flush(spec)
+                .map_err(|e| format!("cannot write telemetry to {}: {e}", spec.path))?;
+        }
+        Ok(())
     }
 
     /// The campaign configuration these flags describe (default retry
@@ -523,6 +617,7 @@ impl CommonArgs {
 pub fn campaign_from_args<'e>(
     engine: &'e ExecEngine,
     common: &CommonArgs,
+    telemetry: Option<&Telemetry>,
 ) -> Result<Option<CampaignRunner<'e>>, String> {
     let config = common.campaign_config();
     if let Some(path) = &common.journal {
@@ -534,32 +629,61 @@ pub fn campaign_from_args<'e>(
     if let Some(path) = &common.resume {
         let (runner, report) = CampaignRunner::resumed(engine, config, path)
             .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
-        eprint!(
-            "resume: {} record(s) recovered from {}",
-            report.records,
-            path.display()
-        );
-        if report.truncated_bytes > 0 {
-            eprint!(
-                " (warning: {} byte(s) of a torn trailing record truncated)",
-                report.truncated_bytes
-            );
+        match telemetry {
+            // With a recorder, the torn-record truncation goes through
+            // the deduplicated warning channel (which prints the same
+            // `warning:` line to stderr and keeps a `warn` record).
+            Some(t) if report.truncated_bytes > 0 => {
+                eprintln!(
+                    "resume: {} record(s) recovered from {}",
+                    report.records,
+                    path.display()
+                );
+                t.warn(
+                    "journal.torn",
+                    format!(
+                        "{} byte(s) of a torn trailing record truncated from {}",
+                        report.truncated_bytes,
+                        path.display()
+                    ),
+                );
+            }
+            _ => {
+                eprint!(
+                    "resume: {} record(s) recovered from {}",
+                    report.records,
+                    path.display()
+                );
+                if report.truncated_bytes > 0 {
+                    eprint!(
+                        " (warning: {} byte(s) of a torn trailing record truncated)",
+                        report.truncated_bytes
+                    );
+                }
+                eprintln!();
+            }
         }
-        eprintln!();
         return Ok(Some(runner));
     }
     Ok(None)
 }
 
-/// Prints the campaign's partial-result manifest and stats to stderr.
-/// Returns `false` when jobs stayed unrecovered — the campaign finished
-/// degraded, and the binary should exit non-zero without discarding the
-/// completed results.
-pub fn report_campaign(campaign: Option<&CampaignRunner<'_>>) -> bool {
+/// Prints the campaign's partial-result manifest and stats to stderr,
+/// and folds the stats into the telemetry recorder when one is given
+/// ([`Telemetry::record_campaign`]). Returns `false` when jobs stayed
+/// unrecovered — the campaign finished degraded, and the binary should
+/// exit non-zero without discarding the completed results.
+pub fn report_campaign(
+    campaign: Option<&CampaignRunner<'_>>,
+    telemetry: Option<&Telemetry>,
+) -> bool {
     let Some(campaign) = campaign else {
         return true;
     };
     let stats = campaign.stats();
+    if let Some(t) = telemetry {
+        t.record_campaign(&stats);
+    }
     eprintln!(
         "campaign: {} replayed, {} executed, {} retried, {} fault(s) injected, {} timeout(s)",
         stats.replayed, stats.executed, stats.retried, stats.injected_faults, stats.timed_out
@@ -650,7 +774,23 @@ mod tests {
         let t = CommonArgs::parse(&argv("--jobs 1 --engine tick")).unwrap();
         assert_eq!(t.sim_engine, Engine::Tick);
         assert_eq!(t.engine().sim_engine(), Engine::Tick);
+        assert_eq!(t.telemetry, None);
+        assert!(t.recorder("x").is_none());
+        assert!(t.flush_telemetry(None).is_ok(), "no sink is a no-op");
 
+        let tel = CommonArgs::parse(&argv("--jobs 1 --telemetry out.json:chrome")).unwrap();
+        let spec = tel.telemetry.clone().unwrap();
+        assert_eq!(spec.path, "out.json");
+        assert_eq!(spec.format, mbta::Format::Chrome);
+        let recorder = tel.recorder("test-run").unwrap();
+        let engine = tel.engine_with(Some(&recorder));
+        assert!(engine.telemetry().is_some(), "recorder attached");
+        let envelope = tel.envelope(&argv("--jobs 1"));
+        assert_eq!(envelope.jobs, 1);
+        assert_eq!(envelope.engine, "event");
+
+        assert!(CommonArgs::parse(&argv("--telemetry")).is_err());
+        assert!(CommonArgs::parse(&argv("--telemetry :chrome")).is_err());
         assert!(CommonArgs::parse(&argv("--journal a --resume b")).is_err());
         assert!(CommonArgs::parse(&argv("--journal")).is_err());
         assert!(CommonArgs::parse(&argv("--resume")).is_err());
@@ -666,18 +806,28 @@ mod tests {
         let arg_strings = argv(&format!("--jobs 1 --journal {}", path.display()));
         let common = CommonArgs::parse(&arg_strings).unwrap();
         let engine = common.engine();
-        let campaign = campaign_from_args(&engine, &common).unwrap().unwrap();
-        assert!(report_campaign(Some(&campaign)), "empty campaign complete");
+        let campaign = campaign_from_args(&engine, &common, None).unwrap().unwrap();
+        assert!(
+            report_campaign(Some(&campaign), None),
+            "empty campaign complete"
+        );
         drop(campaign);
 
         let resume_args = argv(&format!("--jobs 1 --resume {}", path.display()));
         let common = CommonArgs::parse(&resume_args).unwrap();
         let engine = common.engine();
-        assert!(campaign_from_args(&engine, &common).unwrap().is_some());
+        let telemetry = Telemetry::new("roundtrip");
+        let campaign = campaign_from_args(&engine, &common, Some(&telemetry)).unwrap();
+        assert!(campaign.is_some());
+        assert!(
+            report_campaign(campaign.as_ref(), Some(&telemetry)),
+            "resumed empty campaign complete"
+        );
+        assert_eq!(telemetry.det_counter("campaign.executed"), 0);
 
         let plain = CommonArgs::parse(&argv("--jobs 1")).unwrap();
-        assert!(campaign_from_args(&engine, &plain).unwrap().is_none());
-        assert!(report_campaign(None));
+        assert!(campaign_from_args(&engine, &plain, None).unwrap().is_none());
+        assert!(report_campaign(None, None));
         std::fs::remove_file(&path).ok();
     }
 

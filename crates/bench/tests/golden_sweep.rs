@@ -70,16 +70,28 @@ fn default_budget_never_falls_back_budget_one_always_does() {
     // Warm the memo cache so both reports replay cached profiles.
     sweep_csv(&engine, DeploymentScenario::Scenario1).unwrap();
 
-    let exact = sweep_fallback_report(&engine, DeploymentScenario::Scenario1, None).unwrap();
+    let exact = sweep_fallback_report(&engine, DeploymentScenario::Scenario1, None, None).unwrap();
     assert_eq!(exact.ftc, 0, "default budget must solve every pair exactly");
     assert_eq!(exact.ilp, 11);
     assert_eq!(exact.rate(), 0.0);
 
-    let starved = sweep_fallback_report(&engine, DeploymentScenario::Scenario1, Some(1)).unwrap();
+    // A starved budget degrades every pair — and with a recorder
+    // attached, the solves and the fallback warning are recorded.
+    let telemetry = mbta::Telemetry::new("golden-fallback");
+    let starved = sweep_fallback_report(
+        &engine,
+        DeploymentScenario::Scenario1,
+        Some(1),
+        Some(&telemetry),
+    )
+    .unwrap();
     assert_eq!(
         starved.ilp, 0,
         "a node budget of 1 must always degrade to fTC"
     );
     assert_eq!(starved.ftc, 11);
     assert_eq!(starved.rate(), 1.0);
+    assert_eq!(telemetry.det_counter("ilp.solves"), 11);
+    assert_eq!(telemetry.det_counter("ilp.fallback_ftc"), 11);
+    assert_eq!(telemetry.warning_count(), 1, "fallback warning recorded");
 }

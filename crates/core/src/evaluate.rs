@@ -107,6 +107,12 @@ pub struct EvaluatedBound {
     /// Validation reports for the analysed task and the contender, in
     /// that order.
     pub reports: Vec<ValidationReport>,
+    /// Branch & bound nodes the ILP explored before this bound was
+    /// settled — the solver's logical clock, deterministic across
+    /// machines and worker counts. On the fTC path this is the
+    /// exhausted node budget (or 0 for an infeasible formulation that
+    /// never searched).
+    pub nodes_explored: u64,
 }
 
 impl EvaluatedBound {
@@ -187,15 +193,21 @@ impl<'p> Evaluator<'p> {
                 bound: sol.bound,
                 source: BoundSource::Ilp,
                 reports,
+                nodes_explored: sol.nodes_explored,
             }),
             Err(ModelError::Ilp(
-                ilp::SolveError::BudgetExhausted { .. } | ilp::SolveError::Infeasible,
+                e @ (ilp::SolveError::BudgetExhausted { .. } | ilp::SolveError::Infeasible),
             )) => {
+                let nodes_explored = match e {
+                    ilp::SolveError::BudgetExhausted { limit, .. } => limit,
+                    _ => 0,
+                };
                 let bound = FtcModel::new(self.platform).pairwise_bound(&a, &b)?;
                 Ok(EvaluatedBound {
                     bound,
                     source: BoundSource::Ftc,
                     reports,
+                    nodes_explored,
                 })
             }
             Err(e) => Err(e),

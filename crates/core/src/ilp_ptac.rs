@@ -79,6 +79,10 @@ pub struct IlpPtacSolution {
     /// the (sound, marginally looser) LP-relaxation value; the mappings
     /// are then rounded witnesses rather than exact optima.
     pub relaxed: bool,
+    /// Branch & bound nodes the solve explored — the solver's logical
+    /// clock, recorded by the telemetry layer. Equals the node budget
+    /// when the exact search was exhausted and the relaxation answered.
+    pub nodes_explored: u64,
 }
 
 /// The ILP-PTAC contention model.
@@ -364,7 +368,7 @@ impl<'p> IlpPtacModel<'p> {
         // solve that spends its whole allowance counts as exhausted, so
         // a budget of 1 is a guaranteed-fallback switch regardless of
         // how easy the instance happens to be.
-        let (sol, relaxed) = match p.solve_with_stats() {
+        let (sol, relaxed, nodes_explored) = match p.solve_with_stats() {
             Ok((s, stats)) => {
                 if !relax_on_budget && stats.nodes_explored >= self.options.node_budget {
                     return Err(ilp::SolveError::BudgetExhausted {
@@ -373,11 +377,12 @@ impl<'p> IlpPtacModel<'p> {
                     }
                     .into());
                 }
-                (s, false)
+                let nodes = stats.nodes_explored;
+                (s, false, nodes)
             }
             Err(e @ ilp::SolveError::BudgetExhausted { .. }) => {
                 if relax_on_budget {
-                    (p.solve_relaxation()?, true)
+                    (p.solve_relaxation()?, true, self.options.node_budget)
                 } else {
                     return Err(e.into());
                 }
@@ -436,6 +441,7 @@ impl<'p> IlpPtacModel<'p> {
             na: read_counts(&va),
             nb: vb.as_ref().map(&read_counts),
             relaxed,
+            nodes_explored,
         })
     }
 }

@@ -26,7 +26,11 @@ use crate::solution::Solution;
 /// Statistics of one solve.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SolveStats {
-    /// Branch & bound nodes whose LP relaxation was solved.
+    /// Branch & bound nodes whose LP relaxation was solved. Surfaced
+    /// downstream as `IlpPtacSolution::nodes_explored` and the
+    /// telemetry layer's `ilp.nodes` histogram — nodes are the solver's
+    /// *logical* clock, so budgets and telemetry stay deterministic
+    /// where wall-clock time would not.
     pub nodes_explored: u64,
     /// Simplex pivots performed across all nodes.
     pub pivots: u64,

@@ -340,10 +340,13 @@ impl<'e> CampaignRunner<'e> {
                 // still correct; finishing beats aborting a multi-hour
                 // sweep over a full disk.
                 self.journal_errors.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "warning: journal append failed at {}: {e}",
-                    journal.path().display()
-                );
+                let message = format!("journal append failed at {}: {e}", journal.path().display());
+                match self.engine.telemetry() {
+                    // The channel dedups by code: a full disk warns
+                    // once, not once per record.
+                    Some(t) => t.warn("journal.append_failed", message),
+                    None => eprintln!("warning: {message}"),
+                }
             }
         }
     }

@@ -33,15 +33,16 @@
 //! ```
 
 use crate::pool;
+use crate::telemetry::Telemetry;
 use contention::{IsolationProfile, StableHasher};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
-use tc27x_sim::{CoreId, Engine, SimError, TaskSpec};
+use tc27x_sim::{CoreId, Engine, SimError, SimStats, TaskSpec};
 
 /// Why one job in a batch failed.
 #[derive(Clone, Debug)]
@@ -274,6 +275,7 @@ pub struct ExecEngine {
     jobs: usize,
     cycle_budget: Option<u64>,
     sim_engine: Engine,
+    telemetry: Option<Arc<Telemetry>>,
     cache: Mutex<HashMap<u64, IsolationProfile>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -298,6 +300,7 @@ impl ExecEngine {
             jobs: jobs.max(1),
             cycle_budget: None,
             sim_engine: Engine::default(),
+            telemetry: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -336,6 +339,22 @@ impl ExecEngine {
     /// The simulator timing kernel jobs run on.
     pub fn sim_engine(&self) -> Engine {
         self.sim_engine
+    }
+
+    /// Variant with an attached telemetry recorder (builder style):
+    /// every executed job is recorded as a span plus simulator
+    /// statistics when its batch merges. Recording never changes a
+    /// result — it only observes the deterministic execution plan — so
+    /// instrumented and bare engines stay bit-identical.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// An engine that executes everything inline on the caller's
@@ -460,15 +479,19 @@ impl ExecEngine {
             .collect();
         self.runs
             .fetch_add(exec_idx.len() as u64, Ordering::Relaxed);
-        let executed: Vec<Result<SimOutcome, JobFailure>> =
+        let executed: Vec<(Result<SimOutcome, JobFailure>, Option<SimStats>)> =
             pool::run_indexed(&exec_idx, self.jobs, |_, &i| {
                 panic::catch_unwind(AssertUnwindSafe(|| self.execute_job(&batch[i])))
-                    .unwrap_or_else(|payload| Err(JobFailure::Panic(panic_message(payload))))
+                    .unwrap_or_else(|payload| {
+                        (Err(JobFailure::Panic(panic_message(payload))), None)
+                    })
             });
 
         // Phase 3: merge in batch order; fill the cache from the jobs
-        // that succeeded.
-        let mut by_index: HashMap<usize, Result<SimOutcome, JobFailure>> =
+        // that succeeded and record executed jobs into the telemetry.
+        // Recording happens here — not on the workers — so span and
+        // metric updates follow the deterministic plan order.
+        let mut by_index: HashMap<usize, (Result<SimOutcome, JobFailure>, Option<SimStats>)> =
             exec_idx.into_iter().zip(executed).collect();
         let mut outcomes: Vec<Result<SimOutcome, JobFailure>> = Vec::with_capacity(batch.len());
         let mut fresh: Vec<(u64, IsolationProfile)> = Vec::new();
@@ -477,9 +500,24 @@ impl ExecEngine {
                 Plan::Cached(p) => Ok(SimOutcome::Isolation(p.clone())),
                 Plan::Alias(j) => outcomes[*j].clone(),
                 Plan::Execute => {
-                    let r = by_index.remove(&i).unwrap_or_else(|| {
-                        Err(JobFailure::Panic("planned job produced no result".into()))
+                    let (r, stats) = by_index.remove(&i).unwrap_or_else(|| {
+                        (
+                            Err(JobFailure::Panic("planned job produced no result".into())),
+                            None,
+                        )
                     });
+                    if let Some(t) = &self.telemetry {
+                        match &r {
+                            Ok(outcome) => {
+                                let cycles = match outcome {
+                                    SimOutcome::Isolation(p) => p.counters().ccnt,
+                                    SimOutcome::Corun(c) => *c,
+                                };
+                                t.record_job(job_key(&batch[i]), &batch[i], cycles, stats.as_ref());
+                            }
+                            Err(_) => t.record_job_failure(),
+                        }
+                    }
                     if let (Ok(SimOutcome::Isolation(p)), SimJob::Isolation { spec, core }) =
                         (&r, &batch[i])
                     {
@@ -496,8 +534,8 @@ impl ExecEngine {
         outcomes
     }
 
-    fn execute_job(&self, job: &SimJob) -> Result<SimOutcome, JobFailure> {
-        execute_job_budgeted(job, self.cycle_budget, self.sim_engine)
+    fn execute_job(&self, job: &SimJob) -> (Result<SimOutcome, JobFailure>, Option<SimStats>) {
+        execute_job_with_stats(job, self.cycle_budget, self.sim_engine)
     }
 
     /// Memoized single isolation run.
@@ -577,23 +615,41 @@ pub(crate) fn execute_job_budgeted(
     cycle_budget: Option<u64>,
     engine: Engine,
 ) -> Result<SimOutcome, JobFailure> {
+    execute_job_with_stats(job, cycle_budget, engine).0
+}
+
+/// [`execute_job_budgeted`] that also returns the simulator's post-run
+/// statistics snapshot for the telemetry layer (`None` on failure).
+pub(crate) fn execute_job_with_stats(
+    job: &SimJob,
+    cycle_budget: Option<u64>,
+    engine: Engine,
+) -> (Result<SimOutcome, JobFailure>, Option<SimStats>) {
     match job {
-        SimJob::Isolation { spec, core } => Ok(SimOutcome::Isolation(
-            crate::runner::isolation_profile_on(spec, *core, cycle_budget, engine)?,
-        )),
+        SimJob::Isolation { spec, core } => {
+            match crate::runner::isolation_profile_stats(spec, *core, cycle_budget, engine) {
+                Ok((p, s)) => (Ok(SimOutcome::Isolation(p)), Some(s)),
+                Err(e) => (Err(e.into()), None),
+            }
+        }
         SimJob::Corun {
             app,
             app_core,
             load,
             load_core,
-        } => Ok(SimOutcome::Corun(crate::runner::observed_corun_on(
-            app,
-            *app_core,
-            load,
-            *load_core,
-            cycle_budget,
-            engine,
-        )?)),
+        } => {
+            match crate::runner::observed_corun_stats(
+                app,
+                *app_core,
+                load,
+                *load_core,
+                cycle_budget,
+                engine,
+            ) {
+                Ok((c, s)) => (Ok(SimOutcome::Corun(c)), Some(s)),
+                Err(e) => (Err(e.into()), None),
+            }
+        }
         SimJob::Poison => panic!("deliberately poisoned job"),
     }
 }

@@ -13,7 +13,10 @@
 //! * [`ExecEngine`] — the parallel experiment engine: batches of
 //!   simulation jobs on a deterministic thread pool with memoized
 //!   isolation profiles (results are bit-identical for any `--jobs`);
-//! * [`report`] — plain-text tables for the experiment binaries.
+//! * [`report`] — plain-text tables for the experiment binaries;
+//! * [`telemetry`] — the deterministic telemetry recorder: per-job
+//!   spans, metric registries and the deduplicated warning channel
+//!   behind the `--telemetry` sinks.
 //!
 //! # Examples
 //!
@@ -48,6 +51,7 @@ mod journal;
 mod pool;
 pub mod report;
 mod runner;
+pub mod telemetry;
 
 pub use calibration::{calibrate, calibrate_with, Calibration};
 pub use campaign::{
@@ -67,3 +71,4 @@ pub use runner::{
     hwm_campaign, hwm_campaign_with, isolation_profile, isolation_profile_budgeted, observed_corun,
     observed_corun_budgeted, to_model_counters, to_model_counts, HwmMeasurement,
 };
+pub use telemetry::{Format, SinkSpec, Telemetry, Val};

@@ -93,6 +93,33 @@ pub fn ratio(value: f64) -> String {
     format!("{value:.2}")
 }
 
+/// The reproducibility footer appended under the Figure 4 / Table 6
+/// tables: how the numbers above were obtained — ILP fallback rate,
+/// campaign retries and the engine's memo-cache hit rate. Every input
+/// is a deterministic telemetry counter, so the footer itself is
+/// byte-identical across worker counts and timing kernels.
+pub fn reproducibility_footer(telemetry: &crate::Telemetry) -> String {
+    let solves = telemetry.det_counter("ilp.solves");
+    let fallbacks = telemetry.det_counter("ilp.fallback_ftc");
+    let retried = telemetry.det_counter("campaign.retried");
+    let hits = telemetry.det_counter("exec.cache_hits");
+    let misses = telemetry.det_counter("exec.cache_misses");
+    let pct = |part: u64, whole: u64| {
+        if whole == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    };
+    format!(
+        "reproducibility: ilp fallback {fallbacks}/{solves} ({:.0}%), \
+         retries {retried}, cache hits {hits}/{} ({:.0}%)\n",
+        pct(fallbacks, solves),
+        hits + misses,
+        pct(hits, hits + misses),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +155,18 @@ mod tests {
         let t = Table::new(vec!["x"]);
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn reproducibility_footer_reads_telemetry_counters() {
+        let t = crate::Telemetry::new("test");
+        t.record_solve("solve:a", 10, false);
+        t.record_solve("solve:b", 20, true);
+        let footer = reproducibility_footer(&t);
+        assert!(footer.contains("ilp fallback 1/2 (50%)"), "{footer}");
+        assert!(footer.contains("retries 0"), "{footer}");
+        // An empty recorder renders zeros, not NaNs.
+        let empty = reproducibility_footer(&crate::Telemetry::new("empty"));
+        assert!(empty.contains("ilp fallback 0/0 (0%)"), "{empty}");
     }
 }

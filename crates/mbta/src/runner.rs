@@ -94,6 +94,18 @@ pub fn isolation_profile_on(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
 ) -> Result<IsolationProfile, SimError> {
+    isolation_profile_stats(spec, core, max_cycles, engine).map(|(p, _)| p)
+}
+
+/// [`isolation_profile_on`] that also snapshots the simulator's
+/// post-run statistics ([`tc27x_sim::SimStats`]) for the telemetry
+/// layer.
+pub(crate) fn isolation_profile_stats(
+    spec: &TaskSpec,
+    core: CoreId,
+    max_cycles: Option<u64>,
+    engine: tc27x_sim::Engine,
+) -> Result<(IsolationProfile, tc27x_sim::SimStats), SimError> {
     let mut config = tc27x_sim::SimConfig::tc277_reference().with_engine(engine);
     if let Some(limit) = max_cycles {
         config = config.with_max_cycles(limit);
@@ -101,10 +113,9 @@ pub fn isolation_profile_on(
     let mut sys = System::with_config(config);
     sys.load(core, spec)?;
     let out = sys.run()?;
-    Ok(
-        IsolationProfile::new(spec.name.clone(), to_model_counters(out.counters(core)))
-            .with_ptac(to_model_counts(out.ground_truth(core))),
-    )
+    let profile = IsolationProfile::new(spec.name.clone(), to_model_counters(out.counters(core)))
+        .with_ptac(to_model_counts(out.ground_truth(core)));
+    Ok((profile, sys.stats()))
 }
 
 /// A high-water-mark measurement campaign: the task is run `runs` times
@@ -248,6 +259,19 @@ pub fn observed_corun_on(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
 ) -> Result<u64, SimError> {
+    observed_corun_stats(app, app_core, load, load_core, max_cycles, engine).map(|(c, _)| c)
+}
+
+/// [`observed_corun_on`] that also snapshots the simulator's post-run
+/// statistics ([`tc27x_sim::SimStats`]) for the telemetry layer.
+pub(crate) fn observed_corun_stats(
+    app: &TaskSpec,
+    app_core: CoreId,
+    load: &TaskSpec,
+    load_core: CoreId,
+    max_cycles: Option<u64>,
+    engine: tc27x_sim::Engine,
+) -> Result<(u64, tc27x_sim::SimStats), SimError> {
     let mut config = tc27x_sim::SimConfig::tc277_reference().with_engine(engine);
     if let Some(limit) = max_cycles {
         config = config.with_max_cycles(limit);
@@ -256,7 +280,7 @@ pub fn observed_corun_on(
     sys.load(app_core, app)?;
     sys.load(load_core, load)?;
     let out = sys.run_until(app_core)?;
-    Ok(out.counters(app_core).ccnt)
+    Ok((out.counters(app_core).ccnt, sys.stats()))
 }
 
 #[cfg(test)]

@@ -1,0 +1,130 @@
+//! Deterministic observability primitives for the contention workspace.
+//!
+//! This crate is the dependency-free foundation of the telemetry layer
+//! (`mbta::telemetry` does the wiring): hierarchical [`SpanRec`] spans
+//! with FNV-derived deterministic IDs, a [`Registry`] of counters and
+//! fixed-bucket [`Hist`] histograms, and three sinks over the same
+//! [`Stream`] model — a JSONL event stream, a Chrome `trace_event` JSON
+//! document (loadable in Perfetto / `chrome://tracing`), and a human
+//! summary table.
+//!
+//! The design rule that makes telemetry *regression-testable* is the
+//! deterministic/non-deterministic split: every record carries a `det`
+//! flag, deterministic records contain only logical quantities (cycles,
+//! job indices, node counts) and wall-clock time may appear solely in
+//! `det:false` records. Rendering is pure and ordered (spans in merge
+//! order, metrics in name order), so the `det:true` subset of a JSONL
+//! stream is byte-identical across worker counts and timing kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::{Hist, Registry, SpanRec, Stream};
+//!
+//! let mut reg = Registry::new();
+//! reg.add("cache.hits", 3);
+//! reg.observe("queue_delay", 11);
+//! let mut stream = Stream::new();
+//! stream.det = reg;
+//! stream.spans.push(SpanRec::new(obs::span_id(0, "job", 1), 0, "job", 0, 0, 42));
+//! let jsonl = stream.render_jsonl();
+//! assert!(jsonl.lines().all(|l| l.contains("\"det\":")));
+//! let trace = stream.render_chrome();
+//! assert!(obs::json::parse(&trace).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+pub mod stream;
+
+pub use json::Val;
+pub use metrics::{Hist, Registry};
+pub use sink::{Format, SinkSpec};
+pub use span::{span_id, SpanRec};
+pub use stream::{Stream, Warning};
+
+/// An incremental FNV-1a 64-bit hasher — the same construction as the
+/// model-side `StableHasher`, duplicated here so the foundation crate
+/// stays dependency-free. Used to derive deterministic span IDs.
+#[derive(Clone, Debug)]
+pub struct Fnv(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a string (length-prefixed to avoid concatenation
+    /// ambiguity).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_concatenation() {
+        let h = |parts: &[&str]| {
+            let mut f = Fnv::new();
+            for p in parts {
+                f.write_str(p);
+            }
+            f.finish()
+        };
+        assert_ne!(h(&["ab", "c"]), h(&["a", "bc"]));
+        assert_eq!(h(&["ab", "c"]), h(&["ab", "c"]));
+    }
+}

@@ -1,0 +1,137 @@
+//! Telemetry sink selection: `--telemetry <path>[:format]`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The output format of a telemetry sink.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Format {
+    /// One JSON object per line; the deterministic (`"det":true`)
+    /// subset is byte-identical across worker counts and engines.
+    #[default]
+    Jsonl,
+    /// Chrome `trace_event` JSON, loadable in Perfetto or
+    /// `chrome://tracing`.
+    Chrome,
+    /// The human summary table (also what the stderr footer shows).
+    Summary,
+}
+
+impl Format {
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Format::Jsonl => "jsonl",
+            Format::Chrome => "chrome",
+            Format::Summary => "summary",
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Format {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" | "json" => Ok(Format::Jsonl),
+            "chrome" | "trace" => Ok(Format::Chrome),
+            "summary" => Ok(Format::Summary),
+            _ => Err(()),
+        }
+    }
+}
+
+/// A parsed `--telemetry` argument: an output path plus a format.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SinkSpec {
+    /// Output path; `-` means stderr.
+    pub path: String,
+    /// Output format.
+    pub format: Format,
+}
+
+/// Error for a malformed sink spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSinkError(String);
+
+impl fmt::Display for ParseSinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad telemetry sink `{}` (expected <path>[:jsonl|chrome|summary])",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSinkError {}
+
+impl FromStr for SinkSpec {
+    type Err = ParseSinkError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        // Only a *recognized* format suffix is split off, so paths
+        // containing colons (e.g. Windows drives) stay intact.
+        if let Some((path, suffix)) = spec.rsplit_once(':') {
+            if let Ok(format) = suffix.parse::<Format>() {
+                if path.is_empty() {
+                    return Err(ParseSinkError(spec.to_string()));
+                }
+                return Ok(SinkSpec {
+                    path: path.to_string(),
+                    format,
+                });
+            }
+        }
+        if spec.is_empty() {
+            return Err(ParseSinkError(spec.to_string()));
+        }
+        Ok(SinkSpec {
+            path: spec.to_string(),
+            format: Format::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_path_with_and_without_format() {
+        let plain: SinkSpec = "out/telemetry.jsonl".parse().unwrap();
+        assert_eq!(plain.format, Format::Jsonl);
+        assert_eq!(plain.path, "out/telemetry.jsonl");
+        let chrome: SinkSpec = "trace.json:chrome".parse().unwrap();
+        assert_eq!(chrome.format, Format::Chrome);
+        assert_eq!(chrome.path, "trace.json");
+        let summary: SinkSpec = "-:summary".parse().unwrap();
+        assert_eq!(summary.format, Format::Summary);
+        assert_eq!(summary.path, "-");
+        // An unknown suffix is part of the path, not a format.
+        let odd: SinkSpec = "dir:ect/ory".parse().unwrap();
+        assert_eq!(odd.path, "dir:ect/ory");
+        assert_eq!(odd.format, Format::Jsonl);
+    }
+
+    #[test]
+    fn rejects_empty_specs() {
+        assert!("".parse::<SinkSpec>().is_err());
+        let err = ":chrome".parse::<SinkSpec>().unwrap_err();
+        assert!(err.to_string().contains(":chrome"));
+    }
+
+    #[test]
+    fn format_spellings() {
+        assert_eq!("json".parse::<Format>(), Ok(Format::Jsonl));
+        assert_eq!("trace".parse::<Format>(), Ok(Format::Chrome));
+        assert!("csv".parse::<Format>().is_err());
+        assert_eq!(Format::Chrome.to_string(), "chrome");
+    }
+}

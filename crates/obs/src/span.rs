@@ -1,0 +1,93 @@
+//! Hierarchical spans with deterministic identities.
+//!
+//! A span is a named interval on a logical timeline: its `start` and
+//! `dur` are *logical* quantities (simulated cycles for jobs, solver
+//! nodes for ILP solves), never wall-clock time. IDs are FNV-derived
+//! from the parent ID, the span name and a deterministic sequence key,
+//! so the same campaign produces the same span tree on every run, at
+//! any worker count.
+
+use crate::json::Val;
+use crate::Fnv;
+
+/// Derives a deterministic span ID from its position in the tree.
+pub fn span_id(parent: u64, name: &str, seq: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(parent);
+    h.write_str(name);
+    h.write_u64(seq);
+    h.finish()
+}
+
+/// One recorded span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRec {
+    /// Deterministic span ID (see [`span_id`]).
+    pub id: u64,
+    /// Parent span ID; `0` for roots.
+    pub parent: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// Display track (Chrome `tid`); per-core for sim jobs, a dedicated
+    /// track for solver spans.
+    pub track: u32,
+    /// Logical start on the track's timeline.
+    pub start: u64,
+    /// Logical duration (cycles, nodes, …).
+    pub dur: u64,
+    /// Extra attributes, in insertion order.
+    pub args: Vec<(String, Val)>,
+}
+
+impl SpanRec {
+    /// Creates a span with no extra attributes.
+    pub fn new(
+        id: u64,
+        parent: u64,
+        name: impl Into<String>,
+        track: u32,
+        start: u64,
+        dur: u64,
+    ) -> Self {
+        SpanRec {
+            id,
+            parent,
+            name: name.into(),
+            track,
+            start,
+            dur,
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    #[must_use]
+    pub fn with_arg(mut self, key: impl Into<String>, value: Val) -> Self {
+        self.args.push((key.into(), value));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_and_position_sensitive() {
+        let root = span_id(0, "run", 0);
+        assert_eq!(root, span_id(0, "run", 0));
+        assert_ne!(root, span_id(0, "run", 1));
+        assert_ne!(root, span_id(0, "ran", 0));
+        assert_ne!(span_id(root, "job", 7), span_id(0, "job", 7));
+    }
+
+    #[test]
+    fn builder_collects_args_in_order() {
+        let s = SpanRec::new(1, 0, "job", 2, 10, 5)
+            .with_arg("kind", Val::str("iso"))
+            .with_arg("cycles", Val::U64(5));
+        assert_eq!(s.args.len(), 2);
+        assert_eq!(s.args[0].0, "kind");
+        assert_eq!(s.track, 2);
+    }
+}

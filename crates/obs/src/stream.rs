@@ -1,0 +1,344 @@
+//! The merged telemetry stream and its three renderers.
+//!
+//! A [`Stream`] is the *already merged*, deterministic view of a run:
+//! spans in merge order, metrics in name order, warnings in code order.
+//! The renderers are pure functions of the stream, so two streams with
+//! equal deterministic content render byte-identical deterministic
+//! records regardless of how they were collected.
+
+use crate::json::{escape_into, Val};
+use crate::metrics::Registry;
+use crate::span::SpanRec;
+use std::fmt::Write as _;
+
+/// A deduplicated warning: one record per code, however often it fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// Stable machine-readable code (e.g. `journal.torn`).
+    pub code: String,
+    /// The first message recorded under this code.
+    pub message: String,
+    /// How many times the warning fired.
+    pub count: u64,
+}
+
+/// The merged telemetry of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Stream {
+    /// Run-invariant identity fields of the `meta` record (command,
+    /// config fingerprint, schema version — never jobs or engine, which
+    /// legitimately differ between runs that must compare equal).
+    pub meta: Vec<(String, Val)>,
+    /// Spans, already in deterministic merge order.
+    pub spans: Vec<SpanRec>,
+    /// Deterministic metrics: logical quantities only.
+    pub det: Registry,
+    /// Non-deterministic metrics: anything engine- or
+    /// scheduling-dependent (fast-forward gaps, claims depth).
+    pub nondet: Registry,
+    /// Warnings, in code order.
+    pub warnings: Vec<Warning>,
+    /// The non-deterministic `profile` record: wall-clock time, worker
+    /// count, engine — everything a byte-compare must ignore.
+    pub profile: Vec<(String, Val)>,
+}
+
+/// Renders one JSONL record: `{"k":<kind>,"det":<det>,<fields>}`.
+fn record(out: &mut String, kind: &str, det: bool, fields: &[(String, Val)]) {
+    out.push_str("{\"k\":\"");
+    out.push_str(kind);
+    out.push_str("\",\"det\":");
+    out.push_str(if det { "true" } else { "false" });
+    for (key, value) in fields {
+        out.push(',');
+        escape_into(key, out);
+        out.push(':');
+        value.render(out);
+    }
+    out.push_str("}\n");
+}
+
+fn span_fields(s: &SpanRec) -> Vec<(String, Val)> {
+    let mut fields = vec![
+        ("id".to_string(), Val::U64(s.id)),
+        ("parent".to_string(), Val::U64(s.parent)),
+        ("name".to_string(), Val::str(s.name.clone())),
+        ("track".to_string(), Val::U64(s.track as u64)),
+        ("start".to_string(), Val::U64(s.start)),
+        ("dur".to_string(), Val::U64(s.dur)),
+    ];
+    fields.extend(s.args.iter().cloned());
+    fields
+}
+
+fn registry_records(out: &mut String, reg: &Registry, det: bool) {
+    for (name, value) in reg.counters() {
+        record(
+            out,
+            "counter",
+            det,
+            &[
+                ("name".to_string(), Val::str(name)),
+                ("value".to_string(), Val::U64(value)),
+            ],
+        );
+    }
+    for (name, hist) in reg.hists() {
+        let mut fields = vec![("name".to_string(), Val::str(name))];
+        fields.extend(hist.to_fields());
+        record(out, "hist", det, &fields);
+    }
+}
+
+impl Stream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Stream::default()
+    }
+
+    /// Renders the JSONL event stream. Record order: the `meta` record,
+    /// spans, counters, histograms and warnings (all `det:true`), then
+    /// the non-deterministic metrics and the `profile` record
+    /// (`det:false`).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        record(&mut out, "meta", true, &self.meta);
+        for span in &self.spans {
+            record(&mut out, "span", true, &span_fields(span));
+        }
+        registry_records(&mut out, &self.det, true);
+        for w in &self.warnings {
+            record(
+                &mut out,
+                "warn",
+                true,
+                &[
+                    ("code".to_string(), Val::str(w.code.clone())),
+                    ("message".to_string(), Val::str(w.message.clone())),
+                    ("count".to_string(), Val::U64(w.count)),
+                ],
+            );
+        }
+        registry_records(&mut out, &self.nondet, false);
+        record(&mut out, "profile", false, &self.profile);
+        out
+    }
+
+    /// Renders a Chrome `trace_event` JSON document: one complete-span
+    /// (`"ph":"X"`) event per span on its track, timestamps in logical
+    /// units. Loadable in Perfetto / `chrome://tracing`.
+    pub fn render_chrome(&self) -> String {
+        let mut events: Vec<Val> = Vec::with_capacity(self.spans.len() + 1);
+        let name = self
+            .meta
+            .iter()
+            .find(|(k, _)| k == "command")
+            .and_then(|(_, v)| match v {
+                Val::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| "aurix-contention".to_string());
+        events.push(Val::Obj(vec![
+            ("ph".to_string(), Val::str("M")),
+            ("pid".to_string(), Val::U64(1)),
+            ("tid".to_string(), Val::U64(0)),
+            ("name".to_string(), Val::str("process_name")),
+            (
+                "args".to_string(),
+                Val::Obj(vec![("name".to_string(), Val::str(name))]),
+            ),
+        ]));
+        for s in &self.spans {
+            let mut args = vec![
+                ("id".to_string(), Val::str(format!("{:016x}", s.id))),
+                ("parent".to_string(), Val::str(format!("{:016x}", s.parent))),
+            ];
+            args.extend(s.args.iter().cloned());
+            events.push(Val::Obj(vec![
+                ("ph".to_string(), Val::str("X")),
+                ("pid".to_string(), Val::U64(1)),
+                ("tid".to_string(), Val::U64(s.track as u64)),
+                ("ts".to_string(), Val::U64(s.start)),
+                ("dur".to_string(), Val::U64(s.dur.max(1))),
+                ("name".to_string(), Val::str(s.name.clone())),
+                ("args".to_string(), Val::Obj(args)),
+            ]));
+        }
+        let doc = Val::Obj(vec![
+            ("traceEvents".to_string(), Val::Arr(events)),
+            ("displayTimeUnit".to_string(), Val::str("ms")),
+        ]);
+        let mut out = doc.to_json();
+        out.push('\n');
+        out
+    }
+
+    /// Renders the human summary table.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry summary\n");
+        for (key, value) in &self.meta {
+            let _ = writeln!(out, "  {key}: {}", plain(value));
+        }
+        let width = self
+            .det
+            .counters()
+            .map(|(n, _)| n.len())
+            .chain(self.det.hists().map(|(n, _)| n.len()))
+            .chain(self.nondet.counters().map(|(n, _)| n.len()))
+            .chain(self.nondet.hists().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (label, reg) in [("metrics", &self.det), ("non-deterministic", &self.nondet)] {
+            if reg.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "  {label}:");
+            for (name, value) in reg.counters() {
+                let _ = writeln!(out, "    {name:width$}  {value}");
+            }
+            for (name, hist) in reg.hists() {
+                let _ = writeln!(
+                    out,
+                    "    {name:width$}  count={} sum={} mean={:.1} max={}",
+                    hist.count(),
+                    hist.sum(),
+                    hist.mean(),
+                    hist.max().unwrap_or(0),
+                );
+            }
+        }
+        if self.spans.is_empty() {
+            out.push_str("  spans: none\n");
+        } else {
+            let _ = writeln!(out, "  spans: {}", self.spans.len());
+        }
+        if self.warnings.is_empty() {
+            out.push_str("  warnings: none\n");
+        } else {
+            for w in &self.warnings {
+                let _ = writeln!(out, "  warning [{}] x{}: {}", w.code, w.count, w.message);
+            }
+        }
+        out
+    }
+}
+
+/// Renders a [`Val`] without quotes for the summary table.
+fn plain(v: &Val) -> String {
+    match v {
+        Val::Str(s) => s.clone(),
+        other => other.to_json(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> Stream {
+        let mut s = Stream::new();
+        s.meta = vec![
+            ("command".to_string(), Val::str("sweep sc2")),
+            ("schema".to_string(), Val::U64(1)),
+        ];
+        s.spans
+            .push(SpanRec::new(7, 0, "job:a", 1, 0, 100).with_arg("kind", Val::str("iso")));
+        s.spans.push(SpanRec::new(8, 0, "job:b", 1, 100, 50));
+        s.det.add("exec.cache_hits", 3);
+        s.det.observe("sri.lmu.queue_delay", 11);
+        s.nondet.add("kernel.ff_jumps", 42);
+        s.warnings.push(Warning {
+            code: "journal.torn".to_string(),
+            message: "8 byte(s) of a torn trailing record truncated".to_string(),
+            count: 1,
+        });
+        s.profile = vec![
+            ("jobs".to_string(), Val::U64(4)),
+            ("wall_seconds".to_string(), Val::F64(0.25)),
+        ];
+        s
+    }
+
+    #[test]
+    fn jsonl_records_parse_and_carry_det_flags() {
+        let text = sample().render_jsonl();
+        let mut det_kinds = Vec::new();
+        let mut nondet_kinds = Vec::new();
+        for line in text.lines() {
+            let v = parse(line).unwrap();
+            let kind = v.get("k").unwrap().as_str().unwrap().to_string();
+            match v.get("det").unwrap().as_bool().unwrap() {
+                true => det_kinds.push(kind),
+                false => nondet_kinds.push(kind),
+            }
+        }
+        assert_eq!(
+            det_kinds,
+            vec!["meta", "span", "span", "counter", "hist", "warn"]
+        );
+        assert_eq!(nondet_kinds, vec!["counter", "profile"]);
+    }
+
+    #[test]
+    fn wall_clock_only_in_nondet_records() {
+        let text = sample().render_jsonl();
+        for line in text.lines() {
+            let v = parse(line).unwrap();
+            if v.get("det").unwrap().as_bool() == Some(true) {
+                assert!(
+                    !line.contains("wall") && !line.contains("seconds"),
+                    "det record leaks wall clock: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_per_track_monotonic() {
+        let doc = sample().render_chrome();
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3, "metadata + two spans");
+        let mut last_ts: std::collections::BTreeMap<u64, u64> = Default::default();
+        for e in events {
+            if e.get("ph").unwrap().as_str() != Some("X") {
+                continue;
+            }
+            let tid = e.get("tid").unwrap().as_u64().unwrap();
+            let ts = e.get("ts").unwrap().as_u64().unwrap();
+            assert!(e.get("dur").unwrap().as_u64().unwrap() >= 1);
+            if let Some(prev) = last_ts.insert(tid, ts) {
+                assert!(ts >= prev, "track {tid} not monotonic");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_mentions_metrics_and_warnings() {
+        let s = sample().render_summary();
+        assert!(s.contains("exec.cache_hits"));
+        assert!(s.contains("journal.torn"));
+        assert!(s.contains("spans: 2"));
+        let empty = Stream::new().render_summary();
+        assert!(empty.contains("warnings: none"));
+        assert!(empty.contains("spans: none"));
+    }
+
+    #[test]
+    fn equal_det_content_renders_equal_det_records() {
+        let a = sample();
+        let mut b = sample();
+        b.profile = vec![("jobs".to_string(), Val::U64(1))];
+        b.nondet = Registry::new();
+        let det_lines = |s: &Stream| -> Vec<String> {
+            s.render_jsonl()
+                .lines()
+                .filter(|l| l.contains("\"det\":true"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(det_lines(&a), det_lines(&b));
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::addr::SriTarget;
 use crate::layout::AccessClass;
+use obs::Hist;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -57,6 +58,55 @@ impl fmt::Display for DebugCounters {
             self.dcache_miss_clean,
             self.dcache_miss_dirty
         )
+    }
+}
+
+/// Timing-kernel statistics — how the event kernel spent the run, for
+/// the telemetry layer. These are *non-deterministic* telemetry in the
+/// layer's sense: the reference stepper never fast-forwards, so the
+/// numbers legitimately differ between the bit-identical engines and
+/// must never enter a deterministic record.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct KernelStats {
+    /// Quiescent-gap fast-forwards taken by the event kernel.
+    pub ff_jumps: u64,
+    /// Distribution of fast-forward gap sizes, in cycles.
+    pub gap_hist: Hist,
+    /// Distribution of the claims-queue depth (live claims) at each
+    /// executed cycle.
+    pub depth_hist: Hist,
+}
+
+/// Per-slave SRI statistics for the telemetry layer. Unlike
+/// [`KernelStats`] these are *deterministic*: grants — and therefore
+/// queueing delays — are bit-identical across engines and worker
+/// counts.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SlaveStats {
+    /// Transactions served.
+    pub served: u64,
+    /// Total queueing delay imposed on granted requests, in cycles.
+    pub queue_delay: u64,
+    /// Distribution of per-grant queueing delays.
+    pub delay_hist: Hist,
+}
+
+/// A post-run statistics snapshot of a [`crate::System`], assembled by
+/// [`crate::System::stats`]. Kept off [`crate::system::RunOutcome`] on
+/// purpose: outcomes are compared bit-for-bit across engines, while
+/// `kernel` is engine-dependent by nature.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SimStats {
+    /// Per-slave SRI statistics, indexed like [`SriTarget::all`].
+    pub slaves: [SlaveStats; SriTarget::COUNT],
+    /// Event-kernel statistics (all zero under the reference stepper).
+    pub kernel: KernelStats,
+}
+
+impl SimStats {
+    /// The statistics of one slave.
+    pub fn slave(&self, target: SriTarget) -> &SlaveStats {
+        &self.slaves[target.index()]
     }
 }
 

@@ -204,7 +204,12 @@ pub(crate) fn run_event(
                 sys.cores.iter().flatten().all(CorePipeline::is_done),
                 "an unfinished core must always hold or imply a claim"
             );
-            advance_idle(sys, limit - sys.now);
+            let gap = limit - sys.now;
+            if gap > 0 {
+                sys.kernel.ff_jumps += 1;
+                sys.kernel.gap_hist.observe(gap);
+            }
+            advance_idle(sys, gap);
             sys.now = limit;
             continue;
         };
@@ -216,7 +221,10 @@ pub(crate) fn run_event(
         // executing a cycle, so cycle `limit` itself never runs.
         if at > sys.now {
             let target = at.min(limit);
-            advance_idle(sys, target - sys.now);
+            let gap = target - sys.now;
+            sys.kernel.ff_jumps += 1;
+            sys.kernel.gap_hist.observe(gap);
+            advance_idle(sys, gap);
             sys.now = target;
             if target < at || target >= limit {
                 continue;
@@ -226,6 +234,9 @@ pub(crate) fn run_event(
         // Execute one interesting cycle exactly like a tick iteration:
         // cores in index order, one arbitration step, grants in index
         // order.
+        sys.kernel
+            .depth_hist
+            .observe(queue.scheduled.iter().flatten().count() as u64);
         let now = sys.now;
         for core in sys.cores.iter_mut().flatten() {
             core.step(now, &mut sys.sri, &sys.config, &sys.map);

@@ -73,7 +73,7 @@ pub mod trace;
 
 pub use addr::{Addr, CoreId, MemMap, Region, SriTarget};
 pub use config::SimConfig;
-pub use counters::{DebugCounters, GroundTruth};
+pub use counters::{DebugCounters, GroundTruth, KernelStats, SimStats, SlaveStats};
 pub use engine::{Engine, EventSource, ParseEngineError};
 pub use faults::{CounterId, FaultInjector, FaultKind, FaultRecord};
 pub use layout::{

@@ -49,6 +49,8 @@ struct Slave {
     served: u64,
     /// Total cycles of queueing delay imposed on requesters.
     queue_delay: u64,
+    /// Distribution of per-grant queueing delays, for telemetry.
+    delay_hist: obs::Hist,
 }
 
 /// Completion notice the SRI hands back to a core.
@@ -172,6 +174,7 @@ impl Sri {
             // recorded posting cycle (not the per-tick waiter count the
             // stepper used to approximate this with).
             slave.queue_delay += now - p.posted_at;
+            slave.delay_hist.observe(now - p.posted_at);
             grants[core_idx] = Some(Grant {
                 complete_at: slave.busy_until,
             });
@@ -188,6 +191,19 @@ impl Sri {
     /// requests (grant cycle minus posting cycle, summed).
     pub fn queue_delay(&self, target: SriTarget) -> u64 {
         self.slaves[target.index()].queue_delay
+    }
+
+    /// Per-slave statistics snapshot (served count, total and per-grant
+    /// queueing delay) for the telemetry layer. Grants are bit-identical
+    /// across engines and worker counts, so these are deterministic
+    /// telemetry inputs.
+    pub fn slave_stats(&self, target: SriTarget) -> crate::counters::SlaveStats {
+        let s = &self.slaves[target.index()];
+        crate::counters::SlaveStats {
+            served: s.served,
+            queue_delay: s.queue_delay,
+            delay_hist: s.delay_hist.clone(),
+        }
     }
 
     /// Returns `true` if no slave has queued or in-flight work at `now`.
@@ -442,5 +458,13 @@ mod tests {
         assert_eq!(sri.queue_delay(SriTarget::Lmu), 11);
         // Other slaves were never touched.
         assert_eq!(sri.queue_delay(SriTarget::Pf0), 0);
+        // The per-grant histogram agrees with the aggregate counters.
+        let stats = sri.slave_stats(SriTarget::Lmu);
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.queue_delay, 11);
+        assert_eq!(stats.delay_hist.count(), 2);
+        assert_eq!(stats.delay_hist.sum(), 11);
+        assert_eq!(stats.delay_hist.max(), Some(11));
+        assert!(sri.slave_stats(SriTarget::Pf0).delay_hist.is_empty());
     }
 }

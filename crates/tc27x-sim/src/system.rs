@@ -37,7 +37,7 @@
 use crate::addr::{CoreId, MemMap};
 use crate::config::SimConfig;
 use crate::core_pipeline::CorePipeline;
-use crate::counters::{DebugCounters, GroundTruth};
+use crate::counters::{DebugCounters, GroundTruth, KernelStats, SimStats};
 use crate::engine::Engine;
 use crate::layout::{LayoutError, TaskSpec};
 use crate::linker::Linker;
@@ -175,6 +175,7 @@ pub struct System {
     pub(crate) sri: Sri,
     pub(crate) cores: Vec<Option<CorePipeline>>,
     pub(crate) now: u64,
+    pub(crate) kernel: KernelStats,
 }
 
 impl System {
@@ -194,6 +195,7 @@ impl System {
             sri,
             cores: (0..CoreId::COUNT).map(|_| None).collect(),
             now: 0,
+            kernel: KernelStats::default(),
         }
     }
 
@@ -271,6 +273,19 @@ impl System {
             Engine::Event => crate::engine::run_event(self, &keep_going)?,
         }
         Ok(self.outcome())
+    }
+
+    /// Post-run statistics snapshot for the telemetry layer: per-slave
+    /// SRI queueing-delay distributions (deterministic — grants are
+    /// bit-identical across engines) and event-kernel fast-forward /
+    /// claims-depth statistics (engine-dependent; all zero under the
+    /// reference stepper). Deliberately *not* part of [`RunOutcome`],
+    /// which the engine-equivalence suite compares bit-for-bit.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            slaves: std::array::from_fn(|i| self.sri.slave_stats(crate::addr::SriTarget::all()[i])),
+            kernel: self.kernel.clone(),
+        }
     }
 
     /// Snapshot of the per-core results, shared by both engines.
@@ -664,6 +679,37 @@ mod tests {
                 &[(CoreId(1), spec_with_lmu_loads(10_000, 0))],
             );
         }
+    }
+
+    #[test]
+    fn stats_split_deterministic_from_kernel_dependent() {
+        use crate::addr::SriTarget;
+        let run = |engine: crate::engine::Engine| {
+            let cfg = SimConfig::tc277_reference().with_engine(engine);
+            let mut sys = System::with_config(cfg);
+            sys.load(CoreId(1), &spec_with_lmu_loads(50, 3)).unwrap();
+            sys.run().unwrap();
+            sys.stats()
+        };
+        let tick = run(crate::engine::Engine::Tick);
+        let event = run(crate::engine::Engine::Event);
+        // SRI statistics are deterministic: identical across engines.
+        for t in SriTarget::all() {
+            assert_eq!(tick.slave(t).served, event.slave(t).served, "{t}");
+            assert_eq!(tick.slave(t), event.slave(t), "{t}");
+        }
+        assert_eq!(event.slave(SriTarget::Lmu).served, 50);
+        assert_eq!(
+            event.slave(SriTarget::Lmu).delay_hist.count(),
+            50,
+            "one delay observation per grant"
+        );
+        // Kernel statistics are engine-dependent: the stepper never
+        // fast-forwards, the event kernel must have (compute gaps).
+        assert_eq!(tick.kernel, crate::counters::KernelStats::default());
+        assert!(event.kernel.ff_jumps > 0);
+        assert_eq!(event.kernel.ff_jumps, event.kernel.gap_hist.count());
+        assert!(event.kernel.depth_hist.count() > 0);
     }
 
     #[test]

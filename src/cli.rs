@@ -26,13 +26,23 @@
 //! (re-executing only what is missing), and `--watchdog-ms N` puts a
 //! wall-clock watchdog on every simulation job. Output is byte-identical
 //! with and without a journal.
+//!
+//! `--telemetry FILE[:FORMAT]` attaches the deterministic telemetry
+//! recorder: structured spans and metrics flushed on exit as JSONL
+//! (default), a Chrome `trace_event` document (`:chrome`), or a human
+//! summary (`:summary`; `-` writes to stderr). The deterministic subset
+//! of the stream is byte-identical across `--jobs` and `--engine`
+//! choices, and the recorder doubles as the consolidated warning
+//! channel: repaired profiles, truncated traces and torn journals are
+//! deduplicated and land in the stream instead of scrolling away.
 
 use contention::{
     ContentionModel, EvalOptions, Evaluator, FsbModel, FtcModel, Platform, ValidationPolicy,
     Validator, WcetEstimate,
 };
-use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine};
+use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine, SinkSpec, Telemetry};
 use std::path::PathBuf;
+use std::sync::Arc;
 use tc27x_sim::{CoreId, DeploymentScenario, Engine, SimConfig, System};
 use workloads::LoadLevel;
 
@@ -71,6 +81,20 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+impl Command {
+    /// Stable label naming the subcommand in telemetry meta records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Command::Calibrate => "calibrate",
+            Command::Figure4 { .. } => "figure4",
+            Command::Bound { .. } => "bound",
+            Command::Trace { .. } => "trace",
+            Command::Profile { .. } => "profile",
+            Command::Help => "help",
+        }
+    }
 }
 
 /// Which model `bound` evaluates.
@@ -187,6 +211,9 @@ pub struct Invocation {
     pub settings: PipelineSettings,
     /// Crash-safe campaign options.
     pub campaign: CampaignOptions,
+    /// Telemetry sink (`--telemetry FILE[:FORMAT]`); disabled when
+    /// `None`.
+    pub telemetry: Option<SinkSpec>,
 }
 
 /// Parses an argument vector (without the program name), extracting the
@@ -261,6 +288,12 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
                 .map_err(|_| ParseError(format!("invalid --watchdog-ms `{v}`")))
         })
         .transpose()?;
+    let telemetry = take_value(&mut rest, "--telemetry")?
+        .map(|v| {
+            v.parse::<SinkSpec>()
+                .map_err(|e| ParseError(format!("invalid --telemetry `{v}`: {e}")))
+        })
+        .transpose()?;
     Ok(Invocation {
         command: parse(&rest)?,
         jobs,
@@ -274,6 +307,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
             resume,
             watchdog_millis,
         },
+        telemetry,
     })
 }
 
@@ -411,6 +445,12 @@ GLOBAL OPTIONS:
     --watchdog-ms N                 wall-clock watchdog per simulation job;
                                     livelocked jobs are journalled as timed
                                     out instead of hanging the campaign
+    --telemetry FILE[:FORMAT]       record structured spans, metrics and
+                                    deduplicated warnings, flushed on exit as
+                                    jsonl (default), chrome (trace_event JSON
+                                    for chrome://tracing) or summary; FILE `-`
+                                    writes to stderr. The deterministic subset
+                                    is byte-identical for any --jobs/--engine
 ";
 
 /// Executes a parsed invocation: builds the experiment engine from the
@@ -423,7 +463,14 @@ GLOBAL OPTIONS:
 ///
 /// Propagates simulation/model/journal errors as boxed errors.
 pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>> {
-    let engine = ExecEngine::new(inv.jobs).with_sim_engine(inv.settings.engine);
+    let telemetry: Option<Arc<Telemetry>> = inv
+        .telemetry
+        .as_ref()
+        .map(|_| Arc::new(Telemetry::new(inv.command.label())));
+    let mut engine = ExecEngine::new(inv.jobs).with_sim_engine(inv.settings.engine);
+    if let Some(t) = &telemetry {
+        engine = engine.with_telemetry(Arc::clone(t));
+    }
     let config = CampaignConfig {
         watchdog_millis: inv.campaign.watchdog_millis,
         ..CampaignConfig::default()
@@ -434,18 +481,40 @@ pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>>
         Some(runner)
     } else if let Some(path) = &inv.campaign.resume {
         let (runner, report) = CampaignRunner::resumed(&engine, config, path)?;
-        eprint!(
-            "resume: {} record(s) recovered from {}",
-            report.records,
-            path.display()
-        );
-        if report.truncated_bytes > 0 {
-            eprint!(
-                " (warning: {} byte(s) of a torn trailing record truncated)",
-                report.truncated_bytes
-            );
+        match telemetry.as_deref() {
+            // Through the warning channel the torn-tail diagnostic is
+            // recorded in the stream and deduplicated; the recovery
+            // count line itself is informational, not a warning.
+            Some(t) if report.truncated_bytes > 0 => {
+                eprintln!(
+                    "resume: {} record(s) recovered from {}",
+                    report.records,
+                    path.display()
+                );
+                t.warn(
+                    "journal.torn",
+                    format!(
+                        "{} byte(s) of a torn trailing record truncated from {}",
+                        report.truncated_bytes,
+                        path.display()
+                    ),
+                );
+            }
+            _ => {
+                eprint!(
+                    "resume: {} record(s) recovered from {}",
+                    report.records,
+                    path.display()
+                );
+                if report.truncated_bytes > 0 {
+                    eprint!(
+                        " (warning: {} byte(s) of a torn trailing record truncated)",
+                        report.truncated_bytes
+                    );
+                }
+                eprintln!();
+            }
         }
-        eprintln!();
         Some(runner)
     } else {
         None
@@ -454,7 +523,17 @@ pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>>
         Some(c) => c,
         None => &engine,
     };
-    let result = run_with_settings(runner, inv.command, inv.settings);
+    let result = run_with_telemetry(runner, inv.command, inv.settings, telemetry.as_deref());
+    if let (Some(campaign), Some(t)) = (campaign.as_ref(), telemetry.as_deref()) {
+        t.record_campaign(&campaign.stats());
+    }
+    if let (Some(t), Some(spec)) = (telemetry.as_deref(), inv.telemetry.as_ref()) {
+        t.record_engine(&engine.report());
+        let flushed = t.flush(spec);
+        if result.is_ok() {
+            flushed.map_err(|e| format!("cannot write telemetry to {}: {e}", spec.path))?;
+        }
+    }
     if let Some(campaign) = campaign.as_ref() {
         let manifest = campaign.manifest();
         if !manifest.is_complete() {
@@ -505,6 +584,32 @@ pub fn run_with_settings(
     engine: &dyn BatchRunner,
     cmd: Command,
     settings: PipelineSettings,
+) -> Result<(), Box<dyn std::error::Error>> {
+    run_with_telemetry(engine, cmd, settings, None)
+}
+
+/// Reports a repaired-profile diagnostic: through the deduplicated
+/// warning channel when a recorder is attached, as a plain stderr line
+/// otherwise (both render the same `warning:` line on first sight).
+fn warn_repaired(telemetry: Option<&Telemetry>, detail: &str) {
+    match telemetry {
+        Some(t) => t.warn("profile.repaired", format!("repaired profile: {detail}")),
+        None => eprintln!("warning: repaired profile: {detail}"),
+    }
+}
+
+/// [`run_with_settings`] with an optional telemetry recorder collecting
+/// ILP solve records and the formerly ad-hoc stderr diagnostics
+/// (repaired profiles, truncated traces).
+///
+/// # Errors
+///
+/// Propagates simulation/model errors as boxed errors.
+pub fn run_with_telemetry(
+    engine: &dyn BatchRunner,
+    cmd: Command,
+    settings: PipelineSettings,
+    telemetry: Option<&Telemetry>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => {
@@ -573,8 +678,15 @@ pub fn run_with_settings(
                     let evaluated = Evaluator::new(&platform, options).bound(&app, &load)?;
                     for report in &evaluated.reports {
                         if !report.is_clean() {
-                            eprintln!("warning: repaired profile: {}", report.detail());
+                            warn_repaired(telemetry, &report.detail());
                         }
+                    }
+                    if let Some(t) = telemetry {
+                        t.record_solve(
+                            format!("solve:{scenario}-{level}"),
+                            evaluated.nodes_explored,
+                            evaluated.source.is_fallback(),
+                        );
                     }
                     let est = WcetEstimate {
                         isolation_cycles: app.counters().ccnt,
@@ -588,7 +700,7 @@ pub fn run_with_settings(
                     let (load, report_b) = validator.apply(&load)?;
                     for report in [&report_a, &report_b] {
                         if !report.is_clean() {
-                            eprintln!("warning: repaired profile: {}", report.detail());
+                            warn_repaired(telemetry, &report.detail());
                         }
                     }
                     let est: WcetEstimate = match model {
@@ -621,12 +733,16 @@ pub fn run_with_settings(
             sys.load(CoreId(1), &workloads::control_loop(scenario, CoreId(1), 42))?;
             let out = sys.run()?;
             if out.trace_dropped(CoreId(1)) > 0 {
-                eprintln!(
-                    "warning: trace truncated — {} event(s) were dropped after the \
+                let message = format!(
+                    "trace truncated — {} event(s) were dropped after the \
                      {}-event buffer filled; raise --limit to capture them",
                     out.trace_dropped(CoreId(1)),
                     limit.max(1)
                 );
+                match telemetry {
+                    Some(t) => t.warn("trace.dropped", message),
+                    None => eprintln!("warning: {message}"),
+                }
             }
             let trace = sys.trace(CoreId(1));
             for r in trace.records().iter().take(limit) {
@@ -898,8 +1014,73 @@ mod tests {
             "--resume",
             "--watchdog-ms",
             "--engine",
+            "--telemetry",
         ] {
             assert!(USAGE.contains(sub), "{sub}");
         }
+    }
+
+    #[test]
+    fn parses_telemetry_flag() {
+        let inv = parse_invocation(&argv("calibrate")).unwrap();
+        assert_eq!(inv.telemetry, None);
+
+        let inv = parse_invocation(&argv("--telemetry run.jsonl calibrate --jobs 2")).unwrap();
+        let spec = inv.telemetry.expect("sink spec parsed");
+        assert_eq!(spec.path, "run.jsonl");
+        assert_eq!(spec.format, mbta::Format::Jsonl);
+        assert_eq!(inv.command, Command::Calibrate);
+        assert_eq!(inv.jobs, 2);
+
+        let inv = parse_invocation(&argv("trace --telemetry out.json:chrome")).unwrap();
+        let spec = inv.telemetry.expect("sink spec parsed");
+        assert_eq!(spec.path, "out.json");
+        assert_eq!(spec.format, mbta::Format::Chrome);
+
+        let inv = parse_invocation(&argv("calibrate --telemetry -:summary")).unwrap();
+        let spec = inv.telemetry.expect("sink spec parsed");
+        assert_eq!(spec.path, "-");
+        assert_eq!(spec.format, mbta::Format::Summary);
+    }
+
+    #[test]
+    fn rejects_bad_telemetry_flags() {
+        assert!(parse_invocation(&argv("calibrate --telemetry")).is_err());
+        assert!(parse_invocation(&argv("calibrate --telemetry :chrome")).is_err());
+    }
+
+    /// End-to-end: `--telemetry` writes a JSONL stream whose
+    /// deterministic records carry the subcommand and the exec metrics,
+    /// and whose only `det:false` record is the profile.
+    #[test]
+    fn run_invocation_flushes_a_telemetry_stream() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("aurix-cli-telemetry-{}.jsonl", std::process::id()));
+        let args = argv(&format!(
+            "--jobs 1 --telemetry {} bound --scenario sc1 --level high",
+            path.display()
+        ));
+        run_invocation(parse_invocation(&args).unwrap()).unwrap();
+        let stream = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(stream.contains("\"k\":\"meta\""), "meta record present");
+        assert!(stream.contains("\"command\":\"bound\""), "subcommand named");
+        assert!(stream.contains("ilp.solves"), "solve counter recorded");
+        assert!(stream.contains("\"k\":\"span\""), "job spans recorded");
+        let nondet: Vec<&str> = stream
+            .lines()
+            .filter(|l| l.contains("\"det\":false"))
+            .collect();
+        assert!(
+            nondet.iter().all(|l| !l.contains("\"k\":\"span\"")),
+            "spans are deterministic"
+        );
+        assert!(
+            stream
+                .lines()
+                .filter(|l| l.contains("wall_seconds"))
+                .all(|l| l.contains("\"det\":false")),
+            "wall-clock only in nondet records"
+        );
     }
 }
