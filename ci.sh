@@ -1,5 +1,16 @@
 #!/usr/bin/env bash
-# The CI gate, runnable locally: formatting, lints, hermetic build, tests.
+# The CI gate, runnable locally, in named tiers:
+#
+#   ci.sh lint     formatting, clippy, source-hygiene greps
+#   ci.sh test     hermetic release build + full test suite + property suites
+#   ci.sh golden   end-to-end smokes: golden sweeps, kill-and-resume,
+#                  telemetry determinism (memo on/off, tick/event, jobs)
+#   ci.sh perf     sim_throughput bench + speedup-floor gate
+#                  (BENCH_sim.json ratios vs committed BENCH_baseline.json)
+#   ci.sh all      every tier in order (the default); perf runs
+#                  non-gating here so a slow local machine cannot fail
+#                  the full gate, exactly as the old monolithic script
+#                  behaved
 #
 # The build is fully offline — the workspace has no external
 # dependencies and Cargo.lock is committed — so `--offline` both
@@ -7,109 +18,166 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+SMOKE_DIR=""
+cleanup() { [ -n "$SMOKE_DIR" ] && rm -rf "$SMOKE_DIR"; }
+trap cleanup EXIT
 
-echo "==> cargo clippy (warnings are errors)"
-# Library crates additionally carry
-#   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-# at their roots, so a stray unwrap()/expect() outside #[cfg(test)] code
-# fails this step.
-cargo clippy --workspace --all-targets --offline -- -D warnings
+stage_lint() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
 
-echo "==> unwrap/expect deny attribute present in every crate root"
-for root in src/lib.rs crates/*/src/lib.rs; do
-    grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$root" \
-        || { echo "missing unwrap/expect deny attribute: $root"; exit 1; }
-done
+    echo "==> cargo clippy (warnings are errors)"
+    # Library crates additionally carry
+    #   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+    # at their roots, so a stray unwrap()/expect() outside #[cfg(test)]
+    # code fails this step.
+    cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> no per-cycle tick loops outside the reference module"
-# The event kernel owns timing; only crates/tc27x-sim/src/reference.rs
-# may advance the clock one cycle at a time. A `now += 1` / `cycle += 1`
-# anywhere else in the simulator is a reintroduced polling loop.
-if grep -rn --include='*.rs' --exclude=reference.rs -E '(now|cycle|cyc) \+= 1\b' \
-    crates/tc27x-sim/src; then
-    echo "per-cycle tick loop found outside crates/tc27x-sim/src/reference.rs"
-    exit 1
-fi
+    echo "==> unwrap/expect deny attribute present in every crate root"
+    for root in src/lib.rs crates/*/src/lib.rs; do
+        grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$root" \
+            || { echo "missing unwrap/expect deny attribute: $root"; exit 1; }
+    done
 
-echo "==> cargo build --release --offline"
-cargo build --workspace --release --offline
+    echo "==> no per-cycle tick loops outside the reference module"
+    # The event kernel owns timing; only crates/tc27x-sim/src/reference.rs
+    # (the per-cycle stepper) and crates/tc27x-sim/src/memo.rs (the block
+    # interpreter, which replays the stepper's per-cycle semantics to
+    # record a block) may advance a clock one cycle at a time. Both
+    # spellings are caught: `now += 1` and `now = <...>now + 1`. The
+    # single intentional site in the event kernel — the one-cycle
+    # execute step — is allowlisted with a `tick-loop-ok` marker.
+    if grep -rn --include='*.rs' --exclude=reference.rs --exclude=memo.rs \
+        -E '(now|cycle|cyc)\s*(\+=\s*1\b|=\s*[a-z_.]*(now|cycle|cyc)\s*\+\s*1\b)' \
+        crates/tc27x-sim/src | grep -v 'tick-loop-ok'; then
+        echo "per-cycle tick loop found outside reference.rs / memo.rs"
+        exit 1
+    fi
+}
 
-echo "==> cargo test --offline"
-cargo test --workspace -q --offline
+stage_test() {
+    echo "==> cargo build --release --offline"
+    cargo build --workspace --release --offline
 
-echo "==> fault-injection property suite (1,000 seeded trials)"
-cargo test -q --offline -p mbta --test fault_injection
+    echo "==> cargo test --offline"
+    cargo test --workspace -q --offline
 
-echo "==> golden sweep regression (byte-identical CSV, fallback rates)"
-cargo test -q --offline -p contention-bench --test golden_sweep
+    echo "==> fault-injection property suite (1,000 seeded trials)"
+    cargo test -q --offline -p mbta --test fault_injection
 
-echo "==> engine equivalence property suite (tick vs event, 500 seeded cases)"
-cargo test -q --offline -p tc27x-sim --test engine_equivalence
+    echo "==> engine equivalence property suite (tick vs event vs memo-off, 500 seeded cases)"
+    cargo test -q --offline -p tc27x-sim --test engine_equivalence
 
-echo "==> journal recovery property suite (replay idempotence, torn records)"
-cargo test -q --offline -p mbta --test journal_recovery
+    echo "==> block-memo adversarial suite (mid-block SRI posts, co-run warps)"
+    cargo test -q --offline -p tc27x-sim --test memo_adversarial
 
-echo "==> kill-and-resume smoke test (journal truncated mid-campaign)"
-# A journaled sweep, its journal torn mid-file as a crash would leave
-# it, then resumed: the resumed CSV must be byte-identical to the
-# uninterrupted golden capture.
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
-SWEEP=target/release/sweep
-cargo build --release --offline -p contention-bench --bin sweep
-"$SWEEP" --scenario sc2 --jobs 4 --engine event --journal "$SMOKE_DIR/sweep.journal" \
-    > "$SMOKE_DIR/full.csv" 2> /dev/null
-# Simulate the crash: drop the final record's tail (every record is
-# far longer than 3 bytes, so this always tears the last line).
-SIZE=$(wc -c < "$SMOKE_DIR/sweep.journal")
-head -c "$((SIZE - 3))" "$SMOKE_DIR/sweep.journal" > "$SMOKE_DIR/torn.journal"
-"$SWEEP" --scenario sc2 --jobs 1 --engine event --resume "$SMOKE_DIR/torn.journal" \
-    > "$SMOKE_DIR/resumed.csv" 2> "$SMOKE_DIR/resume.log"
-diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/resumed.csv" \
-    || { echo "resumed sweep CSV diverged from the golden capture"; exit 1; }
-diff -u "$SMOKE_DIR/full.csv" "$SMOKE_DIR/resumed.csv" \
-    || { echo "resumed sweep CSV diverged from the uninterrupted run"; exit 1; }
-grep -q "torn trailing record truncated" "$SMOKE_DIR/resume.log" \
-    || { echo "torn-record truncation was not reported"; cat "$SMOKE_DIR/resume.log"; exit 1; }
+    echo "==> journal recovery property suite (replay idempotence, torn records)"
+    cargo test -q --offline -p mbta --test journal_recovery
+}
 
-echo "==> golden sweep under the tick stepper (engines byte-identical end to end)"
-# The golden CSV was captured under the default (event) engine; the
-# reference stepper must reproduce it byte for byte.
-"$SWEEP" --scenario sc2 --jobs 4 --engine tick > "$SMOKE_DIR/tick.csv" 2> /dev/null
-diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/tick.csv" \
-    || { echo "tick-engine sweep CSV diverged from the golden capture"; exit 1; }
+stage_golden() {
+    echo "==> golden sweep regression (byte-identical CSV, fallback rates)"
+    cargo test -q --offline -p contention-bench --test golden_sweep
 
-echo "==> telemetry determinism gate (schema lint, cross-jobs/engine det identity)"
-# The Scenario 1 sweep with a recorder attached: every record must pass
-# the schema lint, and — because sc1's default solve budget never falls
-# back (asserted by golden_sweep) — the run must prove itself
-# warning-free (--deny-warn). The deterministic subset must be
-# byte-identical across worker counts and timing kernels, and the
-# Chrome export must be a valid trace. (sc2 legitimately emits an
-# ilp.fallback warning at the default budget, so it is not used here.)
-LINT=target/release/telemetry_lint
-cargo build --release --offline -p contention-bench --bin telemetry_lint
-"$SWEEP" --scenario sc1 --jobs 1 --engine event --telemetry "$SMOKE_DIR/t1.jsonl" \
-    > /dev/null 2> /dev/null
-"$SWEEP" --scenario sc1 --jobs 4 --engine event --telemetry "$SMOKE_DIR/t4.jsonl" \
-    > /dev/null 2> /dev/null
-"$SWEEP" --scenario sc1 --jobs 4 --engine tick --telemetry "$SMOKE_DIR/ttick.jsonl" \
-    > /dev/null 2> /dev/null
-"$LINT" "$SMOKE_DIR/t1.jsonl" --deny-warn --det-diff "$SMOKE_DIR/t4.jsonl" \
-    || { echo "telemetry det subset differs across --jobs"; exit 1; }
-"$LINT" "$SMOKE_DIR/t1.jsonl" --deny-warn --det-diff "$SMOKE_DIR/ttick.jsonl" \
-    || { echo "telemetry det subset differs across timing kernels"; exit 1; }
-"$SWEEP" --scenario sc1 --jobs 2 --telemetry "$SMOKE_DIR/t.trace:chrome" \
-    > /dev/null 2> /dev/null
-"$LINT" --chrome "$SMOKE_DIR/t.trace" \
-    || { echo "chrome trace export failed validation"; exit 1; }
+    SMOKE_DIR="$(mktemp -d)"
+    SWEEP=target/release/sweep
+    cargo build --release --offline -p contention-bench --bin sweep
 
-echo "==> simulator throughput report (non-gating)"
-# Tick vs event wall-clock on the Table 2 probe mix; writes
-# BENCH_sim.json. Informational: a slow machine must not fail the gate.
-cargo bench --offline -p contention-bench --bench sim_throughput \
-    || echo "warning: sim_throughput report failed (non-gating)"
+    echo "==> kill-and-resume smoke test (journal truncated mid-campaign, memo enabled)"
+    # A journaled sweep, its journal torn mid-file as a crash would
+    # leave it, then resumed: the resumed CSV must be byte-identical to
+    # the uninterrupted golden capture. The sweep runs with the block
+    # memo at its default (enabled), so the journal keys and CSV must be
+    # untouched by memoization.
+    "$SWEEP" --scenario sc2 --jobs 4 --engine event --journal "$SMOKE_DIR/sweep.journal" \
+        > "$SMOKE_DIR/full.csv" 2> /dev/null
+    # Simulate the crash: drop the final record's tail (every record is
+    # far longer than 3 bytes, so this always tears the last line).
+    SIZE=$(wc -c < "$SMOKE_DIR/sweep.journal")
+    head -c "$((SIZE - 3))" "$SMOKE_DIR/sweep.journal" > "$SMOKE_DIR/torn.journal"
+    "$SWEEP" --scenario sc2 --jobs 1 --engine event --resume "$SMOKE_DIR/torn.journal" \
+        > "$SMOKE_DIR/resumed.csv" 2> "$SMOKE_DIR/resume.log"
+    diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/resumed.csv" \
+        || { echo "resumed sweep CSV diverged from the golden capture"; exit 1; }
+    diff -u "$SMOKE_DIR/full.csv" "$SMOKE_DIR/resumed.csv" \
+        || { echo "resumed sweep CSV diverged from the uninterrupted run"; exit 1; }
+    grep -q "torn trailing record truncated" "$SMOKE_DIR/resume.log" \
+        || { echo "torn-record truncation was not reported"; cat "$SMOKE_DIR/resume.log"; exit 1; }
 
-echo "==> CI gate passed"
+    echo "==> golden sweep under the tick stepper and with the memo disabled"
+    # The golden CSV was captured under the default (event, memoized)
+    # configuration; the reference stepper and the memo-free event
+    # kernel must both reproduce it byte for byte.
+    "$SWEEP" --scenario sc2 --jobs 4 --engine tick > "$SMOKE_DIR/tick.csv" 2> /dev/null
+    diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/tick.csv" \
+        || { echo "tick-engine sweep CSV diverged from the golden capture"; exit 1; }
+    "$SWEEP" --scenario sc2 --jobs 4 --engine event --no-block-memo \
+        > "$SMOKE_DIR/nomemo.csv" 2> /dev/null
+    diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/nomemo.csv" \
+        || { echo "memo-free sweep CSV diverged from the golden capture"; exit 1; }
+
+    echo "==> telemetry determinism gate (schema lint, cross-jobs/engine/memo det identity)"
+    # The Scenario 1 sweep with a recorder attached: every record must
+    # pass the schema lint, and — because sc1's default solve budget
+    # never falls back (asserted by golden_sweep) — the run must prove
+    # itself warning-free (--deny-warn). The deterministic subset must
+    # be byte-identical across worker counts, timing kernels and the
+    # memo toggle (memo statistics live in the nondeterministic profile
+    # records), and the Chrome export must be a valid trace. (sc2
+    # legitimately emits an ilp.fallback warning at the default budget,
+    # so it is not used here.)
+    LINT=target/release/telemetry_lint
+    cargo build --release --offline -p contention-bench --bin telemetry_lint
+    "$SWEEP" --scenario sc1 --jobs 1 --engine event --telemetry "$SMOKE_DIR/t1.jsonl" \
+        > /dev/null 2> /dev/null
+    "$SWEEP" --scenario sc1 --jobs 4 --engine event --telemetry "$SMOKE_DIR/t4.jsonl" \
+        > /dev/null 2> /dev/null
+    "$SWEEP" --scenario sc1 --jobs 4 --engine tick --telemetry "$SMOKE_DIR/ttick.jsonl" \
+        > /dev/null 2> /dev/null
+    "$SWEEP" --scenario sc1 --jobs 4 --engine event --no-block-memo \
+        --telemetry "$SMOKE_DIR/tnomemo.jsonl" > /dev/null 2> /dev/null
+    "$LINT" "$SMOKE_DIR/t1.jsonl" --deny-warn --det-diff "$SMOKE_DIR/t4.jsonl" \
+        || { echo "telemetry det subset differs across --jobs"; exit 1; }
+    "$LINT" "$SMOKE_DIR/t1.jsonl" --deny-warn --det-diff "$SMOKE_DIR/ttick.jsonl" \
+        || { echo "telemetry det subset differs across timing kernels"; exit 1; }
+    "$LINT" "$SMOKE_DIR/t1.jsonl" --deny-warn --det-diff "$SMOKE_DIR/tnomemo.jsonl" \
+        || { echo "telemetry det subset differs across the memo toggle"; exit 1; }
+    "$SWEEP" --scenario sc1 --jobs 2 --telemetry "$SMOKE_DIR/t.trace:chrome" \
+        > /dev/null 2> /dev/null
+    "$LINT" --chrome "$SMOKE_DIR/t.trace" \
+        || { echo "chrome trace export failed validation"; exit 1; }
+}
+
+stage_perf() {
+    echo "==> simulator throughput bench (writes BENCH_sim.json)"
+    # Tick vs event vs event-without-memo wall-clock on the Table 2
+    # probe mix; asserts bit-identity across all three configurations
+    # and records machine-readable speedup ratios.
+    cargo bench --offline -p contention-bench --bench sim_throughput
+
+    echo "==> perf-regression gate (ratios vs committed floors)"
+    cargo build --release --offline -p contention-bench --bin perf_gate
+    target/release/perf_gate BENCH_baseline.json BENCH_sim.json
+}
+
+STAGE="${1:-all}"
+case "$STAGE" in
+    lint)   stage_lint ;;
+    test)   stage_test ;;
+    golden) stage_golden ;;
+    perf)   stage_perf ;;
+    all)
+        stage_lint
+        stage_test
+        stage_golden
+        # Informational in the full gate: a slow or noisy local machine
+        # must not fail `ci.sh all`. Run `ci.sh perf` to gate.
+        stage_perf || echo "warning: perf stage failed (non-gating in 'all')"
+        ;;
+    *)
+        echo "usage: $0 [lint|test|golden|perf|all]" >&2
+        exit 2
+        ;;
+esac
+
+echo "==> CI stage '$STAGE' passed"

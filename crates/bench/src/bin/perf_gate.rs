@@ -1,0 +1,136 @@
+//! Perf-regression gate — diffs measured speedup ratios against
+//! committed floors.
+//!
+//! ```text
+//! perf_gate [<baseline.json>] [<measured.json>]
+//! ```
+//!
+//! The baseline (default `BENCH_baseline.json`, committed at the repo
+//! root) carries a `floors` object mapping ratio names to the minimum
+//! acceptable tick-over-event speedup. The measured file (default
+//! `BENCH_sim.json`, written by the `sim_throughput` bench) carries the
+//! machine-readable `ratios` member. Every floor must have a measured
+//! ratio at or above it; a missing ratio is itself a failure, so
+//! silently dropping a benchmark from the suite cannot pass the gate.
+//!
+//! Floors are deliberately conservative relative to typical measured
+//! ratios: shared CI runners are noisy, and the gate exists to catch
+//! structural regressions (an engine suddenly slower than the reference
+//! stepper, the memo losing its co-run advantage), not single-digit
+//! percentage drift.
+
+use obs::json::{parse, Json};
+use std::process::ExitCode;
+
+/// Loads a JSON document and extracts one named object member as
+/// `(key, f64)` pairs, in file order.
+fn load_member(path: &str, member: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let obj = doc
+        .get(member)
+        .ok_or_else(|| format!("{path}: missing \"{member}\" object"))?;
+    let Json::Obj(pairs) = obj else {
+        return Err(format!("{path}: \"{member}\" is not an object"));
+    };
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|f| (k.clone(), f))
+                .ok_or_else(|| format!("{path}: {member}.{k} is not a number"))
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, measured_path: &str) -> Result<bool, String> {
+    let floors = load_member(baseline_path, "floors")?;
+    if floors.is_empty() {
+        return Err(format!("{baseline_path}: \"floors\" object is empty"));
+    }
+    let ratios = load_member(measured_path, "ratios")?;
+
+    println!("perf gate: {measured_path} vs floors in {baseline_path}");
+    println!("{:<32} {:>9} {:>9}  verdict", "ratio", "floor", "measured");
+    let mut ok = true;
+    for (name, floor) in &floors {
+        match ratios.iter().find(|(k, _)| k == name) {
+            Some((_, measured)) if measured >= floor => {
+                println!("{name:<32} {floor:>9.3} {measured:>9.3}  ok");
+            }
+            Some((_, measured)) => {
+                println!("{name:<32} {floor:>9.3} {measured:>9.3}  BELOW FLOOR");
+                ok = false;
+            }
+            None => {
+                println!("{name:<32} {floor:>9.3} {:>9}  MISSING", "-");
+                ok = false;
+            }
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline = args.first().map_or("BENCH_baseline.json", String::as_str);
+    let measured = args.get(1).map_or("BENCH_sim.json", String::as_str);
+    match run(baseline, measured) {
+        Ok(true) => {
+            println!("perf gate: all floors hold");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("perf gate: FAILED — at least one ratio below its floor");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perf gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, body: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, body).expect("write tmp");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gate_passes_when_ratios_meet_floors() {
+        let b = write_tmp(
+            "perf_gate_base_ok.json",
+            "{\"floors\": {\"a\": 1.5, \"b\": 0.9}}",
+        );
+        let m = write_tmp(
+            "perf_gate_meas_ok.json",
+            "{\"ratios\": {\"a\": 2.0, \"b\": 0.9, \"extra\": 0.1}}",
+        );
+        assert_eq!(run(&b, &m), Ok(true));
+    }
+
+    #[test]
+    fn gate_fails_below_floor_and_on_missing_ratio() {
+        let b = write_tmp(
+            "perf_gate_base_fail.json",
+            "{\"floors\": {\"a\": 1.5, \"gone\": 1.0}}",
+        );
+        let m = write_tmp("perf_gate_meas_fail.json", "{\"ratios\": {\"a\": 1.4}}");
+        assert_eq!(run(&b, &m), Ok(false));
+    }
+
+    #[test]
+    fn gate_rejects_malformed_inputs() {
+        let empty = write_tmp("perf_gate_empty.json", "{\"floors\": {}}");
+        let m = write_tmp("perf_gate_meas_any.json", "{\"ratios\": {\"a\": 1.0}}");
+        assert!(run(&empty, &m).is_err());
+        let noobj = write_tmp("perf_gate_noobj.json", "{\"floors\": 3}");
+        assert!(run(&noobj, &m).is_err());
+        assert!(run("/nonexistent/base.json", &m).is_err());
+    }
+}

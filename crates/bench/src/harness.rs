@@ -85,6 +85,7 @@ pub struct Harness {
     elements: Option<u64>,
     envelope: Option<MetaEnvelope>,
     results: Vec<BenchResult>,
+    ratios: Vec<(String, f64)>,
 }
 
 impl Harness {
@@ -95,6 +96,7 @@ impl Harness {
             elements: None,
             envelope: None,
             results: Vec::new(),
+            ratios: Vec::new(),
         }
     }
 
@@ -116,6 +118,20 @@ impl Harness {
     pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
         self.elements = Some(n);
         self
+    }
+
+    /// Records a named derived ratio (e.g. a tick-vs-event speedup) to
+    /// be emitted as the machine-readable `ratios` member of
+    /// `BENCH_<group>.json`, which a perf gate can diff against
+    /// committed floors.
+    pub fn ratio(&mut self, name: &str, value: f64) -> &mut Self {
+        self.ratios.push((name.to_string(), value));
+        self
+    }
+
+    /// The ratios recorded so far.
+    pub fn ratios(&self) -> &[(String, f64)] {
+        &self.ratios
     }
 
     pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> &mut Self {
@@ -197,7 +213,18 @@ impl Harness {
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if !self.ratios.is_empty() {
+            out.push_str(",\n  \"ratios\": {");
+            for (i, (name, value)) in self.ratios.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{name}\": {value:.4}"));
+            }
+            out.push('}');
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -227,6 +254,30 @@ mod tests {
         let json = h.to_json();
         assert!(json.contains("\"group\": \"selftest\""));
         assert!(json.contains("\"name\": \"spin\""));
+        assert!(
+            !json.contains("\"ratios\""),
+            "no ratios member unless ratios were recorded"
+        );
+    }
+
+    #[test]
+    fn ratios_render_as_machine_readable_member() {
+        let mut h = Harness::new("ratios");
+        h.sample_size(1);
+        h.bench("nop", || 0u64);
+        h.ratio("corun_hload", 2.25).ratio("code_stream_pf0", 1.125);
+        assert_eq!(h.ratios().len(), 2);
+        let json = h.to_json();
+        let doc = obs::json::parse(&json).unwrap_or_else(|e| panic!("{e}: {json}"));
+        let ratios = doc.get("ratios").expect("ratios member");
+        assert_eq!(
+            ratios.get("corun_hload").and_then(|v| v.as_f64()),
+            Some(2.25)
+        );
+        assert_eq!(
+            ratios.get("code_stream_pf0").and_then(|v| v.as_f64()),
+            Some(1.125)
+        );
     }
 
     #[test]

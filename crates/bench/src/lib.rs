@@ -480,6 +480,11 @@ pub struct CommonArgs {
     /// The kernels are bit-identical, so every table/figure is
     /// unaffected — the flag only trades wall-clock speed.
     pub sim_engine: Engine,
+    /// Basic-block memoization in the event kernel
+    /// (`--no-block-memo` disables it, default on). Memoized and
+    /// unmemoized runs are bit-identical; the switch exists for
+    /// debugging and for CI's equivalence legs.
+    pub block_memo: bool,
     /// ILP node budget for the fault-tolerant evaluator
     /// (`--ilp-budget N`).
     pub ilp_budget: Option<u64>,
@@ -542,6 +547,7 @@ impl CommonArgs {
         Ok(CommonArgs {
             jobs: jobs_from_args(args)?,
             sim_engine,
+            block_memo: !args.iter().any(|a| a == "--no-block-memo"),
             ilp_budget: ilp_budget_from_args(args)?,
             journal,
             resume,
@@ -568,7 +574,9 @@ impl CommonArgs {
     /// [`engine`](Self::engine) with an attached telemetry recorder
     /// (pass the value [`recorder`](Self::recorder) returned).
     pub fn engine_with(&self, telemetry: Option<&Arc<Telemetry>>) -> ExecEngine {
-        let engine = ExecEngine::new(self.jobs).with_sim_engine(self.sim_engine);
+        let engine = ExecEngine::new(self.jobs)
+            .with_sim_engine(self.sim_engine)
+            .with_block_memo(self.block_memo);
         match telemetry {
             Some(t) => engine.with_telemetry(Arc::clone(t)),
             None => engine,
@@ -774,6 +782,11 @@ mod tests {
         let t = CommonArgs::parse(&argv("--jobs 1 --engine tick")).unwrap();
         assert_eq!(t.sim_engine, Engine::Tick);
         assert_eq!(t.engine().sim_engine(), Engine::Tick);
+        assert!(t.block_memo, "memo defaults on");
+        assert!(t.engine().block_memo());
+        let nm = CommonArgs::parse(&argv("--jobs 1 --no-block-memo")).unwrap();
+        assert!(!nm.block_memo);
+        assert!(!nm.engine().block_memo());
         assert_eq!(t.telemetry, None);
         assert!(t.recorder("x").is_none());
         assert!(t.flush_telemetry(None).is_ok(), "no sink is a no-op");

@@ -377,6 +377,7 @@ impl<'e> CampaignRunner<'e> {
                     &run,
                     self.engine.cycle_budget(),
                     self.engine.sim_engine(),
+                    self.engine.block_memo(),
                     millis,
                 );
                 if matches!(result, Err(JobFailure::TimedOut { .. })) {
@@ -540,13 +541,14 @@ fn run_with_watchdog(
     job: &SimJob,
     cycle_budget: Option<u64>,
     sim_engine: tc27x_sim::Engine,
+    block_memo: bool,
     millis: u64,
 ) -> Result<SimOutcome, JobFailure> {
     let (tx, rx) = mpsc::channel();
     let owned = job.clone();
     std::thread::spawn(move || {
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            execute_job_budgeted(&owned, cycle_budget, sim_engine)
+            execute_job_budgeted(&owned, cycle_budget, sim_engine, block_memo)
         }))
         .unwrap_or_else(|payload| Err(JobFailure::Panic(panic_message(payload))));
         let _ = tx.send(result);

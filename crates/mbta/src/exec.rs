@@ -275,6 +275,7 @@ pub struct ExecEngine {
     jobs: usize,
     cycle_budget: Option<u64>,
     sim_engine: Engine,
+    block_memo: bool,
     telemetry: Option<Arc<Telemetry>>,
     cache: Mutex<HashMap<u64, IsolationProfile>>,
     hits: AtomicU64,
@@ -300,6 +301,7 @@ impl ExecEngine {
             jobs: jobs.max(1),
             cycle_budget: None,
             sim_engine: Engine::default(),
+            block_memo: true,
             telemetry: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
@@ -339,6 +341,23 @@ impl ExecEngine {
     /// The simulator timing kernel jobs run on.
     pub fn sim_engine(&self) -> Engine {
         self.sim_engine
+    }
+
+    /// Variant controlling the event kernel's basic-block memoization
+    /// (builder style). Memoized and unmemoized runs are bit-identical
+    /// — memo cache, journal keys and goldens all stay valid — so the
+    /// switch, like [`with_sim_engine`](Self::with_sim_engine), only
+    /// trades wall-clock speed (off exists for debugging and for the
+    /// equivalence gates in CI).
+    #[must_use]
+    pub fn with_block_memo(mut self, on: bool) -> Self {
+        self.block_memo = on;
+        self
+    }
+
+    /// Whether jobs run with basic-block memoization enabled.
+    pub fn block_memo(&self) -> bool {
+        self.block_memo
     }
 
     /// Variant with an attached telemetry recorder (builder style):
@@ -535,7 +554,7 @@ impl ExecEngine {
     }
 
     fn execute_job(&self, job: &SimJob) -> (Result<SimOutcome, JobFailure>, Option<SimStats>) {
-        execute_job_with_stats(job, self.cycle_budget, self.sim_engine)
+        execute_job_with_stats(job, self.cycle_budget, self.sim_engine, self.block_memo)
     }
 
     /// Memoized single isolation run.
@@ -614,8 +633,9 @@ pub(crate) fn execute_job_budgeted(
     job: &SimJob,
     cycle_budget: Option<u64>,
     engine: Engine,
+    block_memo: bool,
 ) -> Result<SimOutcome, JobFailure> {
-    execute_job_with_stats(job, cycle_budget, engine).0
+    execute_job_with_stats(job, cycle_budget, engine, block_memo).0
 }
 
 /// [`execute_job_budgeted`] that also returns the simulator's post-run
@@ -624,10 +644,17 @@ pub(crate) fn execute_job_with_stats(
     job: &SimJob,
     cycle_budget: Option<u64>,
     engine: Engine,
+    block_memo: bool,
 ) -> (Result<SimOutcome, JobFailure>, Option<SimStats>) {
     match job {
         SimJob::Isolation { spec, core } => {
-            match crate::runner::isolation_profile_stats(spec, *core, cycle_budget, engine) {
+            match crate::runner::isolation_profile_stats(
+                spec,
+                *core,
+                cycle_budget,
+                engine,
+                block_memo,
+            ) {
                 Ok((p, s)) => (Ok(SimOutcome::Isolation(p)), Some(s)),
                 Err(e) => (Err(e.into()), None),
             }
@@ -645,6 +672,7 @@ pub(crate) fn execute_job_with_stats(
                 *load_core,
                 cycle_budget,
                 engine,
+                block_memo,
             ) {
                 Ok((c, s)) => (Ok(SimOutcome::Corun(c)), Some(s)),
                 Err(e) => (Err(e.into()), None),

@@ -94,19 +94,23 @@ pub fn isolation_profile_on(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
 ) -> Result<IsolationProfile, SimError> {
-    isolation_profile_stats(spec, core, max_cycles, engine).map(|(p, _)| p)
+    isolation_profile_stats(spec, core, max_cycles, engine, true).map(|(p, _)| p)
 }
 
 /// [`isolation_profile_on`] that also snapshots the simulator's
 /// post-run statistics ([`tc27x_sim::SimStats`]) for the telemetry
-/// layer.
+/// layer, with explicit control over the event kernel's block memo
+/// (a pure speed knob — both settings are bit-identical).
 pub(crate) fn isolation_profile_stats(
     spec: &TaskSpec,
     core: CoreId,
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
+    block_memo: bool,
 ) -> Result<(IsolationProfile, tc27x_sim::SimStats), SimError> {
-    let mut config = tc27x_sim::SimConfig::tc277_reference().with_engine(engine);
+    let mut config = tc27x_sim::SimConfig::tc277_reference()
+        .with_engine(engine)
+        .with_block_memo(block_memo);
     if let Some(limit) = max_cycles {
         config = config.with_max_cycles(limit);
     }
@@ -259,11 +263,12 @@ pub fn observed_corun_on(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
 ) -> Result<u64, SimError> {
-    observed_corun_stats(app, app_core, load, load_core, max_cycles, engine).map(|(c, _)| c)
+    observed_corun_stats(app, app_core, load, load_core, max_cycles, engine, true).map(|(c, _)| c)
 }
 
 /// [`observed_corun_on`] that also snapshots the simulator's post-run
-/// statistics ([`tc27x_sim::SimStats`]) for the telemetry layer.
+/// statistics ([`tc27x_sim::SimStats`]) for the telemetry layer, with
+/// explicit control over the event kernel's block memo.
 pub(crate) fn observed_corun_stats(
     app: &TaskSpec,
     app_core: CoreId,
@@ -271,8 +276,11 @@ pub(crate) fn observed_corun_stats(
     load_core: CoreId,
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
+    block_memo: bool,
 ) -> Result<(u64, tc27x_sim::SimStats), SimError> {
-    let mut config = tc27x_sim::SimConfig::tc277_reference().with_engine(engine);
+    let mut config = tc27x_sim::SimConfig::tc277_reference()
+        .with_engine(engine)
+        .with_block_memo(block_memo);
     if let Some(limit) = max_cycles {
         config = config.with_max_cycles(limit);
     }

@@ -172,6 +172,23 @@ impl Telemetry {
             inner
                 .nondet
                 .observe_hist("kernel.claims_depth", &s.kernel.depth_hist);
+            // Block-memo statistics are, like ff_jumps, a property of
+            // how the event kernel got to the (bit-identical) result —
+            // zero under the tick stepper or with the memo disabled —
+            // so they live in the non-deterministic registry too.
+            inner.nondet.add("kernel.memo_hits", s.kernel.memo_hits);
+            inner
+                .nondet
+                .add("kernel.memo_records", s.kernel.memo_records);
+            inner
+                .nondet
+                .add("kernel.memo_invalidations", s.kernel.memo_invalidations);
+            inner
+                .nondet
+                .add("kernel.memo_evictions", s.kernel.memo_evictions);
+            inner
+                .nondet
+                .add("kernel.memo_warp_cycles", s.kernel.memo_warp_cycles);
         }
     }
 
@@ -429,6 +446,9 @@ mod tests {
         stats.slaves[SriTarget::Lmu.index()].delay_hist.observe(11);
         stats.kernel.ff_jumps = 2;
         stats.kernel.gap_hist.observe(40);
+        stats.kernel.memo_hits = 7;
+        stats.kernel.memo_records = 3;
+        stats.kernel.memo_warp_cycles = 90;
         let t = Telemetry::new("test");
         t.record_job(1, &iso_job(1), 100, Some(&stats));
         let stream = t.to_stream();
@@ -439,6 +459,13 @@ mod tests {
         );
         assert_eq!(stream.nondet.counter("kernel.ff_jumps"), Some(2));
         assert!(stream.det.counter("kernel.ff_jumps").is_none());
+        assert_eq!(stream.nondet.counter("kernel.memo_hits"), Some(7));
+        assert_eq!(stream.nondet.counter("kernel.memo_records"), Some(3));
+        assert_eq!(stream.nondet.counter("kernel.memo_warp_cycles"), Some(90));
+        assert!(
+            stream.det.counter("kernel.memo_hits").is_none(),
+            "memo stats are kernel-dependent, never part of the det subset"
+        );
     }
 
     #[test]

@@ -173,6 +173,16 @@ impl Cache {
         Lookup::Miss { evicted_dirty }
     }
 
+    /// Replays a recorded access that is known to hit: identical to
+    /// [`Cache::access`] (LRU, dirty bit and hit statistics all move),
+    /// with a debug assertion that the line really is resident. The
+    /// block memo only records hit accesses, and replay guards verify
+    /// residency of every recorded line before committing.
+    pub(crate) fn replay_hit(&mut self, line: u32, write: bool) {
+        let looked_up = self.access(line, write);
+        debug_assert_eq!(looked_up, Lookup::Hit, "memo replayed a non-resident line");
+    }
+
     /// Returns `true` if the line is currently resident (no LRU update).
     pub fn probe(&self, line: u32) -> bool {
         let sets = self.geometry.sets();

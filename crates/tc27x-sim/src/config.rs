@@ -63,6 +63,18 @@ pub struct SimConfig {
     /// (default) or the per-cycle reference stepper. Bit-identical
     /// outcomes either way; see [`crate::engine`].
     pub engine: Engine,
+    /// Basic-block timing memoization inside the event kernel (see
+    /// [`crate::memo`]): stall-free instruction runs are fingerprinted
+    /// and replayed in one kernel delta. On by default; has no effect
+    /// under the reference stepper. Results are bit-identical either
+    /// way — this knob exists for differential testing and debugging.
+    pub block_memo: bool,
+    /// Slots in the per-core block-memo table (direct-mapped). Each slot
+    /// holds one recorded block; colliding fingerprints evict. The
+    /// default (1024) is deliberately modest: warp coverage comes from
+    /// interpret-and-record as much as from replay hits, so a larger
+    /// table mostly buys allocation cost on short runs.
+    pub block_memo_capacity: usize,
 }
 
 impl SimConfig {
@@ -100,6 +112,8 @@ impl SimConfig {
             trace_capacity: 0,
             sri_quota: [None; CoreId::COUNT],
             engine: Engine::default(),
+            block_memo: true,
+            block_memo_capacity: 1024,
         }
     }
 
@@ -142,6 +156,23 @@ impl SimConfig {
     #[must_use]
     pub fn with_master_priority(mut self, priority: [u8; CoreId::COUNT]) -> Self {
         self.master_priority = priority;
+        self
+    }
+
+    /// Variant with block-memoization toggled (builder style). Memo on
+    /// and off produce bit-identical runs; off trades speed for a
+    /// simpler kernel, which the differential suites exploit.
+    #[must_use]
+    pub fn with_block_memo(mut self, enabled: bool) -> Self {
+        self.block_memo = enabled;
+        self
+    }
+
+    /// Variant with an explicit block-memo table capacity in slots
+    /// (builder style). A capacity of zero disables memoization.
+    #[must_use]
+    pub fn with_block_memo_capacity(mut self, slots: usize) -> Self {
+        self.block_memo_capacity = slots;
         self
     }
 
@@ -247,6 +278,16 @@ mod tests {
         assert_eq!(SimConfig::tc277_reference().engine, Engine::Event);
         let c = SimConfig::tc277_reference().with_engine(Engine::Tick);
         assert_eq!(c.engine, Engine::Tick);
+    }
+
+    #[test]
+    fn block_memo_defaults_on_and_builds() {
+        let c = SimConfig::tc277_reference();
+        assert!(c.block_memo);
+        assert!(c.block_memo_capacity > 0);
+        let c = c.with_block_memo(false).with_block_memo_capacity(16);
+        assert!(!c.block_memo);
+        assert_eq!(c.block_memo_capacity, 16);
     }
 
     #[test]

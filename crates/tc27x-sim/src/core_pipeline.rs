@@ -34,7 +34,7 @@ use std::collections::VecDeque;
 /// One SRI operation of a (possibly multi-part) memory transaction, e.g.
 /// a dirty miss = write-back followed by a line fill.
 #[derive(Clone, Copy, Debug)]
-struct ChainOp {
+pub(crate) struct ChainOp {
     target: SriTarget,
     class: AccessClass,
     write: bool,
@@ -44,7 +44,7 @@ struct ChainOp {
 
 /// What to do once the current SRI chain finishes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum AfterChain {
+pub(crate) enum AfterChain {
     /// The chain was an instruction fetch: re-process the same pc (the
     /// fetch buffer now holds the line).
     Refetch,
@@ -54,7 +54,7 @@ enum AfterChain {
 }
 
 #[derive(Clone, Debug)]
-enum State {
+pub(crate) enum State {
     /// Pick up the instruction at `pc` on the next step.
     Ready,
     /// Busy until the given cycle (compute bursts, post-stall execute).
@@ -83,24 +83,24 @@ enum State {
 #[derive(Clone, Debug)]
 pub struct CorePipeline {
     id: CoreId,
-    image: TaskImage,
-    icache: Cache,
-    dcache: Cache,
-    pc: u32,
-    activation: u32,
+    pub(crate) image: TaskImage,
+    pub(crate) icache: Cache,
+    pub(crate) dcache: Cache,
+    pub(crate) pc: u32,
+    pub(crate) activation: u32,
     /// Per-instruction loop iteration counters.
-    loop_counters: Vec<u32>,
+    pub(crate) loop_counters: Vec<u32>,
     /// Per-instruction data-pattern cursors (byte offsets).
-    cursors: Vec<u32>,
-    rng: SplitMix64,
+    pub(crate) cursors: Vec<u32>,
+    pub(crate) rng: SplitMix64,
     /// Line currently held by the fetch buffer.
-    fetched_line: Option<u32>,
+    pub(crate) fetched_line: Option<u32>,
     /// Last line read over the SRI per target — the PMU prefetch
     /// buffer is one per flash bank and serves code fetches and data
     /// reads alike, so interleaved streams disrupt each other's
     /// sequentiality.
     last_sri_line: [Option<u32>; SriTarget::COUNT],
-    state: State,
+    pub(crate) state: State,
     counters: DebugCounters,
     truth: GroundTruth,
     finish_cycle: Option<u64>,
@@ -469,8 +469,23 @@ impl CorePipeline {
         );
     }
 
+    /// The offset [`CorePipeline::next_offset`] would return for this
+    /// cursor, without committing the cursor/RNG mutation. The block
+    /// memo peeks before a d-cache probe so that a miss (block boundary,
+    /// executed live) leaves the cursor untouched for the live path.
+    pub(crate) fn peek_offset(&self, idx: usize, pattern: Pattern, size: u32) -> u32 {
+        match pattern {
+            Pattern::Sequential | Pattern::Stride(_) => self.cursors[idx] % size,
+            Pattern::Random => {
+                let words = (size / 4).max(1);
+                self.rng.clone().below_u32(words) * 4
+            }
+            Pattern::Fixed(o) => o % size,
+        }
+    }
+
     /// Computes the next access offset for a pattern cursor.
-    fn next_offset(&mut self, idx: usize, pattern: Pattern, size: u32) -> u32 {
+    pub(crate) fn next_offset(&mut self, idx: usize, pattern: Pattern, size: u32) -> u32 {
         match pattern {
             Pattern::Sequential => {
                 let off = self.cursors[idx] % size;

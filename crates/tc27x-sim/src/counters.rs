@@ -75,6 +75,21 @@ pub struct KernelStats {
     /// Distribution of the claims-queue depth (live claims) at each
     /// executed cycle.
     pub depth_hist: Hist,
+    /// Block-memo replays: a fingerprinted stall-free block was
+    /// fast-forwarded in one kernel delta (see [`crate::memo`]).
+    pub memo_hits: u64,
+    /// Block-memo recordings: a block was interpreted live and its
+    /// timing captured for future replay.
+    pub memo_records: u64,
+    /// Block-memo invalidations: a fingerprint matched but a guard
+    /// (loop/cursor/RNG state, cache residency, remaining activations)
+    /// differed, so the entry could not be replayed at this visit.
+    pub memo_invalidations: u64,
+    /// Block-memo evictions: a recording displaced a different block
+    /// from its direct-mapped slot.
+    pub memo_evictions: u64,
+    /// Cycles skipped by block-memo replays (sum of replayed deltas).
+    pub memo_warp_cycles: u64,
 }
 
 /// Per-slave SRI statistics for the telemetry layer. Unlike

@@ -21,10 +21,9 @@
 //! the quiescence argument in `DESIGN.md` §4d keep that claim honest.
 
 use crate::addr::CoreId;
-use crate::core_pipeline::CorePipeline;
+use crate::core_pipeline::{CorePipeline, State};
+use crate::memo::BlockMemo;
 use crate::system::{SimError, System};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -113,15 +112,14 @@ const RANKS: usize = CoreId::COUNT + 1;
 /// cores-then-SRI order within a cycle.
 pub(crate) const SRI_RANK: u8 = CoreId::COUNT as u8;
 
-/// A deterministic event queue: a min-heap over `(cycle, source rank)`
-/// plus a per-rank claim table. The heap alone cannot be trusted — a
-/// source's claim changes whenever its state does — so entries are
-/// validated against the claim table and stale ones discarded lazily.
-/// Tie-breaking by rank makes the pop order a pure function of the
-/// claims, independent of insertion order.
+/// A deterministic event queue: a per-rank claim table scanned for its
+/// minimum. With only [`RANKS`] sources (three cores plus the SRI), a
+/// four-slot array scan beats any heap — no allocation, no stale
+/// entries, and the result is a pure function of the claims (ties
+/// resolve to the same cycle whichever rank holds them), independent of
+/// update order.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<(u64, u8)>>,
     scheduled: [Option<u64>; RANKS],
 }
 
@@ -130,29 +128,16 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Records `rank`'s current claim, pushing a heap entry only when
-    /// the claim actually changed (unchanged claims re-use their entry).
+    /// Records `rank`'s current claim, replacing any previous one.
+    #[inline]
     pub(crate) fn claim(&mut self, rank: u8, at: Option<u64>) {
-        if self.scheduled[rank as usize] == at {
-            return;
-        }
         self.scheduled[rank as usize] = at;
-        if let Some(cycle) = at {
-            self.heap.push(Reverse((cycle, rank)));
-        }
     }
 
-    /// The earliest currently-valid claim, discarding stale heap
-    /// entries. Does not remove the winning entry — it is invalidated
-    /// through [`EventQueue::claim`] once its source reschedules.
-    pub(crate) fn earliest(&mut self) -> Option<u64> {
-        while let Some(&Reverse((cycle, rank))) = self.heap.peek() {
-            if self.scheduled[rank as usize] == Some(cycle) {
-                return Some(cycle);
-            }
-            self.heap.pop();
-        }
-        None
+    /// The earliest currently-valid claim.
+    #[inline]
+    pub(crate) fn earliest(&self) -> Option<u64> {
+        self.scheduled.iter().flatten().copied().min()
     }
 }
 
@@ -173,10 +158,21 @@ fn advance_idle(sys: &mut System, delta: u64) {
 /// docs for why the two are bit-identical.
 pub(crate) fn run_event(
     sys: &mut System,
-    keep_going: &dyn Fn(&[Option<CorePipeline>]) -> bool,
+    keep_going: impl Fn(&[Option<CorePipeline>]) -> bool,
 ) -> Result<(), SimError> {
     let limit = sys.config.max_cycles;
     let mut queue = EventQueue::new();
+    // Per-core block-memo tables, private to this run. The reference
+    // stepper never constructs them, so memo statistics stay zero under
+    // `Engine::Tick` — they are kernel-dependent telemetry like
+    // `ff_jumps`.
+    let mut memos: Vec<BlockMemo> = if sys.config.block_memo && sys.config.block_memo_capacity > 0 {
+        (0..CoreId::COUNT)
+            .map(|_| BlockMemo::new(sys.config.block_memo_capacity))
+            .collect()
+    } else {
+        Vec::new()
+    };
     loop {
         if !keep_going(&sys.cores) {
             return Ok(());
@@ -231,6 +227,38 @@ pub(crate) fn run_event(
             }
         }
 
+        // Before paying for a full cycle, offer every core that is
+        // about to process an instruction to the block memo: a core at
+        // the head of a stall-free block is warped across the whole
+        // block in one delta — left `Blocked` at the block's exit with
+        // CCNT accounted lazily, exactly like any other multi-cycle
+        // window — and the loop re-plans from the head, since the warp
+        // may have opened a quiescent gap worth fast-forwarding. The
+        // attempt must run *here*, after the fast-forward, so it always
+        // sees the core exactly at a block head; cores that decline
+        // (the next instruction is an SRI boundary) run live below.
+        if !memos.is_empty() {
+            let now = sys.now;
+            let mut warped = false;
+            for (i, slot) in sys.cores.iter_mut().enumerate() {
+                let Some(core) = slot.as_mut() else { continue };
+                let about_to_process = matches!(core.state, State::Ready)
+                    || matches!(core.state, State::Blocked { until } if until <= now);
+                if about_to_process {
+                    debug_assert!(
+                        !sys.sri.has_pending(core.id()),
+                        "a core with an in-flight SRI request is never Ready/expired-Blocked"
+                    );
+                    if memos[i].attempt(core, now, &mut sys.kernel) {
+                        warped = true;
+                    }
+                }
+            }
+            if warped {
+                continue;
+            }
+        }
+
         // Execute one interesting cycle exactly like a tick iteration:
         // cores in index order, one arbitration step, grants in index
         // order.
@@ -247,7 +275,7 @@ pub(crate) fn run_event(
                 core.apply_grant(now, *g);
             }
         }
-        sys.now = now + 1;
+        sys.now = now + 1; // tick-loop-ok: the one-cycle execute step
     }
 }
 
@@ -299,7 +327,6 @@ mod tests {
         for _ in 0..100 {
             q.claim(3, Some(42));
         }
-        assert!(q.heap.len() <= 1, "unchanged claims must not grow the heap");
         assert_eq!(q.earliest(), Some(42));
     }
 }

@@ -64,6 +64,7 @@ pub mod engine;
 pub mod faults;
 pub mod layout;
 pub mod linker;
+pub mod memo;
 pub mod program;
 pub mod reference;
 pub mod rng;

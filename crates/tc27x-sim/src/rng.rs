@@ -78,6 +78,17 @@ impl SplitMix64 {
     pub fn flip(&mut self) -> bool {
         self.next_u64() & 1 == 1
     }
+
+    /// Jumps the stream forward by `draws` outputs without computing
+    /// them. SplitMix64's state is a plain counter (the mixer is applied
+    /// on output only), so skipping n draws is one multiply — the block
+    /// memo uses this to replay a recorded run of random accesses in
+    /// O(1) while landing on exactly the state n live draws would reach.
+    pub fn advance(&mut self, draws: u64) {
+        self.state = self
+            .state
+            .wrapping_add(draws.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +142,21 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn below_zero_panics() {
         SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn advance_equals_n_draws() {
+        for n in [0u64, 1, 2, 7, 100] {
+            let mut stepped = SplitMix64::new(0xfeed);
+            for _ in 0..n {
+                stepped.next_u64();
+            }
+            let mut jumped = SplitMix64::new(0xfeed);
+            jumped.advance(n);
+            assert_eq!(stepped, jumped, "advance({n})");
+            // And the streams continue identically afterwards.
+            assert_eq!(stepped.next_u64(), jumped.next_u64());
+        }
     }
 
     #[test]

@@ -206,6 +206,17 @@ impl Sri {
         }
     }
 
+    /// Returns `true` if `core` has a request queued at any slave. The
+    /// event kernel's memo path asserts the negation before warping a
+    /// core: a core in `Ready`/`Blocked` state never has SRI work in
+    /// flight (only `WaitGrant` does), so a memoized block can never
+    /// race a grant.
+    pub(crate) fn has_pending(&self, core: CoreId) -> bool {
+        self.slaves
+            .iter()
+            .any(|s| s.queue.iter().any(|p| p.core == core))
+    }
+
     /// Returns `true` if no slave has queued or in-flight work at `now`.
     /// This is the event kernel's quiescence source of truth:
     /// `is_idle(now)` implies [`Sri::next_event`] returns `None`.

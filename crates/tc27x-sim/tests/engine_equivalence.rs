@@ -11,6 +11,13 @@
 //! re-run truncated at adversarial `max_cycles` cutoffs (1, C−1, C,
 //! C+1 and a random interior point) where the engines must raise — or
 //! not raise — `CycleLimit` identically.
+//!
+//! Every comparison runs the event kernel **twice** — with block-memo
+//! fast-forwarding enabled (the default) and disabled — so the suite
+//! simultaneously proves the kernel identical to the stepper and the
+//! memo layer identical to the memo-free kernel, truncation cutoffs
+//! included (a cutoff can land mid-warp, which is exactly where a memo
+//! accounting bug would show).
 
 use tc27x_sim::faults::FaultInjector;
 use tc27x_sim::rng::SplitMix64;
@@ -187,7 +194,16 @@ fn random_case(rng: &mut SplitMix64, case: u64) -> Case {
 
 /// Runs the case on one engine and captures everything observable.
 fn observe(case: &Case, engine: Engine, max_cycles: Option<u64>) -> Observed {
-    let mut config = case.config.clone().with_engine(engine);
+    observe_memo(case, engine, max_cycles, true)
+}
+
+/// Like [`observe`], with explicit control over block memoization.
+fn observe_memo(case: &Case, engine: Engine, max_cycles: Option<u64>, memo: bool) -> Observed {
+    let mut config = case
+        .config
+        .clone()
+        .with_engine(engine)
+        .with_block_memo(memo);
     if let Some(limit) = max_cycles {
         config = config.with_max_cycles(limit);
     }
@@ -244,6 +260,8 @@ fn engines_are_bit_identical_on_random_workloads() {
         let tick = observe(&case, Engine::Tick, None);
         let event = observe(&case, Engine::Event, None);
         assert_identical(case_no, "full run", &case, &tick, &event);
+        let event_nomemo = observe_memo(&case, Engine::Event, None, false);
+        assert_identical(case_no, "full run, memo off", &case, &tick, &event_nomemo);
         compared += 1;
 
         let Ok(outcome) = &tick.outcome else {
@@ -278,6 +296,8 @@ fn engines_are_bit_identical_on_random_workloads() {
             let t = observe(&case, Engine::Tick, Some(cut));
             let e = observe(&case, Engine::Event, Some(cut));
             assert_identical(case_no, &format!("cut at {cut}"), &case, &t, &e);
+            let en = observe_memo(&case, Engine::Event, Some(cut), false);
+            assert_identical(case_no, &format!("cut at {cut}, memo off"), &case, &t, &en);
             truncations += 1;
         }
     }

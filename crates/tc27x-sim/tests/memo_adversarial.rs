@@ -1,0 +1,179 @@
+//! Adversarial cases for block-memo fast-forwarding: co-runner SRI
+//! traffic landing *while* another core is mid-warp.
+//!
+//! A block warp parks the core in a multi-cycle `Blocked` window. If a
+//! co-runner posts to a shared slave inside that window, arbitration,
+//! queueing delays and grant timing on the *co-runner's* side must come
+//! out exactly as if the warped core had been stepped cycle by cycle —
+//! and the warped core's own later SRI requests must see exactly the
+//! contention the per-cycle execution would have produced. These cases
+//! are built so that scratchpad-heavy blocks (long warps) on one core
+//! overlap dense shared-slave traffic from the others, then compare
+//! tick vs event vs event-without-memo bit for bit, traces included.
+
+use tc27x_sim::trace::TraceRecord;
+use tc27x_sim::{
+    CoreId, DataObject, Engine, Pattern, Placement, Program, Region, RunOutcome, SimConfig,
+    SimError, System, TaskSpec,
+};
+
+/// Everything observable about one run.
+#[derive(PartialEq, Debug)]
+struct Observed {
+    outcome: Result<RunOutcome, SimError>,
+    traces: Vec<Vec<TraceRecord>>,
+}
+
+fn run(tasks: &[(CoreId, TaskSpec)], config: &SimConfig, observe: Option<CoreId>) -> Observed {
+    let mut sys = System::with_config(config.clone());
+    for (core, spec) in tasks {
+        sys.load(*core, spec).expect("layout must link");
+    }
+    let outcome = match observe {
+        Some(core) => sys.run_until(core),
+        None => sys.run(),
+    };
+    let traces = tasks
+        .iter()
+        .map(|(core, _)| sys.trace(*core).records().to_vec())
+        .collect();
+    Observed { outcome, traces }
+}
+
+/// Runs tick, event, and event-without-memo, asserting bit-identity.
+fn assert_three_way(label: &str, tasks: &[(CoreId, TaskSpec)], observe: Option<CoreId>) {
+    let base = SimConfig::tc277_reference()
+        .with_max_cycles(2_000_000)
+        .with_trace_capacity(256);
+    let tick = run(tasks, &base.clone().with_engine(Engine::Tick), observe);
+    let event = run(tasks, &base.clone().with_engine(Engine::Event), observe);
+    let nomemo = run(
+        tasks,
+        &base.with_engine(Engine::Event).with_block_memo(false),
+        observe,
+    );
+    assert_eq!(tick, event, "{label}: tick vs event(memo)");
+    assert_eq!(tick, nomemo, "{label}: tick vs event(no memo)");
+}
+
+/// A scratchpad-resident task: long stall-free blocks, punctuated by a
+/// single LMU touch per outer iteration so the warped core itself meets
+/// contention at block boundaries.
+fn warping_task(core: CoreId, seed: u64) -> TaskSpec {
+    let prog = Program::build(|b| {
+        b.repeat(200, |b| {
+            b.repeat(8, |b| {
+                b.compute(3);
+                b.load("local", Pattern::Sequential);
+                b.store("local", Pattern::Stride(12));
+            });
+            b.load("shared", Pattern::Random);
+        });
+    });
+    let mut spec = TaskSpec::new("warper", prog, Placement::pspr(core))
+        .with_object(DataObject::new("local", 2048, Placement::dspr(core)))
+        .with_object(DataObject::new(
+            "shared",
+            4096,
+            Placement::new(Region::Lmu, false),
+        ));
+    spec.seed = seed;
+    spec
+}
+
+/// A contender hammering shared slaves with minimal local work: its
+/// posts land at nearly every cycle, i.e. inside every warp window the
+/// other core opens.
+fn hammering_task(core: CoreId, region: Region, cacheable: bool, seed: u64) -> TaskSpec {
+    let prog = Program::build(|b| {
+        b.repeat(600, |b| {
+            b.load("tgt", Pattern::Sequential);
+            b.compute(1);
+            b.store("tgt", Pattern::Sequential);
+        });
+    });
+    let mut spec = TaskSpec::new("hammer", prog, Placement::pspr(core)).with_object(
+        DataObject::new("tgt", 4096, Placement::new(region, cacheable)),
+    );
+    spec.seed = seed;
+    spec
+}
+
+#[test]
+fn corunner_lmu_posts_land_mid_warp() {
+    let tasks = vec![
+        (CoreId(1), warping_task(CoreId(1), 11)),
+        (CoreId(2), hammering_task(CoreId(2), Region::Lmu, false, 22)),
+    ];
+    assert_three_way("lmu hammer vs warper", &tasks, None);
+}
+
+#[test]
+fn corunner_dflash_posts_land_mid_warp() {
+    let tasks = vec![
+        (CoreId(1), warping_task(CoreId(1), 31)),
+        (
+            CoreId(0),
+            hammering_task(CoreId(0), Region::Dflash, false, 32),
+        ),
+    ];
+    assert_three_way("dflash hammer vs warper", &tasks, None);
+}
+
+#[test]
+fn two_warpers_one_hammer_same_slave() {
+    let tasks = vec![
+        (CoreId(1), warping_task(CoreId(1), 41)),
+        (CoreId(2), warping_task(CoreId(2), 42)),
+        (CoreId(0), hammering_task(CoreId(0), Region::Lmu, false, 43)),
+    ];
+    assert_three_way("two warpers, shared LMU", &tasks, None);
+}
+
+#[test]
+fn observed_core_run_until_cuts_corunner_warps() {
+    // `run_until` stops the clock the cycle the observed core finishes,
+    // with co-runners possibly mid-warp — their CCNT must still equal
+    // the per-cycle accounting up to that exact cycle.
+    let tasks = vec![
+        (CoreId(1), hammering_task(CoreId(1), Region::Lmu, false, 51)),
+        (CoreId(2), warping_task(CoreId(2), 52)),
+    ];
+    assert_three_way("observe hammer, cut warper", &tasks, Some(CoreId(1)));
+}
+
+#[test]
+fn cacheable_contender_mixes_hits_and_misses() {
+    // A cacheable LMU contender alternates d-cache hits (memoizable)
+    // with misses (boundaries), so its own blocks are short and its
+    // misses interleave with the other core's warps.
+    let tasks = vec![
+        (CoreId(1), warping_task(CoreId(1), 61)),
+        (CoreId(2), hammering_task(CoreId(2), Region::Lmu, true, 62)),
+    ];
+    assert_three_way("cacheable contender", &tasks, None);
+}
+
+#[test]
+fn memo_statistics_report_warps_only_under_event_engine() {
+    let tasks = [(CoreId(1), warping_task(CoreId(1), 71))];
+    let base = SimConfig::tc277_reference().with_max_cycles(2_000_000);
+
+    let mut sys = System::with_config(base.clone().with_engine(Engine::Event));
+    sys.load(CoreId(1), &tasks[0].1).expect("link");
+    sys.run().expect("run");
+    let stats = sys.stats();
+    assert!(stats.kernel.memo_records > 0, "blocks must be recorded");
+    assert!(stats.kernel.memo_hits > 0, "repeated blocks must replay");
+    assert!(
+        stats.kernel.memo_warp_cycles > 0,
+        "warps must cover real cycles"
+    );
+
+    let mut tick = System::with_config(base.with_engine(Engine::Tick));
+    tick.load(CoreId(1), &tasks[0].1).expect("link");
+    tick.run().expect("run");
+    let tstats = tick.stats();
+    assert_eq!(tstats.kernel.memo_records, 0, "stepper never memoizes");
+    assert_eq!(tstats.kernel.memo_hits, 0);
+}
