@@ -7,6 +7,10 @@
 #                  telemetry determinism (memo on/off, tick/event, jobs)
 #   ci.sh perf     sim_throughput bench + speedup-floor gate
 #                  (BENCH_sim.json ratios vs committed BENCH_baseline.json)
+#   ci.sh serve    daemon crash-recovery smoke (kill -9 mid-batch,
+#                  restart at a different --jobs, byte-for-byte response
+#                  diff) + seeded chaos run with a warning-free
+#                  telemetry capture
 #   ci.sh all      every tier in order (the default); perf runs
 #                  non-gating here so a slow local machine cannot fail
 #                  the full gate, exactly as the old monolithic script
@@ -160,22 +164,113 @@ stage_perf() {
     target/release/perf_gate BENCH_baseline.json BENCH_sim.json
 }
 
+stage_serve() {
+    # Re-point the smoke dir so `ci.sh all` does not accumulate the
+    # golden stage's scratch files.
+    [ -n "$SMOKE_DIR" ] && rm -rf "$SMOKE_DIR"
+    SMOKE_DIR="$(mktemp -d)"
+    SERVE=target/release/contention-serve
+    CLIENT=target/release/serve-client
+    CHAOS=target/release/serve-chaos
+    LINT=target/release/telemetry_lint
+    cargo build --release --offline -p contention-serve
+    cargo build --release --offline -p contention-bench --bin telemetry_lint
+
+    # A mixed batch: Δcont bounds across scenarios, a budget-1 request
+    # that must degrade to the fTC fallback (and say so), a soundness
+    # sweep and an RTA query, interleaved across two tenants.
+    cat > "$SMOKE_DIR/batch.jsonl" <<'EOF'
+{"id": "q1", "tenant": "alpha", "kind": "bound", "scenario": "sc1", "level": "high"}
+{"id": "q2", "tenant": "beta", "kind": "bound", "scenario": "low", "level": "medium"}
+{"id": "q3", "tenant": "alpha", "kind": "bound", "scenario": "low", "level": "high", "budget": 1}
+{"id": "q4", "tenant": "beta", "kind": "sweep", "scenario": "low", "level": "low"}
+{"id": "q5", "tenant": "alpha", "kind": "rta", "scenario": "low", "level": "medium", "period": 50000000}
+{"id": "q6", "tenant": "beta", "kind": "bound", "scenario": "sc2", "level": "low"}
+EOF
+    echo '{"id": "bye", "tenant": "ops", "kind": "shutdown"}' > "$SMOKE_DIR/shutdown.jsonl"
+
+    # Ready means the startup line is out (printed after the listeners
+    # bound), not merely that the socket file exists — a stale socket
+    # from a kill -9'd predecessor would fool the latter.
+    wait_ready() {
+        for _ in $(seq 1 100); do
+            grep -q "contention-serve: listening" "$1" 2> /dev/null && return 0
+            sleep 0.1
+        done
+        echo "daemon never became ready:"; cat "$1"; exit 1
+    }
+
+    echo "==> serve: uninterrupted reference run"
+    "$SERVE" --state "$SMOKE_DIR/state_a" --unix "$SMOKE_DIR/a.sock" --jobs 2 \
+        > "$SMOKE_DIR/serve_a.log" 2>&1 &
+    SERVE_PID=$!
+    wait_ready "$SMOKE_DIR/serve_a.log"
+    "$CLIENT" --addr "unix:$SMOKE_DIR/a.sock" --batch "$SMOKE_DIR/batch.jsonl" \
+        --out "$SMOKE_DIR/a.jsonl"
+    "$CLIENT" --addr "unix:$SMOKE_DIR/a.sock" --batch "$SMOKE_DIR/shutdown.jsonl" > /dev/null
+    wait "$SERVE_PID"
+
+    echo "==> serve: kill -9 mid-batch, restart at a different --jobs, replay"
+    "$SERVE" --state "$SMOKE_DIR/state_b" --unix "$SMOKE_DIR/b.sock" --jobs 2 \
+        > "$SMOKE_DIR/serve_b1.log" 2>&1 &
+    SERVE_PID=$!
+    wait_ready "$SMOKE_DIR/serve_b1.log"
+    "$CLIENT" --addr "unix:$SMOKE_DIR/b.sock" --batch "$SMOKE_DIR/batch.jsonl" \
+        --limit 3 --out "$SMOKE_DIR/half.jsonl"
+    kill -9 "$SERVE_PID"
+    wait "$SERVE_PID" 2> /dev/null || true
+    "$SERVE" --state "$SMOKE_DIR/state_b" --unix "$SMOKE_DIR/b.sock" --jobs 1 \
+        > "$SMOKE_DIR/serve_b2.log" 2>&1 &
+    SERVE_PID=$!
+    wait_ready "$SMOKE_DIR/serve_b2.log"
+    grep -Eq "recovered [1-9][0-9]* response" "$SMOKE_DIR/serve_b2.log" \
+        || { echo "restart recovered nothing from the killed daemon's stores"; \
+             cat "$SMOKE_DIR/serve_b2.log"; exit 1; }
+    "$CLIENT" --addr "unix:$SMOKE_DIR/b.sock" --batch "$SMOKE_DIR/batch.jsonl" \
+        --out "$SMOKE_DIR/b.jsonl"
+    "$CLIENT" --addr "unix:$SMOKE_DIR/b.sock" --batch "$SMOKE_DIR/shutdown.jsonl" > /dev/null
+    wait "$SERVE_PID"
+    diff -u "$SMOKE_DIR/a.jsonl" "$SMOKE_DIR/b.jsonl" \
+        || { echo "replayed responses diverged from the uninterrupted run"; exit 1; }
+    grep -q '"provenance":"fallback=ftc"' "$SMOKE_DIR/b.jsonl" \
+        || { echo "budget-1 request did not degrade with explicit provenance"; exit 1; }
+    grep -q '"provenance":"ilp"' "$SMOKE_DIR/b.jsonl" \
+        || { echo "no exact-ILP answer in the batch"; exit 1; }
+
+    echo "==> serve: seeded chaos run (tiny queue cap, telemetry must stay warning-free)"
+    "$SERVE" --state "$SMOKE_DIR/state_c" --unix "$SMOKE_DIR/c.sock" --jobs 2 \
+        --workers 1 --queue-cap 2 --telemetry "$SMOKE_DIR/serve_t.jsonl" \
+        > "$SMOKE_DIR/serve_c.log" 2>&1 &
+    SERVE_PID=$!
+    wait_ready "$SMOKE_DIR/serve_c.log"
+    "$CHAOS" --addr "unix:$SMOKE_DIR/c.sock" --seed 42 --ops 40 \
+        | tee "$SMOKE_DIR/chaos.log"
+    grep -Eq "overloaded [1-9]" "$SMOKE_DIR/chaos.log" \
+        || { echo "chaos run never tripped admission control"; exit 1; }
+    "$CLIENT" --addr "unix:$SMOKE_DIR/c.sock" --batch "$SMOKE_DIR/shutdown.jsonl" > /dev/null
+    wait "$SERVE_PID"
+    "$LINT" "$SMOKE_DIR/serve_t.jsonl" --deny-warn \
+        || { echo "daemon telemetry failed the lint (warnings under chaos?)"; exit 1; }
+}
+
 STAGE="${1:-all}"
 case "$STAGE" in
     lint)   stage_lint ;;
     test)   stage_test ;;
     golden) stage_golden ;;
     perf)   stage_perf ;;
+    serve)  stage_serve ;;
     all)
         stage_lint
         stage_test
         stage_golden
+        stage_serve
         # Informational in the full gate: a slow or noisy local machine
         # must not fail `ci.sh all`. Run `ci.sh perf` to gate.
         stage_perf || echo "warning: perf stage failed (non-gating in 'all')"
         ;;
     *)
-        echo "usage: $0 [lint|test|golden|perf|all]" >&2
+        echo "usage: $0 [lint|test|golden|perf|serve|all]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,159 @@
+//! `contention-serve` saturation benchmark.
+//!
+//! Starts an in-process daemon on a Unix socket, warms it with the
+//! distinct semantic queries, then measures:
+//!
+//! * `serve_cached_roundtrip` — one request/response round trip served
+//!   from the response cache (the steady-state serving cost);
+//! * `sustained_qps` — queries per second sustained by several client
+//!   threads hammering cached queries concurrently;
+//! * `shed_fraction_capped` — the fraction of a pipelined burst shed
+//!   with an explicit `overloaded` under a deliberately tiny queue cap
+//!   (backpressure must engage, not buffer without bound).
+//!
+//! Writes `BENCH_serve.json`. The qps number is hardware-dependent and
+//! deliberately not gated; the shed fraction demonstrates admission
+//! control working and is asserted non-zero here (a benchmark that
+//! cannot saturate a cap-1 queue is measuring the wrong thing).
+
+use contention_bench::harness::{Harness, MetaEnvelope};
+use serve::client::{Addr, Client};
+use serve::query::QueryOptions;
+use serve::{QueryKind, Request, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tc27x_sim::DeploymentScenario;
+use workloads::LoadLevel;
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("serve-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(dir: &std::path::Path, workers: usize, queue_cap: usize) -> (Server, Addr) {
+    let sock = dir.join("bench.sock");
+    let server = Server::start(
+        Arc::new(mbta::ExecEngine::new(workers)),
+        ServerConfig {
+            unix_socket: Some(sock.clone()),
+            tcp_addr: None,
+            state_dir: dir.join("state"),
+            workers,
+            queue_cap,
+            retry_after_ms: 25,
+            io_timeout_ms: 1_000,
+            query: QueryOptions::default(),
+        },
+    )
+    .expect("daemon must start");
+    (server, Addr::Unix(sock))
+}
+
+fn bound(i: usize, level: LoadLevel, budget: Option<u64>) -> Request {
+    Request {
+        id: format!("q{i}"),
+        tenant: format!("bench-{}", i % 4),
+        kind: QueryKind::Bound {
+            scenario: DeploymentScenario::LowTraffic,
+            level,
+        },
+        budget,
+        strict: false,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workers = 2usize;
+    let mut h = Harness::new("serve");
+    h.set_envelope(MetaEnvelope::new(&args, "serve", workers as u64));
+
+    let dir = scratch("main");
+    let (server, addr) = start(&dir, workers, 256);
+
+    // Warm: compute every distinct body once (cold path measured by
+    // the sim benches already; serving measures the protocol).
+    let warm = [
+        bound(0, LoadLevel::Low, None),
+        bound(1, LoadLevel::Medium, None),
+        bound(2, LoadLevel::High, None),
+    ];
+    let mut client = Client::connect(&addr, Duration::from_secs(300)).expect("connect");
+    for req in &warm {
+        let resp = client.request(req).expect("warm response");
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+    }
+
+    // Steady-state round trip, served from the response cache.
+    let probe = bound(0, LoadLevel::Low, None);
+    h.sample_size(60).bench("serve_cached_roundtrip", || {
+        client.request(&probe).expect("cached response")
+    });
+
+    // Sustained throughput: several client threads, cached queries.
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 100;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, Duration::from_secs(300)).expect("connect");
+                let levels = [LoadLevel::Low, LoadLevel::Medium, LoadLevel::High];
+                for i in 0..PER_THREAD {
+                    let req = bound(t * PER_THREAD + i, levels[i % 3], None);
+                    let resp = c.request(&req).expect("response");
+                    assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let qps = (THREADS * PER_THREAD) as f64 / elapsed.max(1e-9);
+    h.ratio("sustained_qps", qps);
+    println!(
+        "serve saturation: {} queries over {THREADS} thread(s) in {elapsed:.3}s — {qps:.0} q/s",
+        THREADS * PER_THREAD
+    );
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Backpressure: cap-1 queue, one worker, pipelined distinct
+    // requests — some must shed.
+    let dir = scratch("shed");
+    let (server, addr) = start(&dir, 1, 1);
+    let mut c = Client::connect(&addr, Duration::from_secs(300)).expect("connect");
+    let burst: Vec<Request> = (0..8)
+        .map(|i| bound(i, LoadLevel::Low, Some(1_000 + i as u64)))
+        .collect();
+    for req in &burst {
+        c.send(req).expect("send");
+    }
+    let mut shed = 0usize;
+    for _ in 0..burst.len() {
+        let resp = c.recv().expect("response").expect("body");
+        if resp.contains("\"status\":\"overloaded\"") {
+            shed += 1;
+        }
+    }
+    let fraction = shed as f64 / burst.len() as f64;
+    assert!(shed > 0, "a cap-1 queue under an 8-burst must shed");
+    h.ratio("shed_fraction_capped", fraction);
+    println!(
+        "serve saturation: {shed}/{} burst request(s) shed under cap-1 ({fraction:.2})",
+        burst.len()
+    );
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    h.finish();
+}

@@ -7,11 +7,19 @@
 //!
 //! The baseline (default `BENCH_baseline.json`, committed at the repo
 //! root) carries a `floors` object mapping ratio names to the minimum
-//! acceptable tick-over-event speedup. The measured file (default
-//! `BENCH_sim.json`, written by the `sim_throughput` bench) carries the
-//! machine-readable `ratios` member. Every floor must have a measured
-//! ratio at or above it; a missing ratio is itself a failure, so
-//! silently dropping a benchmark from the suite cannot pass the gate.
+//! acceptable tick-over-event speedup, plus a `meta.config_fingerprint`
+//! pinning the engine configuration the floors were blessed against.
+//! The measured file (default `BENCH_sim.json`, written by the
+//! `sim_throughput` bench) carries the machine-readable `ratios`
+//! member. Every floor must have a measured ratio at or above it; a
+//! missing ratio is itself a failure, so silently dropping a benchmark
+//! from the suite cannot pass the gate.
+//!
+//! The gate never stops at the first problem: every failing ratio is
+//! collected and the full list reported at the end, together with a
+//! re-bless hint when the baseline itself is the thing that is out of
+//! date (missing file, or a config fingerprint that no longer matches
+//! the measured engine).
 //!
 //! Floors are deliberately conservative relative to typical measured
 //! ratios: shared CI runners are noisy, and the gate exists to catch
@@ -43,8 +51,31 @@ fn load_member(path: &str, member: &str) -> Result<Vec<(String, f64)>, String> {
         .collect()
 }
 
+/// Reads `meta.config_fingerprint` if the document carries one.
+fn load_fingerprint(path: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = parse(&text).ok()?;
+    doc.get("meta")?
+        .get("config_fingerprint")?
+        .as_str()
+        .map(String::from)
+}
+
+const REBLESS_HINT: &str = "hint: if this change is intentional, re-bless BENCH_baseline.json: \
+     copy the new ratios from BENCH_sim.json into \"floors\" (backed off for runner noise) and \
+     update meta.config_fingerprint to the measured value";
+
 fn run(baseline_path: &str, measured_path: &str) -> Result<bool, String> {
-    let floors = load_member(baseline_path, "floors")?;
+    let floors = match load_member(baseline_path, "floors") {
+        Ok(f) => f,
+        Err(e) => {
+            return Err(format!(
+                "{e}\nhint: no usable baseline — create {baseline_path} with a \"floors\" object \
+                 (seed it from the ratios in {measured_path}) and a meta.config_fingerprint, \
+                 then commit it (\"re-bless\")"
+            ));
+        }
+    };
     if floors.is_empty() {
         return Err(format!("{baseline_path}: \"floors\" object is empty"));
     }
@@ -52,7 +83,7 @@ fn run(baseline_path: &str, measured_path: &str) -> Result<bool, String> {
 
     println!("perf gate: {measured_path} vs floors in {baseline_path}");
     println!("{:<32} {:>9} {:>9}  verdict", "ratio", "floor", "measured");
-    let mut ok = true;
+    let mut failures: Vec<String> = Vec::new();
     for (name, floor) in &floors {
         match ratios.iter().find(|(k, _)| k == name) {
             Some((_, measured)) if measured >= floor => {
@@ -60,15 +91,58 @@ fn run(baseline_path: &str, measured_path: &str) -> Result<bool, String> {
             }
             Some((_, measured)) => {
                 println!("{name:<32} {floor:>9.3} {measured:>9.3}  BELOW FLOOR");
-                ok = false;
+                failures.push(format!("{name} (floor {floor:.3}, measured {measured:.3})"));
             }
             None => {
                 println!("{name:<32} {floor:>9.3} {:>9}  MISSING", "-");
-                ok = false;
+                failures.push(format!("{name} (missing from {measured_path})"));
             }
         }
     }
-    Ok(ok)
+
+    // Staleness check: floors blessed against one engine configuration
+    // are meaningless against another.
+    let mut stale = false;
+    match (
+        load_fingerprint(baseline_path),
+        load_fingerprint(measured_path),
+    ) {
+        (Some(base_fp), Some(meas_fp)) if base_fp != meas_fp => {
+            stale = true;
+            failures.push(format!(
+                "config fingerprint mismatch: baseline blessed against {base_fp}, measured engine \
+                 is {meas_fp}"
+            ));
+        }
+        (None, Some(meas_fp)) => {
+            // Old-format baseline: not a failure, but say how to fix.
+            println!(
+                "note: {baseline_path} carries no meta.config_fingerprint — add \
+                 \"meta\": {{\"config_fingerprint\": \"{meas_fp}\"}} on the next re-bless"
+            );
+        }
+        _ => {}
+    }
+
+    if failures.is_empty() {
+        Ok(true)
+    } else {
+        eprintln!(
+            "perf gate: {} failure(s):\n  - {}",
+            failures.len(),
+            failures.join("\n  - ")
+        );
+        if stale {
+            eprintln!(
+                "hint: the baseline fingerprint is stale — the engine configuration changed since \
+                 the floors were blessed; re-bless BENCH_baseline.json against the new \
+                 BENCH_sim.json if the change is intentional"
+            );
+        } else {
+            eprintln!("{REBLESS_HINT}");
+        }
+        Ok(false)
+    }
 }
 
 fn main() -> ExitCode {
@@ -81,7 +155,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("perf gate: FAILED — at least one ratio below its floor");
+            eprintln!("perf gate: FAILED — see the failure list above");
             ExitCode::FAILURE
         }
         Err(e) => {
@@ -132,5 +206,45 @@ mod tests {
         let noobj = write_tmp("perf_gate_noobj.json", "{\"floors\": 3}");
         assert!(run(&noobj, &m).is_err());
         assert!(run("/nonexistent/base.json", &m).is_err());
+    }
+
+    #[test]
+    fn missing_baseline_error_carries_rebless_hint() {
+        let m = write_tmp("perf_gate_meas_hint.json", "{\"ratios\": {\"a\": 1.0}}");
+        let err = run("/nonexistent/base.json", &m).unwrap_err();
+        assert!(err.contains("re-bless"), "{err}");
+    }
+
+    #[test]
+    fn matching_fingerprints_pass_and_mismatch_fails() {
+        let b = write_tmp(
+            "perf_gate_base_fp.json",
+            "{\"meta\": {\"config_fingerprint\": \"aaaa\"}, \"floors\": {\"a\": 1.0}}",
+        );
+        let m_ok = write_tmp(
+            "perf_gate_meas_fp_ok.json",
+            "{\"meta\": {\"config_fingerprint\": \"aaaa\"}, \"ratios\": {\"a\": 2.0}}",
+        );
+        assert_eq!(run(&b, &m_ok), Ok(true));
+        let m_stale = write_tmp(
+            "perf_gate_meas_fp_stale.json",
+            "{\"meta\": {\"config_fingerprint\": \"bbbb\"}, \"ratios\": {\"a\": 2.0}}",
+        );
+        assert_eq!(run(&b, &m_stale), Ok(false));
+    }
+
+    #[test]
+    fn all_failures_are_collected_not_just_the_first() {
+        let b = write_tmp(
+            "perf_gate_base_multi.json",
+            "{\"floors\": {\"a\": 1.5, \"b\": 2.0, \"c\": 1.0}}",
+        );
+        let m = write_tmp(
+            "perf_gate_meas_multi.json",
+            "{\"ratios\": {\"a\": 1.0, \"c\": 0.5}}",
+        );
+        // a below floor, b missing, c below floor — all three must fail
+        // (exercised via the boolean; the list itself goes to stderr).
+        assert_eq!(run(&b, &m), Ok(false));
     }
 }

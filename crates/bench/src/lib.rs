@@ -875,6 +875,7 @@ mod tests {
                 seed: 3,
             }),
             watchdog_millis: None,
+            journal_strict: false,
         };
         let campaign = CampaignRunner::new(&engine, config);
         // The app isolation itself fails → the whole sweep is an error.
@@ -900,6 +901,7 @@ mod tests {
                     seed,
                 }),
                 watchdog_millis: None,
+                journal_strict: false,
             };
             let campaign = CampaignRunner::new(&engine, config);
             let Ok(partial) = sweep_csv_partial(&campaign, DeploymentScenario::Scenario1) else {

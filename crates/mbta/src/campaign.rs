@@ -105,6 +105,18 @@ pub struct CampaignConfig {
     /// completed job computes, so resuming with a longer watchdog to
     /// recover previously timed-out jobs is legitimate.
     pub watchdog_millis: Option<u64>,
+    /// Journal durability policy. `false` (the default, the PR-3
+    /// behaviour) warns and counts a failed append but lets the job's
+    /// outcome stand: finishing beats aborting a multi-hour sweep over
+    /// a full disk. `true` converts a failed append into a
+    /// [`JobFailure::Transient`] for that job — the write-ahead
+    /// guarantee is then absolute: no outcome is ever reported that
+    /// the journal cannot replay. Excluded from the config fingerprint
+    /// for the same reason as the watchdog: it decides how an
+    /// *environmental* I/O failure is surfaced, never what a completed
+    /// job computes, so a journal written under either policy replays
+    /// into the other.
+    pub journal_strict: bool,
 }
 
 impl CampaignConfig {
@@ -272,6 +284,24 @@ impl<'e> CampaignRunner<'e> {
         Ok(runner)
     }
 
+    /// A journaled campaign over an already constructed [`Journal`] —
+    /// pairs with [`Journal::with_sink`] so tests can drive the
+    /// journal's write/fsync error paths through a fallible sink. The
+    /// caller owns fingerprint consistency (a sink-backed journal was
+    /// never read back, so there is nothing to validate).
+    pub fn with_journal(engine: &'e ExecEngine, config: CampaignConfig, journal: Journal) -> Self {
+        let mut runner = CampaignRunner::new(engine, config);
+        runner.journal = Some(journal);
+        runner
+    }
+
+    /// The fingerprint a journal written under this campaign's
+    /// configuration carries — what [`Journal::with_sink`] callers pair
+    /// with [`Self::with_journal`].
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config.fingerprint(self.engine.cycle_budget())
+    }
+
     /// Resumes a journaled campaign from `path`: recovers every intact
     /// record (truncating a torn trailing record with a warning in the
     /// [`RecoveryReport`]), replays completed jobs into the runner and
@@ -333,22 +363,35 @@ impl<'e> CampaignRunner<'e> {
         }
     }
 
-    fn journal_append(&self, key: u64, attempt: u32, result: &Result<SimOutcome, JobFailure>) {
-        if let Some(journal) = &self.journal {
-            if let Err(e) = journal.append(key, attempt, result) {
-                // Durability is lost but the campaign's results are
-                // still correct; finishing beats aborting a multi-hour
-                // sweep over a full disk.
-                self.journal_errors.fetch_add(1, Ordering::Relaxed);
-                let message = format!("journal append failed at {}: {e}", journal.path().display());
-                match self.engine.telemetry() {
-                    // The channel dedups by code: a full disk warns
-                    // once, not once per record.
-                    Some(t) => t.warn("journal.append_failed", message),
-                    None => eprintln!("warning: {message}"),
-                }
-            }
+    /// Appends one outcome to the journal. Returns the failure that
+    /// should replace the job's result under the strict durability
+    /// policy, `None` when the outcome stands (append succeeded, no
+    /// journal, or the default lenient policy).
+    fn journal_append(
+        &self,
+        key: u64,
+        attempt: u32,
+        result: &Result<SimOutcome, JobFailure>,
+    ) -> Option<JobFailure> {
+        let journal = self.journal.as_ref()?;
+        let Err(e) = journal.append(key, attempt, result) else {
+            return None;
+        };
+        self.journal_errors.fetch_add(1, Ordering::Relaxed);
+        let message = format!("journal append failed at {}: {e}", journal.path().display());
+        match self.engine.telemetry() {
+            // The channel dedups by code: a full disk warns
+            // once, not once per record.
+            Some(t) => t.warn("journal.append_failed", message.clone()),
+            None => eprintln!("warning: {message}"),
         }
+        // Lenient (default): durability is lost but the campaign's
+        // results are still correct; finishing beats aborting a
+        // multi-hour sweep over a full disk. Strict: an outcome the
+        // journal cannot replay must not be reported as completed.
+        self.config
+            .journal_strict
+            .then_some(JobFailure::Transient { detail: message })
     }
 
     /// Executes one attempt of `job`, with fault injection and the
@@ -400,8 +443,10 @@ impl<'e> CampaignRunner<'e> {
         let max_attempts = self.config.retry.max_attempts.max(1);
         let mut attempt = 0;
         loop {
-            let result = self.attempt(job, key, attempt);
-            self.journal_append(key, attempt, &result);
+            let mut result = self.attempt(job, key, attempt);
+            if let Some(failure) = self.journal_append(key, attempt, &result) {
+                result = Err(failure);
+            }
             match result {
                 Ok(outcome) => {
                     lock(&self.replay).insert(key, outcome.clone());
@@ -655,6 +700,7 @@ mod tests {
                 seed: 11,
             }),
             watchdog_millis: None,
+            journal_strict: false,
         };
         let campaign = CampaignRunner::new(&engine, config);
         let results = campaign.run_batch_detailed(&batch());
@@ -684,6 +730,7 @@ mod tests {
                 seed: 1,
             }),
             watchdog_millis: None,
+            journal_strict: false,
         };
         let campaign = CampaignRunner::new(&engine, config);
         let jobs = batch();

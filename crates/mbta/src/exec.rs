@@ -615,14 +615,23 @@ impl ExecEngine {
 
     /// Inserts an externally obtained isolation profile into the memo
     /// cache under its job's fingerprint. The campaign runner uses this
-    /// to feed journal-replayed profiles back into the cache, so a
-    /// resumed campaign serves follow-up model evaluations without
-    /// re-simulating.
-    pub(crate) fn prime(&self, job: &SimJob, profile: IsolationProfile) {
+    /// to feed journal-replayed profiles back into the cache, and the
+    /// serve daemon to warm a restarted engine from its persistent
+    /// profile store, so recovery serves follow-up model evaluations
+    /// without re-simulating. Non-isolation jobs are ignored (co-runs
+    /// are never memoized).
+    pub fn prime(&self, job: &SimJob, profile: IsolationProfile) {
         if let SimJob::Isolation { spec, core } = job {
             self.cache_lock()
                 .insert(Self::fingerprint(spec, *core), profile);
         }
+    }
+
+    /// [`ExecEngine::prime`] by raw job key (see [`job_key`]): the form
+    /// a persistent store can use after a restart, when the profile's
+    /// originating `TaskSpec` is no longer in memory.
+    pub fn prime_keyed(&self, key: u64, profile: IsolationProfile) {
+        self.cache_lock().insert(key, profile);
     }
 }
 

@@ -54,6 +54,39 @@ use std::sync::Mutex;
 /// Journal format version tag (first-line magic).
 const MAGIC: &str = "mbta-journal v1";
 
+/// Where framed records land: a single durable append.
+///
+/// Production sinks are files — [`RecordSink::write_record`] maps to
+/// `write_all` and [`RecordSink::sync`] to `sync_data`, which together
+/// form the write-ahead guarantee the resume path relies on. Tests
+/// inject `write`/`fsync` failures through this seam to exercise the
+/// journal's error paths without a faulty disk.
+pub trait RecordSink: Send {
+    /// Appends `bytes` (one framed record, newline included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    fn write_record(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Forces previously appended bytes to durable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying sync failure.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl RecordSink for File {
+    fn write_record(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
 /// Errors from opening or recovering a journal.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -165,7 +198,7 @@ pub struct JournalEntry {
 /// Appends are serialised through an internal mutex, so one journal can
 /// be shared by all workers of a campaign.
 pub struct Journal {
-    file: Mutex<File>,
+    sink: Mutex<Box<dyn RecordSink>>,
     path: PathBuf,
 }
 
@@ -175,22 +208,76 @@ impl fmt::Debug for Journal {
     }
 }
 
-fn crc(body: &str) -> u64 {
+pub(crate) fn crc(body: &str) -> u64 {
     let mut h = StableHasher::new();
     h.write(body.as_bytes());
     h.finish()
 }
 
-fn frame(body: &str) -> String {
+pub(crate) fn frame(body: &str) -> String {
     format!("{:016x} {body}\n", crc(body))
 }
 
 /// Newlines never appear inside a record; escape them so a panic
 /// message cannot forge record boundaries.
-fn sanitize(s: &str) -> String {
+pub(crate) fn sanitize(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('\n', "\\n")
         .replace('\r', "\\r")
+}
+
+/// Inverse of [`sanitize`]: unescapes `\\`, `\n` and `\r`. Unknown
+/// escapes pass through verbatim (lenient — a record that survived its
+/// checksum is trusted).
+pub(crate) fn unsanitize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Verifies one line's `<crc16hex> <body>` frame and returns the body.
+pub(crate) fn check_frame(line: &str) -> Result<&str, String> {
+    let (crc_hex, body) = line
+        .split_once(' ')
+        .ok_or_else(|| "missing checksum field".to_string())?;
+    let stated =
+        u64::from_str_radix(crc_hex, 16).map_err(|_| format!("bad checksum field `{crc_hex}`"))?;
+    if stated != crc(body) {
+        return Err("checksum mismatch".to_string());
+    }
+    Ok(body)
+}
+
+/// Splits raw log text into `(line, newline-terminated)` segments so a
+/// missing trailing newline — the signature of a torn append — stays
+/// visible to the recovery scan.
+pub(crate) fn scan_lines(text: &str) -> Vec<(&str, bool)> {
+    let mut segments = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find('\n') {
+        segments.push((&rest[..pos], true));
+        rest = &rest[pos + 1..];
+    }
+    if !rest.is_empty() {
+        segments.push((rest, false));
+    }
+    segments
 }
 
 impl Journal {
@@ -209,8 +296,28 @@ impl Journal {
         file.write_all(frame(&format!("{MAGIC} cfg={config_fp:016x}")).as_bytes())?;
         file.sync_data()?;
         Ok(Journal {
-            file: Mutex::new(file),
+            sink: Mutex::new(Box::new(file)),
             path: path.to_path_buf(),
+        })
+    }
+
+    /// Creates a journal over an arbitrary [`RecordSink`] — the
+    /// fallible-writer seam. The header is written (and synced) through
+    /// the sink; `label` stands in for the file path in diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink write/sync failures from the header append.
+    pub fn with_sink(
+        label: impl Into<PathBuf>,
+        mut sink: Box<dyn RecordSink>,
+        config_fp: u64,
+    ) -> io::Result<Journal> {
+        sink.write_record(frame(&format!("{MAGIC} cfg={config_fp:016x}")).as_bytes())?;
+        sink.sync()?;
+        Ok(Journal {
+            sink: Mutex::new(sink),
+            path: label.into(),
         })
     }
 
@@ -249,16 +356,7 @@ impl Journal {
         let mut truncated = 0u64;
         let mut header_seen = false;
 
-        // Split manually so a missing trailing newline is visible.
-        let mut segments: Vec<(&str, bool)> = Vec::new(); // (line, terminated)
-        let mut rest = &text[..];
-        while let Some(pos) = rest.find('\n') {
-            segments.push((&rest[..pos], true));
-            rest = &rest[pos + 1..];
-        }
-        if !rest.is_empty() {
-            segments.push((rest, false));
-        }
+        let segments = scan_lines(&text);
 
         let last = segments.len().saturating_sub(1);
         for (i, (line, terminated)) in segments.iter().enumerate() {
@@ -329,7 +427,7 @@ impl Journal {
         };
         Ok((
             Journal {
-                file: Mutex::new(file),
+                sink: Mutex::new(Box::new(file)),
                 path: path.to_path_buf(),
             },
             entries,
@@ -339,21 +437,7 @@ impl Journal {
 
     /// Verifies a line's checksum frame and returns its body.
     fn check_line(line: &str) -> Result<&str, JournalError> {
-        let (crc_hex, body) = line.split_once(' ').ok_or_else(|| JournalError::Corrupt {
-            line: 0,
-            detail: "missing checksum field".into(),
-        })?;
-        let stated = u64::from_str_radix(crc_hex, 16).map_err(|_| JournalError::Corrupt {
-            line: 0,
-            detail: format!("bad checksum field `{crc_hex}`"),
-        })?;
-        if stated != crc(body) {
-            return Err(JournalError::Corrupt {
-                line: 0,
-                detail: "checksum mismatch".into(),
-            });
-        }
-        Ok(body)
+        check_frame(line).map_err(|detail| JournalError::Corrupt { line: 0, detail })
     }
 
     fn parse_header(body: &str, config_fp: u64) -> Result<(), JournalError> {
@@ -392,12 +476,12 @@ impl Journal {
     ) -> io::Result<()> {
         let body = render_record(key, attempt, result);
         let line = frame(&body);
-        let mut file = self
-            .file
+        let mut sink = self
+            .sink
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        file.write_all(line.as_bytes())?;
-        file.sync_data()
+        sink.write_record(line.as_bytes())?;
+        sink.sync()
     }
 
     /// The journal's file path.
@@ -416,7 +500,11 @@ pub(crate) fn failure_kind(f: &JobFailure) -> &'static str {
     }
 }
 
-fn render_record(key: u64, attempt: u32, result: &Result<SimOutcome, JobFailure>) -> String {
+pub(crate) fn render_record(
+    key: u64,
+    attempt: u32,
+    result: &Result<SimOutcome, JobFailure>,
+) -> String {
     match result {
         Ok(SimOutcome::Corun(cycles)) => {
             format!("{key:016x} {attempt} ok corun {cycles}")
@@ -454,7 +542,7 @@ fn render_record(key: u64, attempt: u32, result: &Result<SimOutcome, JobFailure>
     }
 }
 
-fn parse_record(body: &str, line_no: usize) -> Result<JournalEntry, JournalError> {
+pub(crate) fn parse_record(body: &str, line_no: usize) -> Result<JournalEntry, JournalError> {
     let bad = |detail: String| JournalError::Corrupt {
         line: line_no,
         detail,

@@ -51,6 +51,7 @@ mod journal;
 mod pool;
 pub mod report;
 mod runner;
+pub mod store;
 pub mod telemetry;
 
 pub use calibration::{calibrate, calibrate_with, Calibration};
@@ -66,9 +67,12 @@ pub use experiment::{
     ExperimentError, Figure4Cell, Figure4Panel, Table6Block,
 };
 pub use faults::{perturb_profile, to_sim_counters};
-pub use journal::{Journal, JournalEntry, JournalError, JournaledOutcome, RecoveryReport};
+pub use journal::{
+    Journal, JournalEntry, JournalError, JournaledOutcome, RecordSink, RecoveryReport,
+};
 pub use runner::{
     hwm_campaign, hwm_campaign_with, isolation_profile, isolation_profile_budgeted, observed_corun,
     observed_corun_budgeted, to_model_counters, to_model_counts, HwmMeasurement,
 };
+pub use store::{Store, StoreRecovery};
 pub use telemetry::{Format, SinkSpec, Telemetry, Val};

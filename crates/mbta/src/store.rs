@@ -1,0 +1,493 @@
+//! A content-addressed persistent record store — the journal's
+//! append/fsync/torn-tail discipline generalized to arbitrary
+//! single-line payloads.
+//!
+//! Where [`crate::journal`] persists *campaign job outcomes* under a
+//! fixed grammar, a [`Store`] persists opaque values keyed by a 64-bit
+//! FNV fingerprint (the same stable keys produced by [`crate::job_key`]
+//! and request fingerprints). The `contention-serve` daemon uses two of
+//! these — one for rendered query responses, one for isolation
+//! profiles — so a `kill -9` mid-batch restarts into replay and
+//! re-serves byte-identical results.
+//!
+//! # Record format
+//!
+//! ```text
+//! <crc16hex> <body>\n
+//! ```
+//!
+//! with the same FNV-1a line checksum as the journal. Bodies:
+//!
+//! ```text
+//! mbta-store v1 ns=<namespace> cfg=<fp16hex>     header (first line)
+//! <key16hex> <sanitized value>                   one record
+//! ```
+//!
+//! The namespace keeps a store from being replayed into a consumer
+//! expecting different content (responses vs profiles); the config
+//! fingerprint plays the same role as the journal's campaign
+//! fingerprint. Values are newline-escaped on write and unescaped on
+//! recovery, so any single- or multi-line payload round-trips exactly.
+//!
+//! # Recovery guarantees
+//!
+//! Identical to the journal's: a record is durable only once its full
+//! line is fsync'd; a torn trailing record is truncated with a report,
+//! never silently kept; interior corruption is a hard error. When the
+//! same key was appended more than once (a crash between compute and
+//! respond can legitimately duplicate work), the **last** intact record
+//! wins — appends are the write-ahead order of truth.
+
+use crate::exec::SimOutcome;
+use crate::journal::{
+    check_frame, crc, frame, parse_record, render_record, sanitize, scan_lines, unsanitize,
+    JournalError, JournaledOutcome, RecordSink,
+};
+use contention::IsolationProfile;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Store format version tag (first-line magic).
+const MAGIC: &str = "mbta-store v1";
+
+/// What [`Store::open`] found on disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreRecovery {
+    /// Intact records recovered (header excluded, duplicates included).
+    pub records: usize,
+    /// Distinct keys after last-record-wins dedup.
+    pub distinct: usize,
+    /// Bytes of a torn trailing record truncated away.
+    pub truncated_bytes: u64,
+}
+
+/// An append-only, fsync'd, checksummed key → value store.
+///
+/// Appends are serialised through an internal mutex; one store can be
+/// shared by every worker of a server.
+pub struct Store {
+    sink: Mutex<Box<dyn RecordSink>>,
+    path: PathBuf,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store").field("path", &self.path).finish()
+    }
+}
+
+fn header_body(namespace: &str, config_fp: u64) -> String {
+    format!("{MAGIC} ns={namespace} cfg={config_fp:016x}")
+}
+
+fn parse_header(body: &str, namespace: &str, config_fp: u64) -> Result<(), JournalError> {
+    let rest = body
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| JournalError::NotAJournal {
+            detail: format!("header is `{body}`, expected `{MAGIC} …`"),
+        })?;
+    let rest = rest.trim();
+    let (ns_part, cfg_part) = rest
+        .split_once(' ')
+        .ok_or_else(|| JournalError::NotAJournal {
+            detail: "header carries no cfg fingerprint".into(),
+        })?;
+    let found_ns = ns_part
+        .strip_prefix("ns=")
+        .ok_or_else(|| JournalError::NotAJournal {
+            detail: "header carries no namespace".into(),
+        })?;
+    if found_ns != namespace {
+        return Err(JournalError::NotAJournal {
+            detail: format!("store namespace is `{found_ns}`, expected `{namespace}`"),
+        });
+    }
+    let found = cfg_part
+        .strip_prefix("cfg=")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| JournalError::NotAJournal {
+            detail: "header carries no cfg fingerprint".into(),
+        })?;
+    if found != config_fp {
+        return Err(JournalError::ConfigMismatch {
+            expected: config_fp,
+            found,
+        });
+    }
+    Ok(())
+}
+
+fn parse_store_record(body: &str, line_no: usize) -> Result<(u64, String), JournalError> {
+    let (key_hex, value) = body.split_once(' ').ok_or_else(|| JournalError::Corrupt {
+        line: line_no,
+        detail: "record has no value field".into(),
+    })?;
+    let key = u64::from_str_radix(key_hex, 16).map_err(|_| JournalError::Corrupt {
+        line: line_no,
+        detail: format!("bad record key `{key_hex}`"),
+    })?;
+    Ok((key, unsanitize(value)))
+}
+
+impl Store {
+    /// Creates a fresh store at `path` (truncating any existing file),
+    /// writes the header and fsyncs it. `namespace` must be a
+    /// non-empty, space-free token.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed namespace — a caller bug, not an input
+    /// condition.
+    pub fn create(path: &Path, namespace: &str, config_fp: u64) -> Result<Store, JournalError> {
+        assert!(
+            !namespace.is_empty() && !namespace.contains(' '),
+            "store namespace must be a non-empty, space-free token"
+        );
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(frame(&header_body(namespace, config_fp)).as_bytes())?;
+        file.sync_data()?;
+        Ok(Store {
+            sink: Mutex::new(Box::new(file)),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens a store at `path`, recovering every intact record. A
+    /// missing or empty file is created fresh; a torn trailing record
+    /// is truncated away (reported, never silent); duplicate keys keep
+    /// the last intact record.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::NotAJournal`] on a bad header or namespace
+    /// mismatch, [`JournalError::ConfigMismatch`] on a foreign config
+    /// fingerprint, [`JournalError::Corrupt`] on interior corruption,
+    /// and I/O errors.
+    pub fn open(
+        path: &Path,
+        namespace: &str,
+        config_fp: u64,
+    ) -> Result<(Store, BTreeMap<u64, String>, StoreRecovery), JournalError> {
+        let mut raw = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut raw)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        if raw.is_empty() {
+            let store = Store::create(path, namespace, config_fp)?;
+            return Ok((store, BTreeMap::new(), StoreRecovery::default()));
+        }
+
+        let text = String::from_utf8_lossy(&raw);
+        let segments = scan_lines(&text);
+        let mut entries = BTreeMap::new();
+        let mut records = 0usize;
+        let mut good_len: u64 = 0;
+        let mut truncated = 0u64;
+        let mut header_seen = false;
+
+        let last = segments.len().saturating_sub(1);
+        for (i, (line, terminated)) in segments.iter().enumerate() {
+            let line_no = i + 1;
+            let is_last = i == last;
+            let parsed = check_frame(line)
+                .map_err(|detail| JournalError::Corrupt {
+                    line: line_no,
+                    detail,
+                })
+                .and_then(|body| {
+                    if line_no == 1 {
+                        parse_header(body, namespace, config_fp).map(|()| None)
+                    } else {
+                        parse_store_record(body, line_no).map(Some)
+                    }
+                });
+            match parsed {
+                Ok(entry) if *terminated => {
+                    if line_no == 1 {
+                        header_seen = true;
+                    }
+                    good_len += line.len() as u64 + 1;
+                    if let Some((key, value)) = entry {
+                        records += 1;
+                        entries.insert(key, value);
+                    }
+                }
+                // An unterminated line — even one whose checksum
+                // happens to hold — is torn under single-write appends.
+                Ok(_) => {
+                    truncated += line.len() as u64;
+                }
+                Err(e) if is_last && header_seen => {
+                    truncated += line.len() as u64 + u64::from(*terminated);
+                    let _ = e;
+                }
+                Err(_) if is_last && !*terminated && line_no == 1 => {
+                    truncated += line.len() as u64;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        if !header_seen {
+            let store = Store::create(path, namespace, config_fp)?;
+            return Ok((
+                store,
+                BTreeMap::new(),
+                StoreRecovery {
+                    records: 0,
+                    distinct: 0,
+                    truncated_bytes: truncated,
+                },
+            ));
+        }
+
+        if truncated > 0 {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(good_len)?;
+            f.sync_data()?;
+        }
+
+        let file = OpenOptions::new().append(true).open(path)?;
+        let report = StoreRecovery {
+            records,
+            distinct: entries.len(),
+            truncated_bytes: truncated,
+        };
+        Ok((
+            Store {
+                sink: Mutex::new(Box::new(file)),
+                path: path.to_path_buf(),
+            },
+            entries,
+            report,
+        ))
+    }
+
+    /// Creates a store over an arbitrary [`RecordSink`] — the
+    /// fallible-writer seam, mirroring [`crate::Journal::with_sink`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink write/sync failures from the header append.
+    pub fn with_sink(
+        label: impl Into<PathBuf>,
+        mut sink: Box<dyn RecordSink>,
+        namespace: &str,
+        config_fp: u64,
+    ) -> io::Result<Store> {
+        sink.write_record(frame(&header_body(namespace, config_fp)).as_bytes())?;
+        sink.sync()?;
+        Ok(Store {
+            sink: Mutex::new(sink),
+            path: label.into(),
+        })
+    }
+
+    /// Appends one `key → value` record and fsyncs before returning —
+    /// the write-ahead guarantee: a value handed out to a consumer is
+    /// always re-servable after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the store stays usable (a later append
+    /// may succeed) and the on-disk tail stays recoverable.
+    pub fn put(&self, key: u64, value: &str) -> io::Result<()> {
+        let line = frame(&format!("{key:016x} {}", sanitize(value)));
+        let mut sink = self
+            .sink
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        sink.write_record(line.as_bytes())?;
+        sink.sync()
+    }
+
+    /// The store's file path (or sink label).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Encodes an isolation profile as a store value, reusing the journal's
+/// audited `ok iso …` record grammar (key and attempt 0 included, so
+/// the value is self-describing).
+pub fn encode_profile(key: u64, profile: &IsolationProfile) -> String {
+    render_record(key, 0, &Ok(SimOutcome::Isolation(profile.clone())))
+}
+
+/// Decodes a store value written by [`encode_profile`].
+///
+/// # Errors
+///
+/// Returns a human-readable description when the value does not parse
+/// as an isolation record.
+pub fn decode_profile(value: &str) -> Result<(u64, IsolationProfile), String> {
+    let entry = parse_record(value, 0).map_err(|e| e.to_string())?;
+    match entry.outcome {
+        JournaledOutcome::Success(SimOutcome::Isolation(p)) => Ok((entry.key, p)),
+        other => Err(format!("not an isolation record: {other:?}")),
+    }
+}
+
+/// The FNV-1a fingerprint of `parts` joined under `domain` — the store
+/// flavour of [`crate::job_key`], for content-addressing values that
+/// are not simulation jobs (e.g. serve request fingerprints).
+pub fn content_key(domain: &str, parts: &[&str]) -> u64 {
+    let mut body = String::from(domain);
+    for p in parts {
+        body.push('\u{1f}');
+        body.push_str(p);
+    }
+    crc(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention::DebugCounters;
+
+    fn tmp(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("mbta_store_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn create_put_reopen_roundtrip() {
+        let path = tmp("roundtrip");
+        let store = Store::create(&path, "responses", 7).unwrap();
+        store.put(1, "{\"status\":\"ok\"}").unwrap();
+        store.put(2, "line one\nline two\\with backslash").unwrap();
+        store.put(1, "{\"status\":\"ok\",\"v\":2}").unwrap();
+        drop(store);
+
+        let (_store, entries, report) = Store::open(&path, "responses", 7).unwrap();
+        assert_eq!(report.records, 3);
+        assert_eq!(report.distinct, 2);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(
+            entries[&1], "{\"status\":\"ok\",\"v\":2}",
+            "last record wins"
+        );
+        assert_eq!(entries[&2], "line one\nline two\\with backslash");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let path = tmp("torn");
+        let store = Store::create(&path, "responses", 7).unwrap();
+        store.put(1, "kept").unwrap();
+        store.put(2, "torn away").unwrap();
+        drop(store);
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 3]).unwrap();
+
+        let (store, entries, report) = Store::open(&path, "responses", 7).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[&1], "kept");
+        assert!(report.truncated_bytes > 0);
+        // The store keeps appending cleanly after truncation.
+        store.put(3, "after crash").unwrap();
+        drop(store);
+        let (_s, entries, report) = Store::open(&path, "responses", 7).unwrap();
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[&3], "after crash");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interior_corruption_is_refused() {
+        let path = tmp("corrupt");
+        let store = Store::create(&path, "responses", 7).unwrap();
+        store.put(1, "first").unwrap();
+        store.put(2, "second").unwrap();
+        drop(store);
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip a byte inside the *first* record (line 2 of the file).
+        let line2 = raw.iter().position(|&b| b == b'\n').map(|p| p + 1).unwrap();
+        raw[line2 + 20] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        match Store::open(&path, "responses", 7) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn namespace_and_config_are_enforced() {
+        let path = tmp("ns");
+        drop(Store::create(&path, "responses", 7).unwrap());
+        assert!(matches!(
+            Store::open(&path, "profiles", 7),
+            Err(JournalError::NotAJournal { .. })
+        ));
+        assert!(matches!(
+            Store::open(&path, "responses", 8),
+            Err(JournalError::ConfigMismatch {
+                expected: 8,
+                found: 7
+            })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_starts_fresh() {
+        let path = tmp("fresh");
+        let (store, entries, report) = Store::open(&path, "profiles", 1).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(report, StoreRecovery::default());
+        store.put(9, "value").unwrap();
+        drop(store);
+        let (_s, entries, _r) = Store::open(&path, "profiles", 1).unwrap();
+        assert_eq!(entries[&9], "value");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_encode_decode_roundtrip() {
+        let profile = IsolationProfile::new(
+            "serve app",
+            DebugCounters {
+                ccnt: 123_456,
+                pmem_stall: 6_000,
+                dmem_stall: 30_000,
+                pcache_miss: 1_000,
+                dcache_miss_clean: 20,
+                dcache_miss_dirty: 3,
+            },
+        );
+        let value = encode_profile(42, &profile);
+        let (key, decoded) = decode_profile(&value).unwrap();
+        assert_eq!(key, 42);
+        assert_eq!(decoded, profile);
+        assert!(decode_profile("not a record").is_err());
+    }
+
+    #[test]
+    fn content_key_is_stable_and_separator_safe() {
+        let a = content_key("serve/v1", &["bound", "sc1", "high"]);
+        let b = content_key("serve/v1", &["bound", "sc1", "high"]);
+        assert_eq!(a, b);
+        assert_ne!(a, content_key("serve/v1", &["bound", "sc1high", ""]));
+        assert_ne!(a, content_key("serve/v2", &["bound", "sc1", "high"]));
+    }
+}

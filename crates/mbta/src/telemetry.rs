@@ -292,9 +292,30 @@ impl Telemetry {
         lock(&self.inner).det.counter(name).unwrap_or(0)
     }
 
+    /// Adds `delta` to a **non-deterministic** counter — the channel
+    /// for load- and timing-dependent operational metrics (queue
+    /// sheds, replays served, client disconnects) that must never leak
+    /// into the deterministic subset.
+    pub fn count(&self, name: &str, delta: u64) {
+        lock(&self.inner).nondet.add(name, delta);
+    }
+
+    /// The value of a non-deterministic counter (0 when never
+    /// recorded).
+    pub fn nondet_counter(&self, name: &str) -> u64 {
+        lock(&self.inner).nondet.counter(name).unwrap_or(0)
+    }
+
     /// Number of deduplicated warning codes recorded so far.
     pub fn warning_count(&self) -> usize {
         lock(&self.inner).warnings.len()
+    }
+
+    /// Snapshot of every recorded warning (code order), counts
+    /// included — the one-shot CLI uses this to print a repeat-count
+    /// summary at exit.
+    pub fn warnings(&self) -> Vec<Warning> {
+        lock(&self.inner).warnings.values().cloned().collect()
     }
 
     /// Assembles the deterministic [`Stream`]: the `meta` record, a

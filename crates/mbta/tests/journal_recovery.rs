@@ -183,6 +183,7 @@ fn faulted_campaign_resume_matches_uninterrupted_run() {
             seed: 11,
         }),
         watchdog_millis: None,
+        journal_strict: false,
     };
     let jobs = campaign_batch();
     let reference = {

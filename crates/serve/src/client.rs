@@ -1,0 +1,145 @@
+//! A small blocking client for the daemon, shared by `serve-client`,
+//! `serve-chaos` and the integration tests.
+
+use crate::proto::{read_frame, write_frame, FrameError, Request};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Where a daemon listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Addr {
+    /// Unix socket path.
+    Unix(std::path::PathBuf),
+    /// TCP `host:port`.
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parses `unix:<path>`, `tcp:<host:port>`, or a bare path
+    /// (treated as a Unix socket).
+    pub fn parse(s: &str) -> Addr {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            Addr::Tcp(rest.to_string())
+        } else if let Some(rest) = s.strip_prefix("unix:") {
+            Addr::Unix(rest.into())
+        } else {
+            Addr::Unix(s.into())
+        }
+    }
+}
+
+trait Transport: Read + Write + Send {}
+impl Transport for UnixStream {}
+impl Transport for TcpStream {}
+
+/// One blocking connection to the daemon.
+pub struct Client {
+    stream: Box<dyn Transport>,
+}
+
+impl Client {
+    /// Connects with the given read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: &Addr, read_timeout: Duration) -> io::Result<Client> {
+        let stream: Box<dyn Transport> = match addr {
+            Addr::Unix(path) => {
+                let s = UnixStream::connect(path)?;
+                s.set_read_timeout(Some(read_timeout))?;
+                Box::new(s)
+            }
+            Addr::Tcp(hostport) => {
+                let s = TcpStream::connect(hostport.as_str())?;
+                s.set_read_timeout(Some(read_timeout))?;
+                s.set_nodelay(true)?;
+                Box::new(s)
+            }
+        };
+        Ok(Client { stream })
+    }
+
+    /// Sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, req.to_json().as_bytes())
+    }
+
+    /// Sends an arbitrary payload frame (chaos only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Writes raw bytes *without* framing (chaos: torn frames,
+    /// garbage prefixes, slow-loris drips).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Receives one response frame as UTF-8 text. `Ok(None)` means the
+    /// server closed the stream cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Frame errors (including read timeouts) and non-UTF-8 payloads.
+    pub fn recv(&mut self) -> Result<Option<String>, FrameError> {
+        match read_frame(&mut self.stream)? {
+            None => Ok(None),
+            Some(payload) => String::from_utf8(payload).map(Some).map_err(|_| {
+                FrameError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response is not UTF-8",
+                ))
+            }),
+        }
+    }
+
+    /// Sends `req` and waits for one response.
+    ///
+    /// # Errors
+    ///
+    /// I/O and frame errors; a cleanly closed stream is reported as
+    /// `UnexpectedEof`.
+    pub fn request(&mut self, req: &Request) -> Result<String, FrameError> {
+        self.send(req).map_err(FrameError::Io)?;
+        self.recv()?.ok_or_else(|| {
+            FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the stream before replying",
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_parse_covers_all_schemes() {
+        assert_eq!(
+            Addr::parse("tcp:127.0.0.1:9000"),
+            Addr::Tcp("127.0.0.1:9000".to_string())
+        );
+        assert_eq!(
+            Addr::parse("unix:/tmp/s.sock"),
+            Addr::Unix("/tmp/s.sock".into())
+        );
+        assert_eq!(Addr::parse("/tmp/s.sock"), Addr::Unix("/tmp/s.sock".into()));
+    }
+}

@@ -1,0 +1,412 @@
+//! The compute plane: turns a validated [`Request`] into a canonical
+//! response body.
+//!
+//! A response body is a **pure function of the request's semantic
+//! fields** — it never mentions the caller's `id`/`tenant`, wall-clock
+//! time or worker count. That purity is what the crash-recovery store
+//! keys on: the same request replayed after a `kill -9` (at any
+//! `--jobs N`) re-derives or re-serves the same bytes.
+//!
+//! Deadline-driven degradation lives here too. A request's `budget`
+//! caps the ILP's branch-and-bound node count — the solver's
+//! deterministic logical clock — and when it runs out the
+//! [`contention::Evaluator`] ladder degrades to the warm fTC bound.
+//! Every body carries a `provenance` tag (`ilp` / `fallback=ftc`), so
+//! a degraded answer is visible to the caller, never silent.
+
+use crate::proto::{level_token, scenario_token, QueryKind, Request};
+use contention::rta::{self, PeriodicTask};
+use contention::{
+    ContentionModel, EvalOptions, Evaluator, FtcModel, Platform, ValidationPolicy, Validator,
+    WcetEstimate,
+};
+use mbta::{constraints_for, job_key, ExecEngine, SimJob};
+use obs::json::Val;
+use tc27x_sim::{CoreId, DeploymentScenario};
+use workloads::LoadLevel;
+
+/// Tuning knobs for the compute plane.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOptions {
+    /// ILP node budget applied when a request does not carry one
+    /// (`None` keeps the scenario default).
+    pub default_budget: Option<u64>,
+}
+
+/// One computed answer: the canonical body plus what the server
+/// should persist and count.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// Canonical `{"status":"ok",…}` JSON body (identity-free).
+    pub body: String,
+    /// `true` when the bound came from the fTC fallback.
+    pub fallback: bool,
+    /// `true` when an input profile needed repair.
+    pub repaired: bool,
+    /// Isolation profiles produced on the way, keyed by engine job
+    /// key — the server feeds these to the profile store so a
+    /// restarted daemon can warm its memo cache.
+    pub profiles: Vec<(u64, contention::IsolationProfile)>,
+}
+
+/// Stored profiles (keyed by engine job key) plus the app and
+/// contender profiles of one query.
+type Pair = (
+    Vec<(u64, contention::IsolationProfile)>,
+    contention::IsolationProfile,
+    contention::IsolationProfile,
+);
+
+/// Stateless query evaluator over a shared [`ExecEngine`].
+pub struct QueryEngine<'e> {
+    engine: &'e ExecEngine,
+    platform: Platform,
+    options: QueryOptions,
+}
+
+impl<'e> QueryEngine<'e> {
+    /// Creates a query engine over `engine` with the TC277 reference
+    /// platform.
+    pub fn new(engine: &'e ExecEngine, options: QueryOptions) -> QueryEngine<'e> {
+        QueryEngine {
+            engine,
+            platform: Platform::tc277_reference(),
+            options,
+        }
+    }
+
+    /// Computes the canonical answer for `req`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message; the server wraps it in an `error`
+    /// response (errors are not stored).
+    pub fn answer(&self, req: &Request) -> Result<Answer, String> {
+        match &req.kind {
+            QueryKind::Ping => Ok(Answer {
+                body: Val::Obj(vec![
+                    ("status".to_string(), Val::str("ok")),
+                    ("kind".to_string(), Val::str("ping")),
+                ])
+                .to_json(),
+                fallback: false,
+                repaired: false,
+                profiles: Vec::new(),
+            }),
+            QueryKind::Stats | QueryKind::Shutdown => {
+                Err(format!("`{}` is control-plane only", req.kind.token()))
+            }
+            QueryKind::Bound { scenario, level } => self.bound_body(req, *scenario, *level, None),
+            QueryKind::Rta {
+                scenario,
+                level,
+                period,
+                deadline,
+            } => self.bound_body(req, *scenario, *level, Some((*period, *deadline))),
+            QueryKind::Sweep { scenario, level } => self.sweep_body(req, *scenario, *level),
+        }
+    }
+
+    fn policy(req: &Request) -> ValidationPolicy {
+        if req.strict {
+            ValidationPolicy::Strict
+        } else {
+            ValidationPolicy::Repair
+        }
+    }
+
+    fn eval_options(&self, req: &Request, scenario: DeploymentScenario) -> EvalOptions {
+        let mut options = EvalOptions::for_scenario(constraints_for(scenario));
+        options.policy = Self::policy(req);
+        if let Some(budget) = req.budget.or(self.options.default_budget) {
+            options.ilp.node_budget = budget;
+        }
+        options
+    }
+
+    /// The two isolation profiles every data-plane query needs, with
+    /// their engine job keys (the profile-store addresses).
+    fn isolation_pair(
+        &self,
+        scenario: DeploymentScenario,
+        level: LoadLevel,
+    ) -> Result<Pair, String> {
+        let app_spec = workloads::control_loop(scenario, CoreId(1), 42);
+        let load_spec = workloads::contender(scenario, level, CoreId(2), 7);
+        let app = self
+            .engine
+            .isolation(&app_spec, CoreId(1))
+            .map_err(|e| format!("app isolation failed: {e}"))?;
+        let load = self
+            .engine
+            .isolation(&load_spec, CoreId(2))
+            .map_err(|e| format!("contender isolation failed: {e}"))?;
+        let profiles = vec![
+            (
+                job_key(&SimJob::Isolation {
+                    spec: app_spec,
+                    core: CoreId(1),
+                }),
+                app.clone(),
+            ),
+            (
+                job_key(&SimJob::Isolation {
+                    spec: load_spec,
+                    core: CoreId(2),
+                }),
+                load.clone(),
+            ),
+        ];
+        Ok((profiles, app, load))
+    }
+
+    fn bound_body(
+        &self,
+        req: &Request,
+        scenario: DeploymentScenario,
+        level: LoadLevel,
+        rta_params: Option<(u64, u64)>,
+    ) -> Result<Answer, String> {
+        let (profiles, app, load) = self.isolation_pair(scenario, level)?;
+        let evaluated = Evaluator::new(&self.platform, self.eval_options(req, scenario))
+            .bound(&app, &load)
+            .map_err(|e| format!("evaluation failed: {e}"))?;
+        let est = WcetEstimate {
+            isolation_cycles: app.counters().ccnt,
+            contention_cycles: evaluated.bound.delta_cycles,
+        };
+        let mut pairs = vec![
+            ("status".to_string(), Val::str("ok")),
+            (
+                "kind".to_string(),
+                Val::str(if rta_params.is_some() { "rta" } else { "bound" }),
+            ),
+            ("scenario".to_string(), Val::str(scenario_token(scenario))),
+            ("level".to_string(), Val::str(level_token(level))),
+            (
+                "isolation_cycles".to_string(),
+                Val::U64(est.isolation_cycles),
+            ),
+            ("delta_cycles".to_string(), Val::U64(est.contention_cycles)),
+            ("bound_cycles".to_string(), Val::U64(est.bound_cycles())),
+            ("ratio".to_string(), Val::F64(est.ratio())),
+            ("provenance".to_string(), Val::str(evaluated.source.tag())),
+            (
+                "nodes_explored".to_string(),
+                Val::U64(evaluated.nodes_explored),
+            ),
+            ("repaired".to_string(), Val::Bool(evaluated.any_repairs())),
+        ];
+        if let Some((period, deadline)) = rta_params {
+            // Constrained deadlines are analysed conservatively by
+            // running the implicit-deadline recurrence with T =
+            // deadline; utilisation is still reported against the true
+            // period.
+            let task = PeriodicTask::from_estimate("served-task", deadline, &est);
+            let verdict = rta::analyze(std::slice::from_ref(&task));
+            let response = verdict.tasks.first().and_then(|r| r.response);
+            pairs.push(("period".to_string(), Val::U64(period)));
+            pairs.push(("deadline".to_string(), Val::U64(deadline)));
+            pairs.push((
+                "schedulable".to_string(),
+                Val::Bool(verdict.is_schedulable()),
+            ));
+            pairs.push((
+                "response_cycles".to_string(),
+                response.map_or(Val::str("-"), Val::U64),
+            ));
+            pairs.push((
+                "slack_cycles".to_string(),
+                Val::U64(response.map_or(0, |r| deadline.saturating_sub(r))),
+            ));
+            pairs.push((
+                "utilization".to_string(),
+                Val::F64(est.bound_cycles() as f64 / period as f64),
+            ));
+        }
+        Ok(Answer {
+            body: Val::Obj(pairs).to_json(),
+            fallback: evaluated.source.is_fallback(),
+            repaired: evaluated.any_repairs(),
+            profiles,
+        })
+    }
+
+    fn sweep_body(
+        &self,
+        req: &Request,
+        scenario: DeploymentScenario,
+        level: LoadLevel,
+    ) -> Result<Answer, String> {
+        let (profiles, app, load) = self.isolation_pair(scenario, level)?;
+        let evaluated = Evaluator::new(&self.platform, self.eval_options(req, scenario))
+            .bound(&app, &load)
+            .map_err(|e| format!("evaluation failed: {e}"))?;
+        let validator = Validator::new(&self.platform, Self::policy(req));
+        let (va, ra) = validator
+            .apply(&app)
+            .map_err(|e| format!("app validation failed: {e}"))?;
+        let (vb, rb) = validator
+            .apply(&load)
+            .map_err(|e| format!("contender validation failed: {e}"))?;
+        let ftc = FtcModel::new(&self.platform)
+            .wcet_estimate(&va, &[&vb])
+            .map_err(|e| format!("fTC model failed: {e}"))?;
+        let observed = self
+            .engine
+            .corun(
+                &workloads::control_loop(scenario, CoreId(1), 42),
+                CoreId(1),
+                &workloads::contender(scenario, level, CoreId(2), 7),
+                CoreId(2),
+            )
+            .map_err(|e| format!("co-run failed: {e}"))?;
+        let iso = app.counters().ccnt;
+        let bound = iso + evaluated.bound.delta_cycles;
+        let body = Val::Obj(vec![
+            ("status".to_string(), Val::str("ok")),
+            ("kind".to_string(), Val::str("sweep")),
+            ("scenario".to_string(), Val::str(scenario_token(scenario))),
+            ("level".to_string(), Val::str(level_token(level))),
+            ("isolation_cycles".to_string(), Val::U64(iso)),
+            ("observed_cycles".to_string(), Val::U64(observed)),
+            ("ftc_ratio".to_string(), Val::F64(ftc.ratio())),
+            ("ilp_ratio".to_string(), Val::F64(bound as f64 / iso as f64)),
+            (
+                "observed_ratio".to_string(),
+                Val::F64(observed as f64 / iso as f64),
+            ),
+            ("sound".to_string(), Val::Bool(bound >= observed)),
+            ("provenance".to_string(), Val::str(evaluated.source.tag())),
+            (
+                "repaired".to_string(),
+                Val::Bool(ra.repaired || rb.repaired || evaluated.any_repairs()),
+            ),
+        ])
+        .to_json();
+        Ok(Answer {
+            body,
+            fallback: evaluated.source.is_fallback(),
+            repaired: ra.repaired || rb.repaired || evaluated.any_repairs(),
+            profiles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Request;
+
+    fn engine() -> ExecEngine {
+        ExecEngine::new(2)
+    }
+
+    fn req(kind: QueryKind, budget: Option<u64>) -> Request {
+        Request {
+            id: "t".to_string(),
+            tenant: "t".to_string(),
+            kind,
+            budget,
+            strict: false,
+        }
+    }
+
+    #[test]
+    fn bound_body_is_identity_free_and_deterministic() {
+        let e1 = engine();
+        let e2 = ExecEngine::new(4);
+        let r = req(
+            QueryKind::Bound {
+                scenario: DeploymentScenario::LowTraffic,
+                level: LoadLevel::Low,
+            },
+            None,
+        );
+        let a = QueryEngine::new(&e1, QueryOptions::default())
+            .answer(&r)
+            .unwrap();
+        let b = QueryEngine::new(&e2, QueryOptions::default())
+            .answer(&r)
+            .unwrap();
+        assert_eq!(a.body, b.body, "body must not depend on worker count");
+        assert!(a.body.starts_with("{\"status\":\"ok\""));
+        assert!(!a.body.contains("tenant"));
+        assert_eq!(a.profiles.len(), 2);
+    }
+
+    #[test]
+    fn tiny_budget_degrades_with_visible_provenance() {
+        let e = engine();
+        let r = req(
+            QueryKind::Bound {
+                scenario: DeploymentScenario::LowTraffic,
+                level: LoadLevel::Low,
+            },
+            Some(1),
+        );
+        let a = QueryEngine::new(&e, QueryOptions::default())
+            .answer(&r)
+            .unwrap();
+        assert!(a.fallback, "node budget 1 must exhaust the ILP");
+        assert!(a.body.contains("\"provenance\":\"fallback=ftc\""));
+    }
+
+    #[test]
+    fn rta_body_reports_schedulability() {
+        let e = engine();
+        let probe = QueryEngine::new(&e, QueryOptions::default())
+            .answer(&req(
+                QueryKind::Bound {
+                    scenario: DeploymentScenario::LowTraffic,
+                    level: LoadLevel::Low,
+                },
+                None,
+            ))
+            .unwrap();
+        // Pull bound_cycles out of the probe body to build one
+        // schedulable and one unschedulable period.
+        let doc = obs::json::parse(&probe.body).unwrap();
+        let bound = doc.get("bound_cycles").and_then(|v| v.as_u64()).unwrap();
+        let sched = QueryEngine::new(&e, QueryOptions::default())
+            .answer(&req(
+                QueryKind::Rta {
+                    scenario: DeploymentScenario::LowTraffic,
+                    level: LoadLevel::Low,
+                    period: bound * 2,
+                    deadline: bound * 2,
+                },
+                None,
+            ))
+            .unwrap();
+        assert!(sched.body.contains("\"schedulable\":true"));
+        let miss = QueryEngine::new(&e, QueryOptions::default())
+            .answer(&req(
+                QueryKind::Rta {
+                    scenario: DeploymentScenario::LowTraffic,
+                    level: LoadLevel::Low,
+                    period: bound - 1,
+                    deadline: bound - 1,
+                },
+                None,
+            ))
+            .unwrap();
+        assert!(miss.body.contains("\"schedulable\":false"));
+    }
+
+    #[test]
+    fn sweep_body_is_sound() {
+        let e = engine();
+        let a = QueryEngine::new(&e, QueryOptions::default())
+            .answer(&req(
+                QueryKind::Sweep {
+                    scenario: DeploymentScenario::LowTraffic,
+                    level: LoadLevel::Low,
+                },
+                None,
+            ))
+            .unwrap();
+        assert!(a.body.contains("\"sound\":true"));
+        assert!(a.body.contains("\"observed_ratio\":"));
+    }
+}

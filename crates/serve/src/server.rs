@@ -1,0 +1,618 @@
+//! The daemon: listeners, connection threads, the worker pool and the
+//! crash-recovery stores.
+//!
+//! Layout:
+//!
+//! ```text
+//! acceptor (unix) ─┐                         ┌─ worker 0 ─┐
+//! acceptor (tcp) ──┤→ conn threads → admission→ worker 1 ─┤→ stores → reply
+//!                  │   (parse, control       └─ worker N ─┘
+//!                  │    plane, cache hits)
+//! ```
+//!
+//! Every accepted connection gets a read timeout (slow-loris defence)
+//! and its own reader thread; replies go through a per-connection
+//! writer mutex so frames never interleave. Data-plane requests flow
+//! through [`crate::Admission`] into a fixed worker pool; control
+//! frames (`ping`/`stats`/`shutdown`) are answered inline so a
+//! saturated queue can never starve liveness probes.
+//!
+//! Crash recovery: every computed response body is `put` into a
+//! content-addressed [`mbta::Store`] *before* the reply frame is
+//! written (write-ahead), and isolation profiles are stored the same
+//! way. On restart both stores replay; profiles warm the engine's memo
+//! cache and responses are served from cache byte-identically — at any
+//! worker count, because bodies are identity- and schedule-free by
+//! construction (see [`crate::query`]).
+
+use crate::admission::{Admission, AdmissionOutcome};
+use crate::proto::{
+    read_frame, render_error, render_overloaded, splice_identity, write_frame, FrameError, Request,
+};
+use crate::query::{QueryEngine, QueryOptions};
+use mbta::{ExecEngine, Store, Telemetry};
+use obs::json::Val;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Fingerprint namespace for the serve stores. Deliberately constant
+/// across `--jobs` and engine choices: recovery must replay regardless
+/// of how the daemon is redeployed.
+const STORE_CONFIG: &str = "contention-serve/v1";
+
+fn store_config_fp() -> u64 {
+    obs::fnv1a(STORE_CONFIG.as_bytes())
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix socket to listen on (removed and re-bound at start).
+    pub unix_socket: Option<PathBuf>,
+    /// TCP address to listen on, e.g. `127.0.0.1:0`.
+    pub tcp_addr: Option<String>,
+    /// Directory holding the persistent response/profile stores.
+    pub state_dir: PathBuf,
+    /// Worker threads computing data-plane answers.
+    pub workers: usize,
+    /// Per-tenant admission queue cap.
+    pub queue_cap: usize,
+    /// Back-off hint echoed on shed requests, milliseconds.
+    pub retry_after_ms: u64,
+    /// Per-connection read timeout, milliseconds (slow-loris bound).
+    pub io_timeout_ms: u64,
+    /// Compute-plane options.
+    pub query: QueryOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            unix_socket: None,
+            tcp_addr: None,
+            state_dir: PathBuf::from("serve-state"),
+            workers: 2,
+            queue_cap: 64,
+            retry_after_ms: 50,
+            io_timeout_ms: 2_000,
+            query: QueryOptions::default(),
+        }
+    }
+}
+
+/// What restart replay recovered from the stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Distinct response bodies replayed into the serve cache.
+    pub responses: u64,
+    /// Distinct isolation profiles replayed into the engine memo.
+    pub profiles: u64,
+    /// Torn-tail bytes truncated across both stores.
+    pub truncated_bytes: u64,
+}
+
+struct Work {
+    request: Request,
+    fingerprint: u64,
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+struct Counters {
+    served: AtomicU64,
+    cache_hits: AtomicU64,
+    fallback: AtomicU64,
+    repaired: AtomicU64,
+    errors: AtomicU64,
+    invalid: AtomicU64,
+    proto_errors: AtomicU64,
+}
+
+struct Inner {
+    engine: Arc<ExecEngine>,
+    admission: Admission<Work>,
+    responses: Store,
+    profiles: Store,
+    cache: Mutex<BTreeMap<u64, String>>,
+    profile_keys: Mutex<std::collections::BTreeSet<u64>>,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    counters: Counters,
+    recovery: RecoveryStats,
+    query: QueryOptions,
+    io_timeout: Duration,
+    workers: usize,
+}
+
+impl Inner {
+    fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.engine.telemetry()
+    }
+
+    fn count(&self, name: &str, delta: u64) {
+        if let Some(t) = self.telemetry() {
+            t.count(name, delta);
+        }
+    }
+}
+
+/// A running daemon. Dropping it does **not** stop the threads; call
+/// [`Server::wait`] (blocks until shutdown) or
+/// [`Server::trigger_shutdown`].
+pub struct Server {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+    tcp_addr: Option<std::net::SocketAddr>,
+}
+
+impl Server {
+    /// Starts the daemon: replays the stores, warms the engine, binds
+    /// the listeners and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store corruption and bind failures.
+    pub fn start(engine: Arc<ExecEngine>, config: ServerConfig) -> io::Result<Server> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let fp = store_config_fp();
+        let (responses, bodies, rec_r) =
+            Store::open(&config.state_dir.join("responses.store"), "responses", fp)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let (profiles, stored_profiles, rec_p) =
+            Store::open(&config.state_dir.join("profiles.store"), "profiles", fp)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+
+        // Warm the restarted engine's memo cache from the profile
+        // store so replayed batches skip straight to evaluation.
+        let mut profile_keys = std::collections::BTreeSet::new();
+        let mut warmed = 0u64;
+        for value in stored_profiles.values() {
+            if let Ok((key, profile)) = mbta::store::decode_profile(value) {
+                engine.prime_keyed(key, profile);
+                profile_keys.insert(key);
+                warmed += 1;
+            }
+        }
+        let recovery = RecoveryStats {
+            responses: bodies.len() as u64,
+            profiles: warmed,
+            truncated_bytes: rec_r.truncated_bytes + rec_p.truncated_bytes,
+        };
+
+        let inner = Arc::new(Inner {
+            engine,
+            admission: Admission::new(config.queue_cap, config.retry_after_ms),
+            responses,
+            profiles,
+            cache: Mutex::new(bodies),
+            profile_keys: Mutex::new(profile_keys),
+            shutdown: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            counters: Counters {
+                served: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                fallback: AtomicU64::new(0),
+                repaired: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                invalid: AtomicU64::new(0),
+                proto_errors: AtomicU64::new(0),
+            },
+            recovery,
+            query: config.query.clone(),
+            io_timeout: Duration::from_millis(config.io_timeout_ms.max(1)),
+            workers: config.workers.max(1),
+        });
+        inner.count("serve.recovered_responses", recovery.responses);
+        inner.count("serve.recovered_profiles", recovery.profiles);
+
+        let mut threads = Vec::new();
+        for w in 0..config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&inner))?,
+            );
+        }
+
+        if let Some(path) = &config.unix_socket {
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept-unix".to_string())
+                    .spawn(move || accept_loop_unix(&inner, &listener))?,
+            );
+        }
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp_addr {
+            let listener = TcpListener::bind(addr)?;
+            tcp_addr = Some(listener.local_addr()?);
+            listener.set_nonblocking(true)?;
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept-tcp".to_string())
+                    .spawn(move || accept_loop_tcp(&inner, &listener))?,
+            );
+        }
+
+        Ok(Server {
+            inner,
+            threads,
+            tcp_addr,
+        })
+    }
+
+    /// The bound TCP address, when a TCP listener was requested
+    /// (useful with port 0).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// What restart replay recovered.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.inner.recovery
+    }
+
+    /// Requests a clean shutdown: stops accepting, drains the queue.
+    pub fn trigger_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.admission.close();
+    }
+
+    /// Blocks until the daemon has shut down and all threads exited.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // Connection threads are detached but counted; give in-flight
+        // replies a bounded window to finish.
+        let deadline = std::time::Instant::now() + self.inner.io_timeout * 2;
+        while self.inner.active_conns.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn accept_loop_unix(inner: &Arc<Inner>, listener: &UnixListener) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(inner.io_timeout));
+                let writer: Option<Box<dyn Write + Send>> = stream
+                    .try_clone()
+                    .ok()
+                    .map(|s| Box::new(s) as Box<dyn Write + Send>);
+                spawn_conn(inner, stream, writer);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn accept_loop_tcp(inner: &Arc<Inner>, listener: &TcpListener) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(inner.io_timeout));
+                let _ = stream.set_nodelay(true);
+                let writer: Option<Box<dyn Write + Send>> = stream
+                    .try_clone()
+                    .ok()
+                    .map(|s| Box::new(s) as Box<dyn Write + Send>);
+                spawn_conn(inner, stream, writer);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn spawn_conn(
+    inner: &Arc<Inner>,
+    reader: impl io::Read + Send + 'static,
+    writer: Option<Box<dyn Write + Send>>,
+) {
+    let Some(writer) = writer else {
+        inner.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let inner = Arc::clone(inner);
+    inner.active_conns.fetch_add(1, Ordering::SeqCst);
+    let tracked = Arc::clone(&inner);
+    let spawned = std::thread::Builder::new()
+        .name("serve-conn".to_string())
+        .spawn(move || {
+            let writer: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(writer));
+            conn_loop(&tracked, reader, &writer);
+            tracked.active_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn reply(inner: &Inner, writer: &Arc<Mutex<Box<dyn Write + Send>>>, body: &str) {
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if write_frame(&mut **w, body.as_bytes()).is_err() {
+        // Client went away mid-reply; nothing to do — the response
+        // body is already in the store, so a reconnect replays it.
+        inner.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn conn_loop(
+    inner: &Arc<Inner>,
+    mut reader: impl io::Read,
+    writer: &Arc<Mutex<Box<dyn Write + Send>>>,
+) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) && inner.admission.is_closed() {
+            return;
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            // Idle at a frame boundary: the client is waiting on
+            // replies, not stalling. Loop — which also re-checks the
+            // shutdown flag, bounding shutdown latency to one timeout.
+            Err(FrameError::Idle) => continue,
+            Err(FrameError::Truncated | FrameError::TooLarge(_) | FrameError::Io(_)) => {
+                // Garbage length, torn frame, mid-frame stall
+                // (slow-loris) or disconnect: the stream cannot be
+                // resynchronised — drop it.
+                inner.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                inner.count("serve.proto_errors", 1);
+                return;
+            }
+        };
+        let request = match Request::parse(&payload) {
+            Ok(r) => r,
+            Err(msg) => {
+                inner.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                inner.count("serve.invalid_requests", 1);
+                reply(inner, writer, &render_error("-", &msg));
+                continue;
+            }
+        };
+        if request.kind.is_control() {
+            handle_control(inner, writer, &request);
+            continue;
+        }
+        let fingerprint = request.fingerprint();
+        // Served-before? Byte-identical replay straight from cache.
+        let cached = {
+            let cache = inner
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.get(&fingerprint).cloned()
+        };
+        if let Some(body) = cached {
+            inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            inner.counters.served.fetch_add(1, Ordering::Relaxed);
+            reply(
+                inner,
+                writer,
+                &splice_identity(&request.id, &request.tenant, &body),
+            );
+            continue;
+        }
+        let tenant = request.tenant.clone();
+        let id = request.id.clone();
+        match inner.admission.offer(
+            &tenant,
+            fingerprint,
+            Work {
+                request,
+                fingerprint,
+                writer: Arc::clone(writer),
+            },
+        ) {
+            AdmissionOutcome::Accepted => {}
+            AdmissionOutcome::Shed { retry_after_ms } => {
+                inner.count("serve.shed", 1);
+                reply(
+                    inner,
+                    writer,
+                    &render_overloaded(&id, &tenant, retry_after_ms),
+                );
+            }
+            AdmissionOutcome::Closed => {
+                reply(inner, writer, &render_error(&id, "daemon is shutting down"));
+            }
+        }
+    }
+}
+
+fn handle_control(inner: &Arc<Inner>, writer: &Arc<Mutex<Box<dyn Write + Send>>>, req: &Request) {
+    match req.kind.token() {
+        "ping" => {
+            let body = r#"{"status":"ok","kind":"ping"}"#;
+            reply(inner, writer, &splice_identity(&req.id, &req.tenant, body));
+        }
+        "shutdown" => {
+            let body = r#"{"status":"ok","kind":"shutdown"}"#;
+            reply(inner, writer, &splice_identity(&req.id, &req.tenant, body));
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.admission.close();
+        }
+        _ => {
+            // stats: live operational numbers — deliberately
+            // nondeterministic and never stored.
+            let depths = inner
+                .admission
+                .depths()
+                .into_iter()
+                .map(|(t, d)| (t, Val::U64(d as u64)))
+                .collect();
+            let c = &inner.counters;
+            let body = Val::Obj(vec![
+                ("status".to_string(), Val::str("ok")),
+                ("kind".to_string(), Val::str("stats")),
+                ("queue_depths".to_string(), Val::Obj(depths)),
+                (
+                    "admitted".to_string(),
+                    Val::U64(inner.admission.admitted_total()),
+                ),
+                ("shed".to_string(), Val::U64(inner.admission.shed_total())),
+                (
+                    "served".to_string(),
+                    Val::U64(c.served.load(Ordering::Relaxed)),
+                ),
+                (
+                    "cache_hits".to_string(),
+                    Val::U64(c.cache_hits.load(Ordering::Relaxed)),
+                ),
+                (
+                    "fallback".to_string(),
+                    Val::U64(c.fallback.load(Ordering::Relaxed)),
+                ),
+                (
+                    "repaired".to_string(),
+                    Val::U64(c.repaired.load(Ordering::Relaxed)),
+                ),
+                (
+                    "errors".to_string(),
+                    Val::U64(c.errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "invalid_requests".to_string(),
+                    Val::U64(c.invalid.load(Ordering::Relaxed)),
+                ),
+                (
+                    "proto_errors".to_string(),
+                    Val::U64(c.proto_errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "active_connections".to_string(),
+                    Val::U64(inner.active_conns.load(Ordering::SeqCst) as u64),
+                ),
+                ("workers".to_string(), Val::U64(inner.workers as u64)),
+                (
+                    "recovered_responses".to_string(),
+                    Val::U64(inner.recovery.responses),
+                ),
+                (
+                    "recovered_profiles".to_string(),
+                    Val::U64(inner.recovery.profiles),
+                ),
+            ])
+            .to_json();
+            reply(inner, writer, &splice_identity(&req.id, &req.tenant, &body));
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    let qe = QueryEngine::new(&inner.engine, inner.query.clone());
+    while let Some((_tenant, work)) = inner.admission.take() {
+        let Work {
+            request,
+            fingerprint,
+            writer,
+        } = work;
+        // Another worker may have computed the same fingerprint while
+        // this one queued — serve the cached bytes in that case.
+        let cached = {
+            let cache = inner
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.get(&fingerprint).cloned()
+        };
+        if let Some(body) = cached {
+            inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            inner.counters.served.fetch_add(1, Ordering::Relaxed);
+            reply(
+                inner,
+                &writer,
+                &splice_identity(&request.id, &request.tenant, &body),
+            );
+            continue;
+        }
+        match qe.answer(&request) {
+            Ok(answer) => {
+                persist_profiles(inner, &answer.profiles);
+                // Write-ahead: persist the body before replying, so a
+                // crash after this line re-serves identical bytes.
+                if let Err(e) = inner.responses.put(fingerprint, &answer.body) {
+                    store_warn(inner, "responses", &e);
+                }
+                inner
+                    .cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(fingerprint, answer.body.clone());
+                if answer.fallback {
+                    inner.counters.fallback.fetch_add(1, Ordering::Relaxed);
+                    inner.count("serve.fallback", 1);
+                }
+                if answer.repaired {
+                    inner.counters.repaired.fetch_add(1, Ordering::Relaxed);
+                }
+                inner.counters.served.fetch_add(1, Ordering::Relaxed);
+                inner.count("serve.served", 1);
+                reply(
+                    inner,
+                    &writer,
+                    &splice_identity(&request.id, &request.tenant, &answer.body),
+                );
+            }
+            Err(msg) => {
+                inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                inner.count("serve.errors", 1);
+                reply(inner, &writer, &render_error(&request.id, &msg));
+            }
+        }
+    }
+}
+
+fn persist_profiles(inner: &Inner, profiles: &[(u64, contention::IsolationProfile)]) {
+    for (key, profile) in profiles {
+        let fresh = inner
+            .profile_keys
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(*key);
+        if !fresh {
+            continue;
+        }
+        // The in-process memo is already warm (the engine computed the
+        // profile); this write keeps the *next* process warm too.
+        if let Err(e) = inner
+            .profiles
+            .put(*key, &mbta::store::encode_profile(*key, profile))
+        {
+            store_warn(inner, "profiles", &e);
+        }
+    }
+}
+
+fn store_warn(inner: &Inner, which: &str, e: &io::Error) {
+    match inner.telemetry() {
+        Some(t) => t.warn(
+            "store.append_failed",
+            format!("{which} store append failed: {e}"),
+        ),
+        None => eprintln!("warning: {which} store append failed: {e}"),
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end daemon tests: restart replay, byte-identity across
+//! worker counts, control plane, malformed frames and shedding.
+
+use serve::client::{Addr, Client};
+use serve::query::QueryOptions;
+use serve::{QueryKind, Request, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use tc27x_sim::DeploymentScenario;
+use workloads::LoadLevel;
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn server_on(
+    dir: &std::path::Path,
+    workers: usize,
+    jobs: usize,
+    queue_cap: usize,
+) -> (Server, Addr) {
+    let sock = dir.join(format!("daemon-{workers}-{jobs}.sock"));
+    let server = Server::start(
+        Arc::new(mbta::ExecEngine::new(jobs)),
+        ServerConfig {
+            unix_socket: Some(sock.clone()),
+            tcp_addr: None,
+            state_dir: dir.join("state"),
+            workers,
+            queue_cap,
+            retry_after_ms: 25,
+            io_timeout_ms: 500,
+            query: QueryOptions::default(),
+        },
+    )
+    .expect("daemon must start");
+    (server, Addr::Unix(sock))
+}
+
+fn batch() -> Vec<Request> {
+    let mk = |i: usize, kind: QueryKind, budget: Option<u64>| Request {
+        id: format!("r{i}"),
+        tenant: if i.is_multiple_of(2) { "alpha" } else { "beta" }.to_string(),
+        kind,
+        budget,
+        strict: false,
+    };
+    vec![
+        mk(
+            0,
+            QueryKind::Bound {
+                scenario: DeploymentScenario::LowTraffic,
+                level: LoadLevel::Low,
+            },
+            None,
+        ),
+        mk(
+            1,
+            QueryKind::Bound {
+                scenario: DeploymentScenario::LowTraffic,
+                level: LoadLevel::Medium,
+            },
+            Some(1), // guaranteed ILP exhaustion → fallback provenance
+        ),
+        mk(
+            2,
+            QueryKind::Sweep {
+                scenario: DeploymentScenario::LowTraffic,
+                level: LoadLevel::Low,
+            },
+            None,
+        ),
+        mk(
+            3,
+            QueryKind::Rta {
+                scenario: DeploymentScenario::LowTraffic,
+                level: LoadLevel::Low,
+                period: 50_000_000,
+                deadline: 50_000_000,
+            },
+            None,
+        ),
+    ]
+}
+
+fn drive(addr: &Addr, reqs: &[Request]) -> Vec<String> {
+    let mut client = Client::connect(addr, Duration::from_secs(120)).expect("connect");
+    reqs.iter()
+        .map(|r| client.request(r).expect("response"))
+        .collect()
+}
+
+#[test]
+fn restart_replays_byte_identical_at_different_worker_count() {
+    let dir = scratch("replay");
+    let reqs = batch();
+
+    let (server_a, addr_a) = server_on(&dir, 2, 2, 64);
+    let first = drive(&addr_a, &reqs);
+    assert!(
+        first[1].contains("\"provenance\":\"fallback=ftc\""),
+        "budget-1 answer must be tagged as degraded: {}",
+        first[1]
+    );
+    assert!(first[0].contains("\"provenance\":\"ilp\""));
+    server_a.trigger_shutdown();
+    server_a.wait();
+
+    // "Restart": new engine, different worker count and job count.
+    let (server_b, addr_b) = server_on(&dir, 4, 1, 64);
+    assert!(
+        server_b.recovery().responses >= reqs.len() as u64,
+        "all bodies must replay from the store: {:?}",
+        server_b.recovery()
+    );
+    assert!(server_b.recovery().profiles >= 2);
+    let second = drive(&addr_b, &reqs);
+    assert_eq!(first, second, "replayed responses must be byte-identical");
+    server_b.trigger_shutdown();
+    server_b.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn control_plane_and_malformed_frames() {
+    let dir = scratch("control");
+    let (server, addr) = server_on(&dir, 1, 1, 64);
+
+    let mut c = Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+    let ping = Request {
+        id: "p1".to_string(),
+        tenant: "ops".to_string(),
+        kind: QueryKind::Ping,
+        budget: None,
+        strict: false,
+    };
+    let resp = c.request(&ping).expect("ping answered");
+    assert_eq!(
+        resp,
+        r#"{"id":"p1","tenant":"ops","status":"ok","kind":"ping"}"#
+    );
+
+    // A garbage frame must produce a clean error, not a hang or drop.
+    c.send_raw(b"definitely not json").expect("send garbage");
+    let err = c.recv().expect("error frame").expect("error body");
+    assert!(err.contains("\"status\":\"error\""), "{err}");
+
+    // Same connection still works afterwards.
+    let resp2 = c.request(&ping).expect("ping after garbage");
+    assert_eq!(resp, resp2);
+
+    // Stats reflects the invalid frame.
+    let stats = c
+        .request(&Request {
+            id: "s1".to_string(),
+            tenant: "ops".to_string(),
+            kind: QueryKind::Stats,
+            budget: None,
+            strict: false,
+        })
+        .expect("stats answered");
+    assert!(stats.contains("\"kind\":\"stats\""));
+    assert!(stats.contains("\"invalid_requests\":1"), "{stats}");
+
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saturated_tenant_queue_sheds_with_retry_hint() {
+    let dir = scratch("shed");
+    // One worker, queue cap 1: pipelining several distinct slow
+    // requests under one tenant must shed at least one.
+    let (server, addr) = server_on(&dir, 1, 1, 1);
+    let levels = [LoadLevel::High, LoadLevel::Medium, LoadLevel::Low];
+    let mut c = Client::connect(&addr, Duration::from_secs(120)).expect("connect");
+    let reqs: Vec<Request> = (0..6)
+        .map(|i| Request {
+            id: format!("b{i}"),
+            tenant: "hammer".to_string(),
+            kind: QueryKind::Bound {
+                scenario: if i % 2 == 0 {
+                    DeploymentScenario::Scenario1
+                } else {
+                    DeploymentScenario::Scenario2
+                },
+                level: levels[i % 3],
+            },
+            budget: Some(2_000 + i as u64), // distinct fingerprints
+            strict: false,
+        })
+        .collect();
+    for r in &reqs {
+        c.send(r).expect("send");
+    }
+    let mut shed = 0;
+    let mut ok = 0;
+    for _ in 0..reqs.len() {
+        let resp = c.recv().expect("response").expect("body");
+        if resp.contains("\"status\":\"overloaded\"") {
+            assert!(resp.contains("\"retry_after_ms\":25"), "{resp}");
+            shed += 1;
+        } else {
+            ok += 1;
+        }
+    }
+    assert!(shed > 0, "cap-1 queue under a 6-burst must shed");
+    assert!(ok > 0, "some requests must still be served");
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

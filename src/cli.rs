@@ -463,14 +463,15 @@ GLOBAL OPTIONS:
 ///
 /// Propagates simulation/model/journal errors as boxed errors.
 pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>> {
-    let telemetry: Option<Arc<Telemetry>> = inv
-        .telemetry
-        .as_ref()
-        .map(|_| Arc::new(Telemetry::new(inv.command.label())));
-    let mut engine = ExecEngine::new(inv.jobs).with_sim_engine(inv.settings.engine);
-    if let Some(t) = &telemetry {
-        engine = engine.with_telemetry(Arc::clone(t));
-    }
+    // The recorder is always attached: it is the consolidated warning
+    // channel, so repaired-profile and trace-truncated diagnostics are
+    // deduplicated (first occurrence printed, repeats counted) even in
+    // plain one-shot runs. The stream is only flushed to disk when
+    // `--telemetry` names a sink.
+    let telemetry: Arc<Telemetry> = Arc::new(Telemetry::new(inv.command.label()));
+    let engine = ExecEngine::new(inv.jobs)
+        .with_sim_engine(inv.settings.engine)
+        .with_telemetry(Arc::clone(&telemetry));
     let config = CampaignConfig {
         watchdog_millis: inv.campaign.watchdog_millis,
         ..CampaignConfig::default()
@@ -481,39 +482,23 @@ pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>>
         Some(runner)
     } else if let Some(path) = &inv.campaign.resume {
         let (runner, report) = CampaignRunner::resumed(&engine, config, path)?;
-        match telemetry.as_deref() {
-            // Through the warning channel the torn-tail diagnostic is
-            // recorded in the stream and deduplicated; the recovery
-            // count line itself is informational, not a warning.
-            Some(t) if report.truncated_bytes > 0 => {
-                eprintln!(
-                    "resume: {} record(s) recovered from {}",
-                    report.records,
+        // Through the warning channel the torn-tail diagnostic is
+        // recorded in the stream and deduplicated; the recovery count
+        // line itself is informational, not a warning.
+        eprintln!(
+            "resume: {} record(s) recovered from {}",
+            report.records,
+            path.display()
+        );
+        if report.truncated_bytes > 0 {
+            telemetry.warn(
+                "journal.torn",
+                format!(
+                    "{} byte(s) of a torn trailing record truncated from {}",
+                    report.truncated_bytes,
                     path.display()
-                );
-                t.warn(
-                    "journal.torn",
-                    format!(
-                        "{} byte(s) of a torn trailing record truncated from {}",
-                        report.truncated_bytes,
-                        path.display()
-                    ),
-                );
-            }
-            _ => {
-                eprint!(
-                    "resume: {} record(s) recovered from {}",
-                    report.records,
-                    path.display()
-                );
-                if report.truncated_bytes > 0 {
-                    eprint!(
-                        " (warning: {} byte(s) of a torn trailing record truncated)",
-                        report.truncated_bytes
-                    );
-                }
-                eprintln!();
-            }
+                ),
+            );
         }
         Some(runner)
     } else {
@@ -523,15 +508,23 @@ pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>>
         Some(c) => c,
         None => &engine,
     };
-    let result = run_with_telemetry(runner, inv.command, inv.settings, telemetry.as_deref());
-    if let (Some(campaign), Some(t)) = (campaign.as_ref(), telemetry.as_deref()) {
-        t.record_campaign(&campaign.stats());
+    let result = run_with_telemetry(runner, inv.command, inv.settings, Some(&telemetry));
+    if let Some(campaign) = campaign.as_ref() {
+        telemetry.record_campaign(&campaign.stats());
     }
-    if let (Some(t), Some(spec)) = (telemetry.as_deref(), inv.telemetry.as_ref()) {
-        t.record_engine(&engine.report());
-        let flushed = t.flush(spec);
+    if let Some(spec) = inv.telemetry.as_ref() {
+        telemetry.record_engine(&engine.report());
+        let flushed = telemetry.flush(spec);
         if result.is_ok() {
             flushed.map_err(|e| format!("cannot write telemetry to {}: {e}", spec.path))?;
+        }
+    }
+    // Dedup summary: the first occurrence of each warning was printed
+    // as it happened; repeats were only counted. Surface the totals so
+    // a 10k-job sweep reports each distinct warning once, with a count.
+    for w in telemetry.warnings() {
+        if w.count > 1 {
+            eprintln!("warning: {} ({} occurrences in total)", w.message, w.count);
         }
     }
     if let Some(campaign) = campaign.as_ref() {
