@@ -44,6 +44,7 @@ fn start(dir: &std::path::Path, workers: usize, queue_cap: usize) -> (Server, Ad
             state_dir: dir.join("state"),
             workers,
             queue_cap,
+            global_queue_cap: queue_cap.max(64),
             retry_after_ms: 25,
             io_timeout_ms: 1_000,
             query: QueryOptions::default(),

@@ -3,7 +3,13 @@
 //!
 //! Each tenant gets its own bounded queue; an offer beyond the cap is
 //! *shed* with an explicit retry hint instead of buffered without
-//! limit. Dequeue order is deterministic given the queue contents:
+//! limit. Tenant names are unauthenticated client-chosen tokens, so
+//! the per-tenant cap alone bounds nothing — a client inventing a new
+//! tenant per request would multiply it without limit. A second,
+//! *global* cap bounds the total queued items across all tenants, and
+//! a tenant's map entry is removed the moment its queue drains, so the
+//! tenant map never outgrows the global cap either. Dequeue order is
+//! deterministic given the queue contents:
 //! tenants are served round-robin in name order, and within a tenant
 //! items drain in `(order_key, arrival)` order — the server uses the
 //! request fingerprint as the order key, which is exactly the
@@ -38,6 +44,8 @@ struct State<T> {
     tenants: BTreeMap<String, TenantQueue<T>>,
     /// Tenant served last; the next take starts strictly after it.
     cursor: Option<String>,
+    /// Total items queued across all tenants (≤ `global_cap`).
+    queued: usize,
     seq: u64,
     closed: bool,
     shed: u64,
@@ -49,6 +57,7 @@ pub struct Admission<T> {
     state: Mutex<State<T>>,
     ready: Condvar,
     per_tenant_cap: usize,
+    global_cap: usize,
     retry_after_ms: u64,
 }
 
@@ -60,13 +69,15 @@ fn lock<'a, T>(m: &'a Mutex<State<T>>) -> std::sync::MutexGuard<'a, State<T>> {
 
 impl<T> Admission<T> {
     /// Creates a queue admitting at most `per_tenant_cap` in-flight
-    /// items per tenant. `retry_after_ms` is the back-off hint echoed
-    /// on every shed.
-    pub fn new(per_tenant_cap: usize, retry_after_ms: u64) -> Admission<T> {
+    /// items per tenant and `global_cap` in total (tenants are
+    /// client-chosen, so only the global cap is a real memory bound).
+    /// `retry_after_ms` is the back-off hint echoed on every shed.
+    pub fn new(per_tenant_cap: usize, global_cap: usize, retry_after_ms: u64) -> Admission<T> {
         Admission {
             state: Mutex::new(State {
                 tenants: BTreeMap::new(),
                 cursor: None,
+                queued: 0,
                 seq: 0,
                 closed: false,
                 shed: 0,
@@ -74,6 +85,7 @@ impl<T> Admission<T> {
             }),
             ready: Condvar::new(),
             per_tenant_cap: per_tenant_cap.max(1),
+            global_cap: global_cap.max(1),
             retry_after_ms,
         }
     }
@@ -85,21 +97,35 @@ impl<T> Admission<T> {
         if st.closed {
             return AdmissionOutcome::Closed;
         }
-        let seq = st.seq;
-        st.seq += 1;
-        let queue = st
-            .tenants
-            .entry(tenant.to_string())
-            .or_insert_with(|| TenantQueue {
-                items: BTreeMap::new(),
-            });
-        if queue.items.len() >= self.per_tenant_cap {
+        if st.queued >= self.global_cap {
             st.shed += 1;
             return AdmissionOutcome::Shed {
                 retry_after_ms: self.retry_after_ms,
             };
         }
-        queue.items.insert((order_key, seq), item);
+        let seq = st.seq;
+        st.seq += 1;
+        // Shed-before-insert: a rejected offer must not leave an empty
+        // map entry behind, or arbitrary tenant tokens would still
+        // grow the map without bound.
+        if st
+            .tenants
+            .get(tenant)
+            .is_some_and(|q| q.items.len() >= self.per_tenant_cap)
+        {
+            st.shed += 1;
+            return AdmissionOutcome::Shed {
+                retry_after_ms: self.retry_after_ms,
+            };
+        }
+        st.tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantQueue {
+                items: BTreeMap::new(),
+            })
+            .items
+            .insert((order_key, seq), item);
+        st.queued += 1;
         st.admitted += 1;
         drop(st);
         self.ready.notify_one();
@@ -117,6 +143,12 @@ impl<T> Admission<T> {
                     .tenants
                     .get_mut(&tenant)
                     .and_then(|q| q.items.remove(&key))?;
+                st.queued -= 1;
+                // Drop drained tenants so the map stays bounded by the
+                // *queued* population, not every name ever offered.
+                if st.tenants.get(&tenant).is_some_and(|q| q.items.is_empty()) {
+                    st.tenants.remove(&tenant);
+                }
                 st.cursor = Some(tenant.clone());
                 return Some((tenant, item));
             }
@@ -159,7 +191,8 @@ impl<T> Admission<T> {
         lock(&self.state).closed
     }
 
-    /// Queued depth per tenant, in tenant name order.
+    /// Queued depth per tenant with work in flight, in tenant name
+    /// order (drained tenants are evicted, so they never appear).
     pub fn depths(&self) -> Vec<(String, usize)> {
         lock(&self.state)
             .tenants
@@ -186,7 +219,7 @@ mod tests {
 
     #[test]
     fn drains_round_robin_across_tenants_in_name_order() {
-        let q = Admission::new(8, 25);
+        let q = Admission::new(8, 64, 25);
         for (tenant, key) in [("b", 2), ("a", 1), ("c", 3), ("a", 0), ("b", 1)] {
             assert_eq!(q.offer(tenant, key, key), AdmissionOutcome::Accepted);
         }
@@ -210,7 +243,7 @@ mod tests {
 
     #[test]
     fn sheds_at_cap_with_retry_hint_and_counts() {
-        let q = Admission::new(2, 40);
+        let q = Admission::new(2, 64, 40);
         assert_eq!(q.offer("t", 1, ()), AdmissionOutcome::Accepted);
         assert_eq!(q.offer("t", 2, ()), AdmissionOutcome::Accepted);
         assert_eq!(
@@ -226,7 +259,7 @@ mod tests {
 
     #[test]
     fn close_rejects_new_offers_and_wakes_blocked_takers() {
-        let q: Arc<Admission<u64>> = Arc::new(Admission::new(4, 10));
+        let q: Arc<Admission<u64>> = Arc::new(Admission::new(4, 64, 10));
         let taker = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.take())
@@ -240,11 +273,51 @@ mod tests {
 
     #[test]
     fn arrival_breaks_order_key_ties_fifo() {
-        let q = Admission::new(8, 10);
+        let q = Admission::new(8, 64, 10);
         q.offer("t", 7, "first");
         q.offer("t", 7, "second");
         q.close();
         assert_eq!(q.take(), Some(("t".to_string(), "first")));
         assert_eq!(q.take(), Some(("t".to_string(), "second")));
+    }
+
+    #[test]
+    fn global_cap_sheds_across_fresh_tenant_names() {
+        // Per-tenant cap alone would admit all of these: every offer
+        // invents a new tenant. The global cap must stop them.
+        let q = Admission::new(8, 3, 15);
+        for i in 0..3 {
+            assert_eq!(
+                q.offer(&format!("fresh-{i}"), i, i),
+                AdmissionOutcome::Accepted
+            );
+        }
+        assert_eq!(
+            q.offer("fresh-3", 3, 3),
+            AdmissionOutcome::Shed { retry_after_ms: 15 }
+        );
+        assert_eq!(q.shed_total(), 1);
+        // Shed offers must not leave empty map entries behind.
+        assert_eq!(q.depths().len(), 3);
+        // Draining frees global capacity again.
+        q.close();
+        assert!(q.take().is_some());
+        assert_eq!(q.depths().len(), 2);
+    }
+
+    #[test]
+    fn drained_tenants_are_evicted_from_the_map() {
+        let q = Admission::new(4, 64, 10);
+        q.offer("a", 1, 1);
+        q.offer("b", 2, 2);
+        q.close();
+        assert_eq!(q.depths().len(), 2);
+        let _ = q.take();
+        let _ = q.take();
+        assert!(
+            q.depths().is_empty(),
+            "drained tenants must not accumulate: {:?}",
+            q.depths()
+        );
     }
 }

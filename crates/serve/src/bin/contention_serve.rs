@@ -3,8 +3,9 @@
 //! ```text
 //! contention-serve --state DIR [--unix PATH] [--tcp ADDR]
 //!                  [--jobs N] [--workers N] [--queue-cap N]
-//!                  [--retry-after-ms N] [--io-timeout-ms N]
-//!                  [--default-budget N] [--telemetry FILE[:FORMAT]]
+//!                  [--global-queue-cap N] [--retry-after-ms N]
+//!                  [--io-timeout-ms N] [--default-budget N]
+//!                  [--telemetry FILE[:FORMAT]]
 //! ```
 //!
 //! At least one of `--unix` / `--tcp` is required. The daemon replays
@@ -67,6 +68,9 @@ fn parse(mut args: Vec<String>) -> Result<Args, String> {
     }
     if let Some(n) = take_parsed(&mut args, "--queue-cap")? {
         config.queue_cap = n;
+    }
+    if let Some(n) = take_parsed(&mut args, "--global-queue-cap")? {
+        config.global_queue_cap = n;
     }
     if let Some(n) = take_parsed(&mut args, "--retry-after-ms")? {
         config.retry_after_ms = n;

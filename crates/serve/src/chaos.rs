@@ -7,8 +7,10 @@
 //! are checked byte-for-byte against a locally computed oracle),
 //! garbage and truncated frames, oversized length prefixes, slow-loris
 //! drips, mid-request disconnects, duplicate requests (which must get
-//! identical bodies) and overload bursts (which must produce explicit
-//! `overloaded` sheds, not hangs).
+//! identical bodies), overload bursts (which must produce explicit
+//! `overloaded` sheds, not hangs) and black-hole clients that pipeline
+//! requests but never read a reply (which must cost the daemon at most
+//! a write timeout, never a captured worker).
 //!
 //! The harness asserts three invariants after every plan:
 //! 1. the daemon still answers `ping` (never wedges),
@@ -47,6 +49,11 @@ pub enum ChaosOp {
     /// `n` rapid-fire requests under one tenant against a small
     /// queue — some must be shed with `overloaded`.
     Burst(Vec<Request>),
+    /// Requests pipelined on a connection that never reads a byte
+    /// back, held open briefly, then dropped — the write-timeout path
+    /// (the daemon must drop the non-reading connection, not block a
+    /// serving thread on its full socket buffer).
+    BlackHole(Vec<Request>),
 }
 
 /// Plan generation and run parameters.
@@ -147,7 +154,7 @@ pub fn plan(config: &ChaosConfig) -> Vec<ChaosOp> {
     let mut rng = SplitMix64::new(config.seed);
     let mut ops = Vec::with_capacity(config.ops);
     for n in 0..config.ops as u64 {
-        let op = match rng.below(10) {
+        let op = match rng.below(11) {
             0..=2 => ChaosOp::Valid(draw_request(&mut rng, n)),
             3 => ChaosOp::Duplicate(draw_request(&mut rng, n)),
             4 => {
@@ -163,6 +170,17 @@ pub fn plan(config: &ChaosConfig) -> Vec<ChaosOp> {
             6 => ChaosOp::OversizedPrefix,
             7 => ChaosOp::SlowLoris(draw_request(&mut rng, n)),
             8 => ChaosOp::Disconnect(draw_request(&mut rng, n)),
+            9 => {
+                let reqs = (0..4)
+                    .map(|i| {
+                        let mut r = draw_request(&mut rng, n);
+                        r.id = format!("blackhole-{n}-{i}");
+                        r.tenant = "blackhole".to_string();
+                        r
+                    })
+                    .collect();
+                ChaosOp::BlackHole(reqs)
+            }
             _ => {
                 let burst = (0..6)
                     .map(|i| {
@@ -193,7 +211,7 @@ pub fn semantic_pool(ops: &[ChaosOp]) -> Vec<Request> {
             | ChaosOp::Duplicate(r)
             | ChaosOp::SlowLoris(r)
             | ChaosOp::Disconnect(r) => push(r),
-            ChaosOp::Burst(rs) => rs.iter().for_each(&mut push),
+            ChaosOp::Burst(rs) | ChaosOp::BlackHole(rs) => rs.iter().for_each(&mut push),
             _ => {}
         }
     }
@@ -320,6 +338,21 @@ pub fn run(
                     drop(c);
                 }
             }
+            ChaosOp::BlackHole(reqs) => {
+                report.faults_injected += 1;
+                if let Ok(mut c) = connect() {
+                    for req in reqs {
+                        if c.send(req).is_err() {
+                            break;
+                        }
+                    }
+                    // Hold the connection open without ever reading:
+                    // replies pile up in the socket buffer. The final
+                    // liveness probe below catches a daemon that let
+                    // this capture a serving thread.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
             ChaosOp::Burst(reqs) => {
                 let Ok(mut c) = connect() else {
                     report.transport_errors += 1;
@@ -379,6 +412,23 @@ mod tests {
             })
         );
         assert_ne!(a, other);
+    }
+
+    #[test]
+    fn ci_seed_plan_covers_overload_and_blackhole() {
+        // `ci.sh serve` runs seed 42 / 40 ops and gates on admission
+        // control tripping (`overloaded ≥ 1`), which requires at
+        // least one Burst in the plan; the write-timeout defence is
+        // only exercised if a BlackHole appears too.
+        let ops = plan(&ChaosConfig::default());
+        assert!(
+            ops.iter().any(|op| matches!(op, ChaosOp::Burst(_))),
+            "CI seed plan lost its burst ops"
+        );
+        assert!(
+            ops.iter().any(|op| matches!(op, ChaosOp::BlackHole(_))),
+            "CI seed plan lost its black-hole ops"
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! ```
 //!
 //! Every accepted connection gets a read timeout (slow-loris defence)
-//! and its own reader thread; replies go through a per-connection
+//! *and* a write timeout (slow-reader defence: a client that pipelines
+//! requests and never reads replies would otherwise block the serving
+//! thread forever inside `write_all` once its socket buffer fills — a
+//! timed-out write tears the connection down instead), plus its own
+//! reader thread; replies go through a per-connection
 //! writer mutex so frames never interleave. Data-plane requests flow
 //! through [`crate::Admission`] into a fixed worker pool; control
 //! frames (`ping`/`stats`/`shutdown`) are answered inline so a
@@ -34,8 +38,8 @@ use mbta::{ExecEngine, Store, Telemetry};
 use obs::json::Val;
 use std::collections::BTreeMap;
 use std::io::{self, Write};
-use std::net::TcpListener;
-use std::os::unix::net::UnixListener;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -44,11 +48,35 @@ use std::time::Duration;
 
 /// Fingerprint namespace for the serve stores. Deliberately constant
 /// across `--jobs` and engine choices: recovery must replay regardless
-/// of how the daemon is redeployed.
-const STORE_CONFIG: &str = "contention-serve/v1";
+/// of how the daemon is redeployed. (It does *not* need to encode
+/// `--default-budget`: request fingerprints are taken over the
+/// *effective* budget, resolved at ingress, so entries computed under
+/// one default are never replayed for another.) v2 marks that keying
+/// change — v1 stores keyed budget-less requests before resolution.
+const STORE_CONFIG: &str = "contention-serve/v2";
 
 fn store_config_fp() -> u64 {
     obs::fnv1a(STORE_CONFIG.as_bytes())
+}
+
+/// A reply sink that can also tear its connection down. When a write
+/// times out the frame is torn mid-stream, so the connection cannot be
+/// reused — and the conn thread may be blocked in a read that only a
+/// socket shutdown will interrupt.
+trait ConnWriter: Write + Send {
+    fn teardown(&self);
+}
+
+impl ConnWriter for UnixStream {
+    fn teardown(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+impl ConnWriter for TcpStream {
+    fn teardown(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
 }
 
 /// Daemon configuration.
@@ -64,9 +92,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-tenant admission queue cap.
     pub queue_cap: usize,
+    /// Global admission queue cap across all tenants. Tenants are
+    /// client-chosen tokens, so this — not the per-tenant cap — is the
+    /// real bound on queued memory.
+    pub global_queue_cap: usize,
     /// Back-off hint echoed on shed requests, milliseconds.
     pub retry_after_ms: u64,
-    /// Per-connection read timeout, milliseconds (slow-loris bound).
+    /// Per-connection read *and* write timeout, milliseconds
+    /// (slow-loris and slow-reader bound).
     pub io_timeout_ms: u64,
     /// Compute-plane options.
     pub query: QueryOptions,
@@ -80,6 +113,7 @@ impl Default for ServerConfig {
             state_dir: PathBuf::from("serve-state"),
             workers: 2,
             queue_cap: 64,
+            global_queue_cap: 256,
             retry_after_ms: 50,
             io_timeout_ms: 2_000,
             query: QueryOptions::default(),
@@ -101,7 +135,7 @@ pub struct RecoveryStats {
 struct Work {
     request: Request,
     fingerprint: u64,
-    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+    writer: Arc<Mutex<Box<dyn ConnWriter>>>,
 }
 
 struct Counters {
@@ -187,7 +221,11 @@ impl Server {
 
         let inner = Arc::new(Inner {
             engine,
-            admission: Admission::new(config.queue_cap, config.retry_after_ms),
+            admission: Admission::new(
+                config.queue_cap,
+                config.global_queue_cap,
+                config.retry_after_ms,
+            ),
             responses,
             profiles,
             cache: Mutex::new(bodies),
@@ -290,10 +328,11 @@ fn accept_loop_unix(inner: &Arc<Inner>, listener: &UnixListener) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_read_timeout(Some(inner.io_timeout));
-                let writer: Option<Box<dyn Write + Send>> = stream
+                let _ = stream.set_write_timeout(Some(inner.io_timeout));
+                let writer: Option<Box<dyn ConnWriter>> = stream
                     .try_clone()
                     .ok()
-                    .map(|s| Box::new(s) as Box<dyn Write + Send>);
+                    .map(|s| Box::new(s) as Box<dyn ConnWriter>);
                 spawn_conn(inner, stream, writer);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -309,11 +348,12 @@ fn accept_loop_tcp(inner: &Arc<Inner>, listener: &TcpListener) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_read_timeout(Some(inner.io_timeout));
+                let _ = stream.set_write_timeout(Some(inner.io_timeout));
                 let _ = stream.set_nodelay(true);
-                let writer: Option<Box<dyn Write + Send>> = stream
+                let writer: Option<Box<dyn ConnWriter>> = stream
                     .try_clone()
                     .ok()
-                    .map(|s| Box::new(s) as Box<dyn Write + Send>);
+                    .map(|s| Box::new(s) as Box<dyn ConnWriter>);
                 spawn_conn(inner, stream, writer);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -327,7 +367,7 @@ fn accept_loop_tcp(inner: &Arc<Inner>, listener: &TcpListener) {
 fn spawn_conn(
     inner: &Arc<Inner>,
     reader: impl io::Read + Send + 'static,
-    writer: Option<Box<dyn Write + Send>>,
+    writer: Option<Box<dyn ConnWriter>>,
 ) {
     let Some(writer) = writer else {
         inner.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
@@ -339,7 +379,7 @@ fn spawn_conn(
     let spawned = std::thread::Builder::new()
         .name("serve-conn".to_string())
         .spawn(move || {
-            let writer: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(writer));
+            let writer: Arc<Mutex<Box<dyn ConnWriter>>> = Arc::new(Mutex::new(writer));
             conn_loop(&tracked, reader, &writer);
             tracked.active_conns.fetch_sub(1, Ordering::SeqCst);
         });
@@ -348,13 +388,19 @@ fn spawn_conn(
     }
 }
 
-fn reply(inner: &Inner, writer: &Arc<Mutex<Box<dyn Write + Send>>>, body: &str) {
+fn reply(inner: &Inner, writer: &Arc<Mutex<Box<dyn ConnWriter>>>, body: &str) {
     let mut w = writer
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     if write_frame(&mut **w, body.as_bytes()).is_err() {
-        // Client went away mid-reply; nothing to do — the response
-        // body is already in the store, so a reconnect replays it.
+        // Client went away — or is pipelining without reading, and the
+        // write timeout fired with its socket buffer full. Either way
+        // the frame may be torn, so tear the connection down; that
+        // also kicks the conn thread's blocked read loose instead of
+        // leaving this (possibly worker) thread captured by one slow
+        // reader. The body is already in the store, so a reconnect
+        // replays it.
+        w.teardown();
         inner.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -362,7 +408,7 @@ fn reply(inner: &Inner, writer: &Arc<Mutex<Box<dyn Write + Send>>>, body: &str) 
 fn conn_loop(
     inner: &Arc<Inner>,
     mut reader: impl io::Read,
-    writer: &Arc<Mutex<Box<dyn Write + Send>>>,
+    writer: &Arc<Mutex<Box<dyn ConnWriter>>>,
 ) {
     loop {
         if inner.shutdown.load(Ordering::SeqCst) && inner.admission.is_closed() {
@@ -384,7 +430,7 @@ fn conn_loop(
                 return;
             }
         };
-        let request = match Request::parse(&payload) {
+        let mut request = match Request::parse(&payload) {
             Ok(r) => r,
             Err(msg) => {
                 inner.counters.invalid.fetch_add(1, Ordering::Relaxed);
@@ -396,6 +442,14 @@ fn conn_loop(
         if request.kind.is_control() {
             handle_control(inner, writer, &request);
             continue;
+        }
+        // Resolve the effective budget *before* fingerprinting: the
+        // body is a pure function of what is actually computed, so the
+        // cache/store key must reflect the daemon's `--default-budget`.
+        // Otherwise a restart under a different default would replay
+        // bodies computed under the old one.
+        if request.budget.is_none() {
+            request.budget = inner.query.default_budget;
         }
         let fingerprint = request.fingerprint();
         // Served-before? Byte-identical replay straight from cache.
@@ -443,7 +497,7 @@ fn conn_loop(
     }
 }
 
-fn handle_control(inner: &Arc<Inner>, writer: &Arc<Mutex<Box<dyn Write + Send>>>, req: &Request) {
+fn handle_control(inner: &Arc<Inner>, writer: &Arc<Mutex<Box<dyn ConnWriter>>>, req: &Request) {
     match req.kind.token() {
         "ping" => {
             let body = r#"{"status":"ok","kind":"ping"}"#;
@@ -588,21 +642,28 @@ fn worker_loop(inner: &Arc<Inner>) {
 
 fn persist_profiles(inner: &Inner, profiles: &[(u64, contention::IsolationProfile)]) {
     for (key, profile) in profiles {
-        let fresh = inner
+        // The in-process memo is already warm (the engine computed the
+        // profile); this write keeps the *next* process warm too. The
+        // key set is held across the put so concurrent workers cannot
+        // double-append, and the key is only marked persisted once the
+        // append succeeds — a transient store failure is retried by the
+        // next request producing the same profile instead of silently
+        // dropping it from the next restart's warm-up.
+        let mut keys = inner
             .profile_keys
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(*key);
-        if !fresh {
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if keys.contains(key) {
             continue;
         }
-        // The in-process memo is already warm (the engine computed the
-        // profile); this write keeps the *next* process warm too.
-        if let Err(e) = inner
+        match inner
             .profiles
             .put(*key, &mbta::store::encode_profile(*key, profile))
         {
-            store_warn(inner, "profiles", &e);
+            Ok(()) => {
+                keys.insert(*key);
+            }
+            Err(e) => store_warn(inner, "profiles", &e),
         }
     }
 }

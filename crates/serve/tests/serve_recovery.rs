@@ -18,11 +18,12 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
-fn server_on(
+fn server_with(
     dir: &std::path::Path,
     workers: usize,
     jobs: usize,
     queue_cap: usize,
+    query: QueryOptions,
 ) -> (Server, Addr) {
     let sock = dir.join(format!("daemon-{workers}-{jobs}.sock"));
     let server = Server::start(
@@ -33,13 +34,23 @@ fn server_on(
             state_dir: dir.join("state"),
             workers,
             queue_cap,
+            global_queue_cap: queue_cap.max(64),
             retry_after_ms: 25,
             io_timeout_ms: 500,
-            query: QueryOptions::default(),
+            query,
         },
     )
     .expect("daemon must start");
     (server, Addr::Unix(sock))
+}
+
+fn server_on(
+    dir: &std::path::Path,
+    workers: usize,
+    jobs: usize,
+    queue_cap: usize,
+) -> (Server, Addr) {
+    server_with(dir, workers, jobs, queue_cap, QueryOptions::default())
 }
 
 fn batch() -> Vec<Request> {
@@ -167,6 +178,138 @@ fn control_plane_and_malformed_frames() {
     assert!(stats.contains("\"kind\":\"stats\""));
     assert!(stats.contains("\"invalid_requests\":1"), "{stats}");
 
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_with_new_default_budget_never_replays_stale_bodies() {
+    let dir = scratch("budget-default");
+    let reqs = vec![Request {
+        id: "d0".to_string(),
+        tenant: "alpha".to_string(),
+        kind: QueryKind::Bound {
+            scenario: DeploymentScenario::LowTraffic,
+            level: LoadLevel::Low,
+        },
+        budget: None,
+        strict: false,
+    }];
+    // First run: default budget 1 forces every budget-less request
+    // onto the fallback rung.
+    let (server_a, addr_a) = server_with(
+        &dir,
+        2,
+        2,
+        64,
+        QueryOptions {
+            default_budget: Some(1),
+        },
+    );
+    let first = drive(&addr_a, &reqs);
+    assert!(
+        first[0].contains("\"provenance\":\"fallback=ftc\""),
+        "default budget 1 must degrade: {}",
+        first[0]
+    );
+    server_a.trigger_shutdown();
+    server_a.wait();
+
+    // Second run, no default: the same budget-less request must be
+    // *recomputed* under the scenario default — replaying the stored
+    // body computed under default 1 would silently serve a degraded
+    // bound with the wrong provenance.
+    let (server_b, addr_b) = server_with(&dir, 2, 2, 64, QueryOptions::default());
+    let second = drive(&addr_b, &reqs);
+    assert!(
+        second[0].contains("\"provenance\":\"ilp\""),
+        "restart with a different default budget must not replay stale bodies: {}",
+        second[0]
+    );
+    server_b.trigger_shutdown();
+    server_b.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_reading_client_is_dropped_not_wedged() {
+    let dir = scratch("blackhole");
+    let (server, addr) = server_on(&dir, 1, 1, 64);
+
+    // Prime the cache so the flood below is answered inline — each
+    // reply pushes bytes at a client that never reads them.
+    let req = Request {
+        id: "bh".to_string(),
+        tenant: "hole".to_string(),
+        kind: QueryKind::Bound {
+            scenario: DeploymentScenario::LowTraffic,
+            level: LoadLevel::Low,
+        },
+        budget: Some(2_000),
+        strict: false,
+    };
+    let primed = drive(&addr, std::slice::from_ref(&req));
+    assert!(primed[0].contains("\"status\":\"ok\""), "{}", primed[0]);
+
+    // Pipeline far more duplicates than any socket buffer holds and
+    // never read a byte back, keeping the connection open. Without a
+    // write timeout the serving thread blocks in write_all forever
+    // once the send buffer fills; with it, the daemon tears this
+    // connection down after io_timeout (500ms here).
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    let flood = {
+        let addr = addr.clone();
+        let req = req.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+            let mut sent = 0u32;
+            for _ in 0..8_000 {
+                if c.send(&req).is_err() {
+                    break; // the daemon tore the connection down
+                }
+                sent += 1;
+            }
+            // Hold the (never-read) connection until the main thread
+            // has observed the daemon dropping it.
+            let _ = rx.recv();
+            sent
+        })
+    };
+
+    // The flooded connection must disappear from the active count
+    // while the client still holds its end open; a fresh probe
+    // connection is the only one left.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let mut dropped = false;
+    while std::time::Instant::now() < deadline {
+        let mut probe = Client::connect(&addr, Duration::from_secs(5)).expect("probe connect");
+        let stats = probe
+            .request(&Request {
+                id: "s".to_string(),
+                tenant: "ops".to_string(),
+                kind: QueryKind::Stats,
+                budget: None,
+                strict: false,
+            })
+            .expect("stats answered while flooded");
+        if stats.contains("\"active_connections\":1") {
+            dropped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        dropped,
+        "non-reading connection must be dropped, not block the daemon"
+    );
+    drop(tx);
+    let sent = flood.join().expect("flood thread");
+    assert!(sent > 0, "flood must have pipelined something");
+
+    // The daemon still serves normally afterwards.
+    let after = drive(&addr, std::slice::from_ref(&req));
+    assert_eq!(primed, after);
     server.trigger_shutdown();
     server.wait();
     let _ = std::fs::remove_dir_all(&dir);
