@@ -11,6 +11,12 @@
 #                  restart at a different --jobs, byte-for-byte response
 #                  diff) + seeded chaos run with a warning-free
 #                  telemetry capture
+#   ci.sh dse      sharded campaign smoke: partition invariance
+#                  (different --shards/--jobs merge to identical curve
+#                  bytes), kill -9 of a worker AND the supervisor
+#                  followed by --resume, a seeded shard-chaos run that
+#                  must reach full coverage, and a permanently hostile
+#                  shard that must exit 3 with a FAILED manifest line
 #   ci.sh all      every tier in order (the default); perf runs
 #                  non-gating here so a slow local machine cannot fail
 #                  the full gate, exactly as the old monolithic script
@@ -253,6 +259,74 @@ EOF
         || { echo "daemon telemetry failed the lint (warnings under chaos?)"; exit 1; }
 }
 
+stage_dse() {
+    [ -n "$SMOKE_DIR" ] && rm -rf "$SMOKE_DIR"
+    SMOKE_DIR="$(mktemp -d)"
+    SUP=target/release/dse-supervisor
+    WORKER=target/release/dse-worker
+    cargo build --release --offline -p dse
+    # A small campaign: 5 utilization levels x 6 task sets = 30 points.
+    CFG=(--seed 7 --utils 5 --sets 6 --tasks 3 --worker-bin "$WORKER")
+
+    echo "==> dse: reference campaign (3 shards, 3 jobs)"
+    "$SUP" --state-dir "$SMOKE_DIR/ref" --shards 3 --jobs 3 "${CFG[@]}" > /dev/null
+    grep -q "# status complete" "$SMOKE_DIR/ref/manifest.txt" \
+        || { echo "reference campaign did not complete"; exit 1; }
+
+    echo "==> dse: partition invariance (5 shards, 2 jobs must merge to identical bytes)"
+    "$SUP" --state-dir "$SMOKE_DIR/wide" --shards 5 --jobs 2 "${CFG[@]}" > /dev/null
+    diff -u "$SMOKE_DIR/ref/curves.txt" "$SMOKE_DIR/wide/curves.txt" \
+        || { echo "curves depend on the shard/worker split"; exit 1; }
+
+    echo "==> dse: kill -9 a worker and the supervisor mid-campaign, then --resume"
+    "$SUP" --state-dir "$SMOKE_DIR/victim" --shards 3 --jobs 3 --point-delay-ms 60 \
+        "${CFG[@]}" > /dev/null 2>&1 &
+    SUP_PID=$!
+    for _ in $(seq 1 100); do
+        [ -f "$SMOKE_DIR/victim/shard-0000.hb" ] && break
+        sleep 0.1
+    done
+    [ -f "$SMOKE_DIR/victim/shard-0000.hb" ] \
+        || { echo "no worker made progress before the kill"; exit 1; }
+    kill -9 "$(cat "$SMOKE_DIR/victim/shard-0000.pid")" 2> /dev/null || true
+    sleep 0.3
+    kill -9 "$SUP_PID" 2> /dev/null || true
+    wait "$SUP_PID" 2> /dev/null || true
+    # Orphaned workers survive the supervisor's death; take them down
+    # the way an init system would before resuming.
+    for pidfile in "$SMOKE_DIR"/victim/shard-*.pid; do
+        [ -f "$pidfile" ] && kill -9 "$(cat "$pidfile")" 2> /dev/null || true
+    done
+    "$SUP" --state-dir "$SMOKE_DIR/victim" --shards 3 --jobs 3 --resume \
+        "${CFG[@]}" > /dev/null
+    diff -u "$SMOKE_DIR/ref/curves.txt" "$SMOKE_DIR/victim/curves.txt" \
+        || { echo "resumed campaign diverged from the undisturbed run"; exit 1; }
+
+    echo "==> dse: seeded shard chaos (kills + torn tails) must still reach full coverage"
+    "$SUP" --state-dir "$SMOKE_DIR/chaos" --shards 2 --jobs 2 \
+        --max-attempts 10 --backoff-ms 0 \
+        --chaos-seed 11 --chaos-kill 60 --chaos-tear 700 \
+        "${CFG[@]}" > /dev/null 2> /dev/null
+    diff -u "$SMOKE_DIR/ref/curves.txt" "$SMOKE_DIR/chaos/curves.txt" \
+        || { echo "chaos campaign diverged from the undisturbed run"; exit 1; }
+    grep -q "# coverage 30/30 = 1.0000" "$SMOKE_DIR/chaos/manifest.txt" \
+        || { echo "chaos campaign did not reach full coverage"; \
+             cat "$SMOKE_DIR/chaos/manifest.txt"; exit 1; }
+
+    echo "==> dse: a permanently hostile shard must degrade loudly (exit 3, FAILED manifest)"
+    RC=0
+    "$SUP" --state-dir "$SMOKE_DIR/partial" --shards 2 --jobs 2 \
+        --max-attempts 2 --backoff-ms 0 \
+        --chaos-seed 1 --chaos-kill 1000 --chaos-shard 1 \
+        "${CFG[@]}" > /dev/null 2> /dev/null || RC=$?
+    [ "$RC" -eq 3 ] \
+        || { echo "partial campaign exited $RC, expected the distinct status 3"; exit 1; }
+    grep -q "# status partial" "$SMOKE_DIR/partial/manifest.txt" \
+        || { echo "manifest does not admit partial coverage"; exit 1; }
+    grep -q "FAILED" "$SMOKE_DIR/partial/manifest.txt" \
+        || { echo "manifest does not name the failed shard"; exit 1; }
+}
+
 STAGE="${1:-all}"
 case "$STAGE" in
     lint)   stage_lint ;;
@@ -260,17 +334,19 @@ case "$STAGE" in
     golden) stage_golden ;;
     perf)   stage_perf ;;
     serve)  stage_serve ;;
+    dse)    stage_dse ;;
     all)
         stage_lint
         stage_test
         stage_golden
         stage_serve
+        stage_dse
         # Informational in the full gate: a slow or noisy local machine
         # must not fail `ci.sh all`. Run `ci.sh perf` to gate.
         stage_perf || echo "warning: perf stage failed (non-gating in 'all')"
         ;;
     *)
-        echo "usage: $0 [lint|test|golden|perf|serve|all]" >&2
+        echo "usage: $0 [lint|test|golden|perf|serve|dse|all]" >&2
         exit 2
         ;;
 esac

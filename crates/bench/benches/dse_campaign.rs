@@ -1,0 +1,74 @@
+//! Design-space campaign benchmark.
+//!
+//! Measures the per-point cost of the `dse` pipeline — the quantity
+//! that decides how large a campaign one can afford:
+//!
+//! * `taskset_generation` — one seeded UUniFast-style task-set draw;
+//! * `point_evaluation` — one full design point: task-set draw plus
+//!   response-time analysis under the ideal, fTC and ILP inflations;
+//! * `shard_points_per_sec` — end-to-end shard throughput including
+//!   the write-ahead journal (fsync per point), measured by running a
+//!   real shard to completion in-process.
+//!
+//! Writes `BENCH_dse.json`. Model-ratio derivation (two isolation
+//! simulations) happens once up front, exactly as `dse-worker` does.
+
+use contention_bench::harness::{Harness, MetaEnvelope};
+use dse::{evaluate_point, model_ratios, run_shard, DseConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("dse-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn main() {
+    // `finish()` writes BENCH_<group>.json into the working directory;
+    // anchor it at the repo root regardless of where cargo was invoked.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if let Err(e) = std::env::set_current_dir(&root) {
+        eprintln!("warning: could not enter {}: {e}", root.display());
+    }
+
+    let args: Vec<String> = std::env::args().collect();
+    let mut h = Harness::new("dse");
+    h.set_envelope(MetaEnvelope::new(&args, "dse", 1));
+
+    let cfg = DseConfig::default();
+    let ratios = model_ratios(cfg.scenario, cfg.seed).expect("model ratios");
+
+    h.sample_size(50).bench("taskset_generation", || {
+        let point = cfg.points().next().expect("non-empty space");
+        dse::gen::task_set(
+            point.taskset_seed(&cfg),
+            cfg.tasks,
+            cfg.util_ppm(point.u_idx),
+        )
+    });
+
+    let points: Vec<_> = cfg.points().collect();
+    let mut cursor = 0usize;
+    h.sample_size(50).bench("point_evaluation", || {
+        let point = points[cursor % points.len()];
+        cursor += 1;
+        evaluate_point(&cfg, point, &ratios)
+    });
+
+    // End-to-end shard throughput, journal fsyncs included.
+    let dir = scratch("shard");
+    let shard_points = cfg.shard_points(1, 0).len();
+    let t0 = Instant::now();
+    let stats = run_shard(&cfg, 1, 0, &dir, &ratios, 0, None, 0).expect("shard run");
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(stats.computed, shard_points);
+    let pps = shard_points as f64 / elapsed.max(1e-9);
+    h.ratio("shard_points_per_sec", pps);
+    println!("dse campaign: {shard_points} point(s) journaled in {elapsed:.3}s — {pps:.0} pts/s");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    h.finish();
+}

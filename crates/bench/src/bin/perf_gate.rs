@@ -91,7 +91,10 @@ fn run(baseline_path: &str, measured_path: &str) -> Result<bool, String> {
             }
             Some((_, measured)) => {
                 println!("{name:<32} {floor:>9.3} {measured:>9.3}  BELOW FLOOR");
-                failures.push(format!("{name} (floor {floor:.3}, measured {measured:.3})"));
+                failures.push(format!(
+                    "{name} (floor {floor:.3}, measured {measured:.3}, delta {:+.3})",
+                    measured - floor
+                ));
             }
             None => {
                 println!("{name:<32} {floor:>9.3} {:>9}  MISSING", "-");

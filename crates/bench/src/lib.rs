@@ -876,6 +876,7 @@ mod tests {
             }),
             watchdog_millis: None,
             journal_strict: false,
+            timeout_fault: None,
         };
         let campaign = CampaignRunner::new(&engine, config);
         // The app isolation itself fails → the whole sweep is an error.
@@ -902,6 +903,7 @@ mod tests {
                 }),
                 watchdog_millis: None,
                 journal_strict: false,
+                timeout_fault: None,
             };
             let campaign = CampaignRunner::new(&engine, config);
             let Ok(partial) = sweep_csv_partial(&campaign, DeploymentScenario::Scenario1) else {

@@ -1,0 +1,161 @@
+//! `dse-supervisor` — crash-tolerant sharded design-space campaigns.
+//!
+//! ```text
+//! dse-supervisor --state-dir DIR [--shards N] [--jobs M]
+//!                [--seed S] [--scenario sc1|sc2|low]
+//!                [--utils U] [--util-min-ppm P] [--util-max-ppm P]
+//!                [--sets K] [--tasks T]
+//!                [--watchdog-ms W] [--max-attempts A] [--backoff-ms B]
+//!                [--resume] [--worker-bin PATH] [--point-delay-ms D]
+//!                [--chaos-seed C --chaos-kill P --chaos-stall P
+//!                 --chaos-tear P [--chaos-shard I]]
+//! ```
+//!
+//! Writes `curves.txt` and `manifest.txt` into the state dir and prints
+//! both to stdout. Exit status: 0 on full coverage, 3 when any shard
+//! exhausted its retries (partial coverage — the manifest says which),
+//! 1 on error, 2 on usage.
+//!
+//! The curves are byte-identical for a fixed seed at any
+//! `--shards`/`--jobs` split, across kill -9s of workers or of this
+//! supervisor itself, and under `--resume`.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use dse::{parse_scenario, supervise, DseConfig, ShardChaos, SupervisorConfig};
+use mbta::{Backoff, RetryPolicy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dse-supervisor --state-dir DIR [options]";
+
+fn default_worker_bin() -> PathBuf {
+    // Installed next to this binary by cargo; overridable for tests.
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("dse-worker")))
+        .unwrap_or_else(|| PathBuf::from("dse-worker"))
+}
+
+fn parse_args() -> Result<SupervisorConfig, String> {
+    let mut cfg = DseConfig::default();
+    let mut state_dir: Option<PathBuf> = None;
+    let mut worker_bin = default_worker_bin();
+    let (mut shards, mut jobs) = (4u32, 2u32);
+    let mut watchdog_ms = 5_000u64;
+    let mut max_attempts = RetryPolicy::default().max_attempts;
+    let mut backoff_ms = 50u64;
+    let mut resume = false;
+    let mut point_delay_ms = 0u64;
+    let (mut chaos_seed, mut kill, mut stall, mut tear, mut only) =
+        (None::<u64>, 0u32, 0u32, 0u32, None::<u32>);
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--resume" => {
+                resume = true;
+                continue;
+            }
+            _ => {}
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+        let num = |v: &str| -> Result<u64, String> {
+            v.parse().map_err(|_| format!("bad number for {flag}: {v}"))
+        };
+        match flag.as_str() {
+            "--state-dir" => state_dir = Some(PathBuf::from(&value)),
+            "--worker-bin" => worker_bin = PathBuf::from(&value),
+            "--shards" => shards = num(&value)? as u32,
+            "--jobs" => jobs = num(&value)? as u32,
+            "--seed" => cfg.seed = num(&value)?,
+            "--scenario" => {
+                cfg.scenario =
+                    parse_scenario(&value).ok_or_else(|| format!("unknown scenario {value}"))?;
+            }
+            "--utils" => cfg.utils = num(&value)? as u32,
+            "--util-min-ppm" => cfg.util_min_ppm = num(&value)?,
+            "--util-max-ppm" => cfg.util_max_ppm = num(&value)?,
+            "--sets" => cfg.sets = num(&value)? as u32,
+            "--tasks" => cfg.tasks = num(&value)? as u32,
+            "--watchdog-ms" => watchdog_ms = num(&value)?,
+            "--max-attempts" => max_attempts = num(&value)? as u32,
+            "--backoff-ms" => backoff_ms = num(&value)?,
+            "--point-delay-ms" => point_delay_ms = num(&value)?,
+            "--chaos-seed" => chaos_seed = Some(num(&value)?),
+            "--chaos-kill" => kill = num(&value)? as u32,
+            "--chaos-stall" => stall = num(&value)? as u32,
+            "--chaos-tear" => tear = num(&value)? as u32,
+            "--chaos-shard" => only = Some(num(&value)? as u32),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let state_dir = state_dir.ok_or("--state-dir is required")?;
+    let chaos = chaos_seed.map(|seed| ShardChaos {
+        seed,
+        kill_permille: kill,
+        stall_permille: stall,
+        tear_permille: tear,
+        only_shard: only,
+    });
+    Ok(SupervisorConfig {
+        cfg,
+        shards,
+        jobs,
+        state_dir,
+        worker_bin,
+        watchdog_millis: watchdog_ms,
+        retry: RetryPolicy { max_attempts },
+        backoff: Backoff {
+            base_millis: backoff_ms,
+            ..Default::default()
+        },
+        resume,
+        chaos,
+        point_delay_millis: point_delay_ms,
+    })
+}
+
+fn main() -> ExitCode {
+    let sup = match parse_args() {
+        Ok(sup) => sup,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("dse-supervisor: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match supervise(&sup) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dse-supervisor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, text) in [
+        ("curves.txt", &report.curves_text),
+        ("manifest.txt", &report.manifest_text),
+    ] {
+        if let Err(e) = std::fs::write(sup.state_dir.join(name), text) {
+            eprintln!("dse-supervisor: writing {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{}", report.manifest_text);
+    print!("{}", report.curves_text);
+    if report.partial {
+        eprintln!(
+            "dse-supervisor: PARTIAL coverage {:.4} — see manifest.txt",
+            report.coverage.fraction()
+        );
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

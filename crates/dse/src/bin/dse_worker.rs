@@ -1,0 +1,150 @@
+//! `dse-worker` — one shard of a design-space campaign.
+//!
+//! Spawned by `dse-supervisor`; runnable by hand for debugging:
+//!
+//! ```text
+//! dse-worker --state-dir DIR --shard I --shards N
+//!            [--seed S] [--scenario sc1|sc2|low]
+//!            [--utils U] [--util-min-ppm P] [--util-max-ppm P]
+//!            [--sets K] [--tasks T] [--attempt A] [--point-delay-ms D]
+//!            [--chaos-seed C --chaos-kill P --chaos-stall P
+//!             --chaos-tear P [--chaos-shard I]]
+//! ```
+//!
+//! Exit status: 0 when the shard's done marker is written, 1 on error,
+//! 2 on usage. A chaos kill aborts (SIGABRT) — deliberately
+//! indistinguishable from an external `kill -9` to the supervisor.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use dse::{model_ratios, parse_scenario, run_shard, DseConfig, ShardChaos};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dse-worker --state-dir DIR --shard I --shards N [options]";
+
+struct Args {
+    cfg: DseConfig,
+    state_dir: PathBuf,
+    shard: u32,
+    shards: u32,
+    attempt: u32,
+    point_delay_ms: u64,
+    chaos: Option<ShardChaos>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = DseConfig::default();
+    let mut state_dir: Option<PathBuf> = None;
+    let (mut shard, mut shards, mut attempt) = (None::<u32>, None::<u32>, 0u32);
+    let mut point_delay_ms = 0u64;
+    let (mut chaos_seed, mut kill, mut stall, mut tear, mut only) =
+        (None::<u64>, 0u32, 0u32, 0u32, None::<u32>);
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+        let num = |v: &str| -> Result<u64, String> {
+            v.parse().map_err(|_| format!("bad number for {flag}: {v}"))
+        };
+        match flag.as_str() {
+            "--state-dir" => state_dir = Some(PathBuf::from(&value)),
+            "--shard" => shard = Some(num(&value)? as u32),
+            "--shards" => shards = Some(num(&value)? as u32),
+            "--seed" => cfg.seed = num(&value)?,
+            "--scenario" => {
+                cfg.scenario =
+                    parse_scenario(&value).ok_or_else(|| format!("unknown scenario {value}"))?;
+            }
+            "--utils" => cfg.utils = num(&value)? as u32,
+            "--util-min-ppm" => cfg.util_min_ppm = num(&value)?,
+            "--util-max-ppm" => cfg.util_max_ppm = num(&value)?,
+            "--sets" => cfg.sets = num(&value)? as u32,
+            "--tasks" => cfg.tasks = num(&value)? as u32,
+            "--attempt" => attempt = num(&value)? as u32,
+            "--point-delay-ms" => point_delay_ms = num(&value)?,
+            "--chaos-seed" => chaos_seed = Some(num(&value)?),
+            "--chaos-kill" => kill = num(&value)? as u32,
+            "--chaos-stall" => stall = num(&value)? as u32,
+            "--chaos-tear" => tear = num(&value)? as u32,
+            "--chaos-shard" => only = Some(num(&value)? as u32),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let state_dir = state_dir.ok_or("--state-dir is required")?;
+    let shard = shard.ok_or("--shard is required")?;
+    let shards = shards.ok_or("--shards is required")?;
+    let chaos = chaos_seed.map(|seed| ShardChaos {
+        seed,
+        kill_permille: kill,
+        stall_permille: stall,
+        tear_permille: tear,
+        only_shard: only,
+    });
+    Ok(Args {
+        cfg,
+        state_dir,
+        shard,
+        shards,
+        attempt,
+        point_delay_ms,
+        chaos,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("dse-worker: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let ratios = match model_ratios(args.cfg.scenario, args.cfg.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dse-worker: deriving model ratios: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_shard(
+        &args.cfg,
+        args.shards,
+        args.shard,
+        &args.state_dir,
+        &ratios,
+        args.attempt,
+        args.chaos.as_ref(),
+        args.point_delay_ms,
+    ) {
+        Ok(stats) => {
+            println!(
+                "dse-worker: shard {} attempt {}: {} computed, {} resumed{}",
+                args.shard,
+                args.attempt,
+                stats.computed,
+                stats.resumed,
+                if stats.truncated_bytes > 0 {
+                    format!(", torn tail truncated ({} bytes)", stats.truncated_bytes)
+                } else {
+                    String::new()
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dse-worker: shard {}: {e}", args.shard);
+            ExitCode::FAILURE
+        }
+    }
+}

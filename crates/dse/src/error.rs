@@ -1,0 +1,68 @@
+//! The crate-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from design-space campaigns.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DseError {
+    /// A batched simulation job failed while deriving model ratios.
+    Job(mbta::JobError),
+    /// A contention model rejected its inputs.
+    Model(contention::ModelError),
+    /// A shard store could not be opened or replayed.
+    Journal(mbta::JournalError),
+    /// Filesystem or process-management failure.
+    Io(std::io::Error),
+    /// Invalid campaign configuration or corrupt on-disk state.
+    Config(String),
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::Job(e) => write!(f, "profile job failed: {e}"),
+            DseError::Model(e) => write!(f, "model failed: {e}"),
+            DseError::Journal(e) => write!(f, "shard store: {e}"),
+            DseError::Io(e) => write!(f, "i/o: {e}"),
+            DseError::Config(msg) => write!(f, "config: {msg}"),
+        }
+    }
+}
+
+impl Error for DseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DseError::Job(e) => Some(e),
+            DseError::Model(e) => Some(e),
+            DseError::Journal(e) => Some(e),
+            DseError::Io(e) => Some(e),
+            DseError::Config(_) => None,
+        }
+    }
+}
+
+impl From<mbta::JobError> for DseError {
+    fn from(e: mbta::JobError) -> Self {
+        DseError::Job(e)
+    }
+}
+
+impl From<contention::ModelError> for DseError {
+    fn from(e: contention::ModelError) -> Self {
+        DseError::Model(e)
+    }
+}
+
+impl From<mbta::JournalError> for DseError {
+    fn from(e: mbta::JournalError) -> Self {
+        DseError::Journal(e)
+    }
+}
+
+impl From<std::io::Error> for DseError {
+    fn from(e: std::io::Error) -> Self {
+        DseError::Io(e)
+    }
+}

@@ -1,0 +1,272 @@
+//! Point evaluation: model-specific WCET inflation and RTA verdicts.
+//!
+//! The models in the paper bound how much a *measured* task inflates
+//! under contention. The design-space campaign transfers that inflation
+//! to *synthetic* task sets: one pair of isolation profiles (the
+//! control-loop app vs the H-Load contender, the paper's worst-case
+//! pairing) yields a per-model inflation ratio, kept as an exact
+//! rational `(bound_cycles, isolation_cycles)` so applying it to a
+//! generated WCET stays in integer arithmetic — bit-identical across
+//! platforms, workers and shard splits.
+
+use crate::config::{DseConfig, PointId};
+use crate::error::DseError;
+use crate::gen::task_set;
+use contention::rta::{analyze, PeriodicTask};
+use contention::{ContentionModel, FtcModel, IdealModel, IlpPtacModel, Platform};
+use mbta::{constraints_for, ExecEngine, SimJob};
+use tc27x_sim::{CoreId, DeploymentScenario};
+use workloads::{contender, control_loop, LoadLevel};
+
+/// An exact rational WCET inflation ratio.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Inflation {
+    /// Denominator: cycles observed in isolation.
+    pub isolation_cycles: u64,
+    /// Numerator: isolation plus the model's contention bound.
+    pub bound_cycles: u64,
+}
+
+impl Inflation {
+    /// Inflates a WCET, rounding up (bounds stay sound) and clamping to
+    /// one cycle (the RTA rejects zero-WCET tasks).
+    pub fn apply(&self, wcet: u64) -> u64 {
+        let num = u128::from(wcet) * u128::from(self.bound_cycles);
+        let den = u128::from(self.isolation_cycles.max(1));
+        (num.div_ceil(den) as u64).max(1)
+    }
+
+    /// The ratio as a float, for reports only.
+    pub fn ratio(&self) -> f64 {
+        self.bound_cycles as f64 / self.isolation_cycles.max(1) as f64
+    }
+}
+
+/// The three models' inflation ratios for one scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelRatios {
+    /// Ideal (full-PTAC, Eq. 1) — simulator-informed lower envelope.
+    pub ideal: Inflation,
+    /// fTC (Eqs. 6–8) — contender-independent, always sound.
+    pub ftc: Inflation,
+    /// ILP-PTAC (Eqs. 9–23) — scenario-tailored optimum.
+    pub ilp: Inflation,
+}
+
+/// Derives the per-model inflation ratios for `scenario`: profile the
+/// control-loop app and the H-Load contender in isolation (the paper's
+/// placement, cores 1 and 2), then ask each model for its WCET
+/// estimate. Pure in `(scenario, seed)`.
+///
+/// # Errors
+///
+/// Simulation failures surface as [`DseError::Job`], model rejections
+/// as [`DseError::Model`].
+pub fn model_ratios(scenario: DeploymentScenario, seed: u64) -> Result<ModelRatios, DseError> {
+    let platform = Platform::tc277_reference();
+    let (app_core, load_core) = (CoreId(1), CoreId(2));
+    let app_spec = control_loop(scenario, app_core, seed);
+    let load_spec = contender(scenario, LoadLevel::High, load_core, seed ^ 0xbeef);
+    let engine = ExecEngine::sequential();
+    let mut outcomes = engine
+        .run_batch(&[
+            SimJob::Isolation {
+                spec: app_spec,
+                core: app_core,
+            },
+            SimJob::Isolation {
+                spec: load_spec,
+                core: load_core,
+            },
+        ])?
+        .into_iter();
+    let (Some(app), Some(load)) = (outcomes.next(), outcomes.next()) else {
+        return Err(DseError::Config(
+            "profile batch returned fewer outcomes than jobs".to_string(),
+        ));
+    };
+    let (app, load) = (app.into_profile(), load.into_profile());
+
+    let ftc_model = match scenario {
+        DeploymentScenario::Scenario2 => FtcModel::new(&platform).assume_dirty_lmu(),
+        _ => FtcModel::new(&platform),
+    };
+    let ilp_model = IlpPtacModel::new(&platform, constraints_for(scenario));
+    let ideal_model = IdealModel::new(&platform);
+
+    let to_inflation = |est: contention::WcetEstimate| Inflation {
+        isolation_cycles: est.isolation_cycles.max(1),
+        bound_cycles: est.bound_cycles().max(1),
+    };
+    Ok(ModelRatios {
+        ideal: to_inflation(ideal_model.wcet_estimate(&app, &[&load])?),
+        ftc: to_inflation(ftc_model.wcet_estimate(&app, &[&load])?),
+        ilp: to_inflation(ilp_model.wcet_estimate(&app, &[&load])?),
+    })
+}
+
+/// Schedulability of one task set under the three models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PointVerdict {
+    /// Schedulable under the ideal model's inflation.
+    pub ideal: bool,
+    /// Schedulable under the fTC inflation.
+    pub ftc: bool,
+    /// Schedulable under the ILP-PTAC inflation.
+    pub ilp: bool,
+}
+
+fn schedulable_under(tasks: &[PeriodicTask], infl: Inflation) -> bool {
+    let inflated: Vec<PeriodicTask> = tasks
+        .iter()
+        .map(|t| PeriodicTask::new(&t.name, t.period, infl.apply(t.wcet)))
+        .collect();
+    analyze(&inflated).is_schedulable()
+}
+
+/// Evaluates one design-space point: draw its task set, inflate under
+/// each model, run response-time analysis. Pure in `(cfg, point,
+/// ratios)`.
+pub fn evaluate_point(cfg: &DseConfig, point: PointId, ratios: &ModelRatios) -> PointVerdict {
+    let tasks = task_set(
+        point.taskset_seed(cfg),
+        cfg.tasks,
+        cfg.util_ppm(point.u_idx),
+    );
+    PointVerdict {
+        ideal: schedulable_under(&tasks, ratios.ideal),
+        ftc: schedulable_under(&tasks, ratios.ftc),
+        ilp: schedulable_under(&tasks, ratios.ilp),
+    }
+}
+
+fn bit(b: bool) -> char {
+    if b {
+        '1'
+    } else {
+        '0'
+    }
+}
+
+/// Renders a point result as its canonical store value.
+pub fn encode_verdict(point: PointId, v: PointVerdict) -> String {
+    format!(
+        "pt {} {} {}{}{}",
+        point.u_idx,
+        point.rep,
+        bit(v.ideal),
+        bit(v.ftc),
+        bit(v.ilp)
+    )
+}
+
+/// Parses a store value written by [`encode_verdict`].
+///
+/// # Errors
+///
+/// A human-readable description of the malformation.
+pub fn decode_verdict(value: &str) -> Result<(PointId, PointVerdict), String> {
+    let fields: Vec<&str> = value.split(' ').collect();
+    let ["pt", u_idx, rep, bits] = fields.as_slice() else {
+        return Err(format!("not a point record: `{value}`"));
+    };
+    let u_idx: u32 = u_idx
+        .parse()
+        .map_err(|_| format!("bad u_idx in `{value}`"))?;
+    let rep: u32 = rep.parse().map_err(|_| format!("bad rep in `{value}`"))?;
+    let flags: Vec<bool> = bits
+        .chars()
+        .map(|c| match c {
+            '1' => Ok(true),
+            '0' => Ok(false),
+            _ => Err(format!("bad verdict bit `{c}` in `{value}`")),
+        })
+        .collect::<Result<_, _>>()?;
+    let [ideal, ftc, ilp] = flags.as_slice() else {
+        return Err(format!("expected 3 verdict bits in `{value}`"));
+    };
+    Ok((
+        PointId { u_idx, rep },
+        PointVerdict {
+            ideal: *ideal,
+            ftc: *ftc,
+            ilp: *ilp,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflation_rounds_up_and_never_deflates_to_zero() {
+        let infl = Inflation {
+            isolation_cycles: 3,
+            bound_cycles: 4,
+        };
+        assert_eq!(infl.apply(3), 4);
+        assert_eq!(infl.apply(1), 2); // ceil(4/3)
+        assert_eq!(infl.apply(0), 1); // clamped for the RTA
+        let identity = Inflation {
+            isolation_cycles: 7,
+            bound_cycles: 7,
+        };
+        assert_eq!(identity.apply(123), 123);
+    }
+
+    #[test]
+    fn model_ratios_are_deterministic_and_ordered() {
+        let a = model_ratios(DeploymentScenario::Scenario1, 42).unwrap();
+        let b = model_ratios(DeploymentScenario::Scenario1, 42).unwrap();
+        assert_eq!(a, b);
+        // fTC is contender-independent and must dominate the tailored
+        // ILP bound; every bound is at least the isolation time.
+        assert!(a.ftc.ratio() >= a.ilp.ratio() - 1e-12, "{a:?}");
+        assert!(a.ideal.ratio() >= 1.0 && a.ilp.ratio() >= 1.0, "{a:?}");
+    }
+
+    #[test]
+    fn verdict_encoding_round_trips() {
+        let p = PointId { u_idx: 3, rep: 11 };
+        for v in [
+            PointVerdict {
+                ideal: true,
+                ftc: false,
+                ilp: true,
+            },
+            PointVerdict {
+                ideal: false,
+                ftc: false,
+                ilp: false,
+            },
+        ] {
+            let enc = encode_verdict(p, v);
+            assert_eq!(decode_verdict(&enc), Ok((p, v)));
+        }
+        assert!(decode_verdict("pt x 1 101").is_err());
+        assert!(decode_verdict("pt 1 1 10").is_err());
+        assert!(decode_verdict("nope").is_err());
+    }
+
+    #[test]
+    fn harsher_inflation_never_rescues_a_set() {
+        // Monotonicity: if a set fails under the ideal ratio it must
+        // fail under the (larger) fTC ratio too.
+        let ratios = model_ratios(DeploymentScenario::Scenario1, 7).unwrap();
+        let cfg = DseConfig {
+            utils: 6,
+            sets: 8,
+            ..Default::default()
+        };
+        for point in cfg.points() {
+            let v = evaluate_point(&cfg, point, &ratios);
+            if !v.ideal {
+                assert!(!v.ftc, "ftc passed where ideal failed at {point:?}");
+            }
+            if !v.ilp {
+                assert!(!v.ftc, "ftc passed where ilp failed at {point:?}");
+            }
+        }
+    }
+}

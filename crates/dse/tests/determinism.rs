@@ -1,0 +1,115 @@
+//! Partition- and crash-invariance of merged campaign curves.
+//!
+//! The headline guarantee of `dse`: for a fixed seed, the merged
+//! curves are byte-identical at any `--shards`/`--jobs` split, and a
+//! campaign that loses workers *and* its supervisor to `kill -9`
+//! reproduces the undisturbed bytes after `--resume`.
+
+use dse::{supervise, DseConfig, SupervisorConfig};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dse_determinism_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_cfg() -> DseConfig {
+    DseConfig {
+        seed: 7,
+        utils: 5,
+        sets: 6,
+        tasks: 3,
+        ..Default::default()
+    }
+}
+
+fn sup(cfg: DseConfig, dir: PathBuf, shards: u32, jobs: u32) -> SupervisorConfig {
+    let mut sup = SupervisorConfig::new(cfg, dir, PathBuf::from(env!("CARGO_BIN_EXE_dse-worker")));
+    sup.shards = shards;
+    sup.jobs = jobs;
+    sup
+}
+
+fn kill9(pid: &str) {
+    let _ = Command::new("kill").args(["-9", pid]).status();
+}
+
+/// Kills every worker whose pid file is still live in `dir`.
+fn kill_workers(dir: &Path, shards: u32) {
+    for shard in 0..shards {
+        let pid_file = dir.join(format!("shard-{shard:04}.pid"));
+        if let Ok(pid) = std::fs::read_to_string(&pid_file) {
+            kill9(pid.trim());
+        }
+    }
+}
+
+#[test]
+fn curves_are_invariant_under_partition_and_parallelism() {
+    let cfg = small_cfg();
+    let a = supervise(&sup(cfg.clone(), scratch("serial"), 1, 1)).unwrap();
+    let b = supervise(&sup(cfg.clone(), scratch("wide"), 4, 3)).unwrap();
+    assert!(!a.partial && !b.partial);
+    assert!(a.coverage.is_complete() && b.coverage.is_complete());
+    assert_eq!(
+        a.curves_text, b.curves_text,
+        "1x1 and 4x3 partitions must merge to identical bytes"
+    );
+    // The manifests differ (shard counts), but both must say complete.
+    assert!(a.manifest_text.contains("# status complete"));
+    assert!(b.manifest_text.contains("# status complete"));
+}
+
+#[test]
+fn resume_after_kill9_of_worker_and_supervisor_matches_oracle() {
+    let cfg = small_cfg();
+    let oracle = supervise(&sup(cfg.clone(), scratch("oracle"), 2, 2)).unwrap();
+    assert!(oracle.coverage.is_complete());
+
+    // Launch a slow campaign out of process so we can kill -9 freely.
+    let dir = scratch("victim");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dse-supervisor"))
+        .args(["--state-dir", dir.to_str().unwrap()])
+        .args(["--shards", "2", "--jobs", "2"])
+        .args(["--seed", "7", "--utils", "5", "--sets", "6", "--tasks", "3"])
+        .args(["--point-delay-ms", "60"])
+        .args(["--worker-bin", env!("CARGO_BIN_EXE_dse-worker")])
+        .spawn()
+        .unwrap();
+
+    // Wait until at least one worker has published a pid and made
+    // progress (its heartbeat file exists), then kill it mid-shard.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let worker_pid = loop {
+        assert!(Instant::now() < deadline, "no worker progress before kill");
+        let hb = dir.join("shard-0000.hb");
+        let pid_file = dir.join("shard-0000.pid");
+        if hb.exists() {
+            if let Ok(pid) = std::fs::read_to_string(&pid_file) {
+                break pid.trim().to_string();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    kill9(&worker_pid);
+    // Let the supervisor notice and respawn, then take the supervisor
+    // itself down hard, orphaning whatever workers remain.
+    std::thread::sleep(Duration::from_millis(300));
+    kill9(&child.id().to_string());
+    let _ = child.wait();
+    kill_workers(&dir, 2);
+
+    // Resume in-process: must converge to the oracle's exact bytes.
+    let mut resumed = sup(cfg, dir, 2, 2);
+    resumed.resume = true;
+    let report = supervise(&resumed).unwrap();
+    assert!(report.coverage.is_complete(), "{}", report.manifest_text);
+    assert_eq!(
+        report.curves_text, oracle.curves_text,
+        "resumed curves must be byte-identical to the undisturbed run"
+    );
+}

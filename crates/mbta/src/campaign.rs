@@ -13,13 +13,16 @@
 //!   every job is a pure function of its spec and results merge by
 //!   batch index, the resumed output is byte-identical to an
 //!   uninterrupted run at any worker count;
-//! * **deterministic bounded retries**: transient faults
-//!   ([`JobFailure::Transient`], e.g. an injected dropped counter
-//!   read) are retried up to [`RetryPolicy::max_attempts`] times, with
-//!   the attempt count folded into the job's SplitMix64 seed — the
-//!   MBTA equivalent of re-measuring after a bad counter read.
-//!   Permanent failures (simulation errors, panics, timeouts) never
-//!   retry;
+//! * **deterministic bounded retries** (policy shared through
+//!   [`crate::retry`]): transient faults ([`JobFailure::Transient`],
+//!   e.g. an injected dropped counter read) are retried up to
+//!   [`RetryPolicy::max_attempts`] times with the attempt count folded
+//!   into the job's SplitMix64 seed — the MBTA equivalent of
+//!   re-measuring after a bad counter read. Watchdog expiries retry
+//!   too, but with the *original* seed: the expiry is environmental,
+//!   so a job that times out and then succeeds reproduces the
+//!   undisturbed result exactly. Permanent failures (simulation
+//!   errors, panics) never retry;
 //! * **a wall-clock watchdog** complementing the simulator's
 //!   `max_cycles` guard: a job that exceeds
 //!   [`CampaignConfig::watchdog_millis`] of host time is recorded as
@@ -38,6 +41,7 @@ use crate::exec::{
 };
 use crate::journal::{Journal, JournalEntry, JournalError, JournaledOutcome, RecoveryReport};
 use crate::pool;
+use crate::retry::{classify, fold_seed, FailureClass, RetryPolicy};
 use contention::StableHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{self, AssertUnwindSafe};
@@ -47,20 +51,6 @@ use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 use tc27x_sim::rng::SplitMix64;
-
-/// Bounded retry policy for transient failures.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Total attempts per job, the first included (≥ 1). Only
-    /// [`JobFailure::Transient`] failures consume further attempts.
-    pub max_attempts: u32,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy { max_attempts: 3 }
-    }
-}
 
 /// Deterministic transient-fault injection: before each attempt a
 /// SplitMix64 stream seeded from `(plan seed, job key, attempt)` decides
@@ -117,6 +107,16 @@ pub struct CampaignConfig {
     /// job computes, so a journal written under either policy replays
     /// into the other.
     pub journal_strict: bool,
+    /// Optional deterministic *watchdog-expiry* injection: a pure
+    /// `(seed, key, attempt)` plan that records an attempt as
+    /// [`JobFailure::TimedOut`] without running it — the test seam for
+    /// the watchdog-vs-retry interaction. Like the watchdog itself it
+    /// is **excluded** from the config fingerprint: an expiry is an
+    /// environmental event and never changes what a completed job
+    /// computes, so the retried job runs with its *original* seed and
+    /// the recovered campaign output is byte-identical to one that
+    /// never timed out.
+    pub timeout_fault: Option<FaultPlan>,
 }
 
 impl CampaignConfig {
@@ -395,8 +395,16 @@ impl<'e> CampaignRunner<'e> {
     }
 
     /// Executes one attempt of `job`, with fault injection and the
-    /// watchdog applied.
-    fn attempt(&self, job: &SimJob, key: u64, attempt: u32) -> Result<SimOutcome, JobFailure> {
+    /// watchdog applied. `reseeds` counts the *re-measuring* retries so
+    /// far — the value folded into the seed; same-seed retries (after a
+    /// timeout) advance `attempt` without advancing it.
+    fn attempt(
+        &self,
+        job: &SimJob,
+        key: u64,
+        attempt: u32,
+        reseeds: u32,
+    ) -> Result<SimOutcome, JobFailure> {
         if let Some(plan) = &self.config.fault {
             if plan.injects(key, attempt) {
                 self.injected.fetch_add(1, Ordering::Relaxed);
@@ -405,8 +413,16 @@ impl<'e> CampaignRunner<'e> {
                 });
             }
         }
+        if let Some(plan) = &self.config.timeout_fault {
+            if plan.injects(key, attempt) {
+                self.timed_out.fetch_add(1, Ordering::Relaxed);
+                return Err(JobFailure::TimedOut {
+                    millis: self.config.watchdog_millis.unwrap_or(0),
+                });
+            }
+        }
         self.executed.fetch_add(1, Ordering::Relaxed);
-        let run = job_for_attempt(job, attempt);
+        let run = job_for_attempt(job, reseeds);
         match self.config.watchdog_millis {
             None => {
                 // No watchdog: run on the engine itself, which brings
@@ -442,8 +458,9 @@ impl<'e> CampaignRunner<'e> {
     fn run_one(&self, job: &SimJob, key: u64) -> Result<SimOutcome, JobFailure> {
         let max_attempts = self.config.retry.max_attempts.max(1);
         let mut attempt = 0;
+        let mut reseeds = 0;
         loop {
-            let mut result = self.attempt(job, key, attempt);
+            let mut result = self.attempt(job, key, attempt, reseeds);
             if let Some(failure) = self.journal_append(key, attempt, &result) {
                 result = Err(failure);
             }
@@ -453,7 +470,10 @@ impl<'e> CampaignRunner<'e> {
                     lock(&self.failed).remove(&key);
                     return Ok(outcome);
                 }
-                Err(failure) if failure.is_transient() && attempt + 1 < max_attempts => {
+                Err(failure) if attempt + 1 < max_attempts && classify(&failure).is_transient() => {
+                    if classify(&failure) == (FailureClass::Transient { reseed: true }) {
+                        reseeds += 1;
+                    }
                     self.retried.fetch_add(1, Ordering::Relaxed);
                     attempt += 1;
                 }
@@ -553,28 +573,26 @@ fn describe(job: &SimJob) -> String {
     }
 }
 
-/// The job actually executed for a given attempt: attempt 0 is the
-/// original job (so unfaulted campaigns are byte-identical to plain
-/// engine runs); later attempts fold the attempt count into every task
-/// seed through SplitMix64 — a fresh, deterministic re-measurement.
-fn job_for_attempt(job: &SimJob, attempt: u32) -> SimJob {
-    if attempt == 0 {
+/// The job actually executed for a given *re-measuring* retry count:
+/// count 0 is the original job (so unfaulted campaigns — and campaigns
+/// whose only failures were environmental timeouts — are byte-identical
+/// to plain engine runs); later counts fold into every task seed
+/// through SplitMix64 ([`crate::retry::fold_seed`]) — a fresh,
+/// deterministic re-measurement.
+fn job_for_attempt(job: &SimJob, reseeds: u32) -> SimJob {
+    if reseeds == 0 {
         return job.clone();
     }
     let mut run = job.clone();
     match &mut run {
-        SimJob::Isolation { spec, .. } => spec.seed = fold_seed(spec.seed, attempt),
+        SimJob::Isolation { spec, .. } => spec.seed = fold_seed(spec.seed, reseeds),
         SimJob::Corun { app, load, .. } => {
-            app.seed = fold_seed(app.seed, attempt);
-            load.seed = fold_seed(load.seed, attempt);
+            app.seed = fold_seed(app.seed, reseeds);
+            load.seed = fold_seed(load.seed, reseeds);
         }
         SimJob::Poison => {}
     }
     run
-}
-
-fn fold_seed(seed: u64, attempt: u32) -> u64 {
-    SplitMix64::new(seed ^ u64::from(attempt)).next_u64()
 }
 
 /// Executes `job` on a helper thread and gives up after `millis` of
@@ -701,6 +719,7 @@ mod tests {
             }),
             watchdog_millis: None,
             journal_strict: false,
+            timeout_fault: None,
         };
         let campaign = CampaignRunner::new(&engine, config);
         let results = campaign.run_batch_detailed(&batch());
@@ -731,6 +750,7 @@ mod tests {
             }),
             watchdog_millis: None,
             journal_strict: false,
+            timeout_fault: None,
         };
         let campaign = CampaignRunner::new(&engine, config);
         let jobs = batch();

@@ -1,0 +1,330 @@
+//! Record-by-record inspection of journal and store files — the chaos
+//! triage view.
+//!
+//! [`Journal::resume`](crate::Journal::resume) and
+//! [`Store::open`](crate::Store::open) are deliberately opinionated:
+//! they truncate torn tails and refuse interior corruption. When a
+//! chaos run (or a real incident) leaves a suspicious file behind,
+//! operators need the opposite — a **lenient, read-only dump** that
+//! shows every line's checksum verdict, byte offset and length, and
+//! where a torn tail starts, without modifying the file or stopping at
+//! the first problem. That is what [`inspect_path`] provides and the
+//! `journal-inspect` bin renders.
+
+use crate::journal::check_frame;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which on-disk format the header announces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// `mbta-journal v1` — campaign outcome journal.
+    Journal,
+    /// `mbta-store v1` — content-addressed key/value store.
+    Store,
+    /// No recognisable header (foreign or damaged file).
+    Unknown,
+}
+
+impl FileKind {
+    /// Display token.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FileKind::Journal => "journal",
+            FileKind::Store => "store",
+            FileKind::Unknown => "unknown",
+        }
+    }
+}
+
+/// One scanned line.
+#[derive(Clone, Debug)]
+pub struct RecordInfo {
+    /// 1-based line number (line 1 is the header).
+    pub line: usize,
+    /// Byte offset of the line start within the file.
+    pub offset: u64,
+    /// Line length in bytes, trailing newline excluded.
+    pub length: usize,
+    /// Whether the line ended with a newline (a missing one on the
+    /// final line is the signature of a torn append).
+    pub terminated: bool,
+    /// Whether the `<crc16hex> <body>` frame verified.
+    pub crc_ok: bool,
+    /// The record key parsed from the body's leading field (`None` for
+    /// the header and for lines whose body is not a record).
+    pub key: Option<u64>,
+    /// The record body (checksum field stripped) when the frame
+    /// verified, otherwise the raw line.
+    pub body: String,
+}
+
+/// Where a torn tail starts, when the final line is damaged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset at which recovery would truncate the file.
+    pub offset: u64,
+    /// Bytes from there to end-of-file.
+    pub bytes: u64,
+}
+
+/// The full scan result of one file.
+#[derive(Clone, Debug)]
+pub struct InspectReport {
+    /// The inspected path.
+    pub path: PathBuf,
+    /// Format announced by the header.
+    pub kind: FileKind,
+    /// Every line, in file order (header included).
+    pub records: Vec<RecordInfo>,
+    /// Lines whose checksum verified (header included).
+    pub intact: usize,
+    /// Lines whose checksum failed *before* the final line — interior
+    /// corruption, which recovery refuses.
+    pub interior_bad: usize,
+    /// Damaged or unterminated final line — what recovery would
+    /// truncate away.
+    pub torn_tail: Option<TornTail>,
+}
+
+impl InspectReport {
+    /// One-line verdict for the file.
+    pub fn verdict(&self) -> String {
+        let state = if self.interior_bad > 0 {
+            "INTERIOR CORRUPTION (recovery would refuse this file)".to_string()
+        } else if let Some(t) = self.torn_tail {
+            format!(
+                "torn tail at byte {} ({} byte(s); recovery would truncate)",
+                t.offset, t.bytes
+            )
+        } else {
+            "clean".to_string()
+        };
+        format!(
+            "{}: {} · {} line(s), {} intact · {state}",
+            self.path.display(),
+            self.kind.tag(),
+            self.records.len(),
+            self.intact,
+        )
+    }
+}
+
+/// Scans `path` without modifying it. Never fails on content — only on
+/// I/O. An empty file yields an empty report of [`FileKind::Unknown`].
+///
+/// # Errors
+///
+/// Propagates file-read errors.
+pub fn inspect_path(path: &Path) -> io::Result<InspectReport> {
+    let raw = std::fs::read(path)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut records = Vec::new();
+    let mut intact = 0usize;
+    let mut interior_bad = 0usize;
+    let mut torn_tail = None;
+    let mut kind = FileKind::Unknown;
+
+    // Mirror the recovery scan: split into (line, terminated) segments
+    // so a missing trailing newline stays visible.
+    let mut segments: Vec<(&str, bool)> = Vec::new();
+    let mut rest: &str = &text;
+    while let Some(pos) = rest.find('\n') {
+        segments.push((&rest[..pos], true));
+        rest = &rest[pos + 1..];
+    }
+    if !rest.is_empty() {
+        segments.push((rest, false));
+    }
+
+    let last = segments.len().saturating_sub(1);
+    let mut offset = 0u64;
+    for (i, (line, terminated)) in segments.iter().enumerate() {
+        let framed = check_frame(line);
+        let crc_ok = framed.is_ok();
+        let body = match framed {
+            Ok(b) => b.to_string(),
+            Err(_) => (*line).to_string(),
+        };
+        if i == 0 && crc_ok {
+            kind = if body.starts_with("mbta-journal v1") {
+                FileKind::Journal
+            } else if body.starts_with("mbta-store v1") {
+                FileKind::Store
+            } else {
+                FileKind::Unknown
+            };
+        }
+        let damaged = !crc_ok || !terminated;
+        if !damaged {
+            intact += 1;
+        } else if i == last {
+            torn_tail = Some(TornTail {
+                offset,
+                bytes: raw.len() as u64 - offset,
+            });
+        } else {
+            interior_bad += 1;
+        }
+        let key = if i == 0 {
+            None
+        } else {
+            body.split(' ')
+                .next()
+                .filter(|f| f.len() == 16)
+                .and_then(|f| u64::from_str_radix(f, 16).ok())
+        };
+        records.push(RecordInfo {
+            line: i + 1,
+            offset,
+            length: line.len(),
+            terminated: *terminated,
+            crc_ok,
+            key,
+            body,
+        });
+        offset += line.len() as u64 + u64::from(*terminated);
+    }
+
+    Ok(InspectReport {
+        path: path.to_path_buf(),
+        kind,
+        records,
+        intact,
+        interior_bad,
+        torn_tail,
+    })
+}
+
+/// Renders a report the way the `journal-inspect` bin prints it: the
+/// verdict line, then (unless `summary_only`) one line per record with
+/// offset, length, CRC status, key and body.
+pub fn render(report: &InspectReport, summary_only: bool) -> String {
+    let mut out = report.verdict();
+    out.push('\n');
+    if summary_only {
+        return out;
+    }
+    for r in &report.records {
+        let status = if r.crc_ok && r.terminated {
+            "ok  "
+        } else if !r.crc_ok {
+            "BAD "
+        } else {
+            "TORN"
+        };
+        let key = match r.key {
+            Some(k) => format!("{k:016x}"),
+            None => "-".repeat(16),
+        };
+        out.push_str(&format!(
+            "  line {:>4} @{:>8} len {:>5} crc {status} key {key}  {}\n",
+            r.line, r.offset, r.length, r.body
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SimOutcome;
+    use crate::journal::Journal;
+    use crate::store::Store;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mbta-inspect-unit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn clean_journal_reports_every_record_intact() {
+        let path = tmp("clean");
+        let journal = Journal::create(&path, 0xc0ffee).unwrap();
+        journal.append(0x11, 0, &Ok(SimOutcome::Corun(10))).unwrap();
+        journal.append(0x22, 1, &Ok(SimOutcome::Corun(20))).unwrap();
+        drop(journal);
+        let report = inspect_path(&path).unwrap();
+        assert_eq!(report.kind, FileKind::Journal);
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.intact, 3);
+        assert_eq!(report.interior_bad, 0);
+        assert_eq!(report.torn_tail, None);
+        assert_eq!(report.records[1].key, Some(0x11));
+        assert_eq!(report.records[2].key, Some(0x22));
+        assert!(report.verdict().contains("clean"));
+        let rendered = render(&report, false);
+        assert!(rendered.contains("ok corun 10"), "{rendered}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_position_matches_recovery_truncation() {
+        let path = tmp("torn");
+        let journal = Journal::create(&path, 7).unwrap();
+        journal.append(0x1, 0, &Ok(SimOutcome::Corun(10))).unwrap();
+        journal.append(0x2, 0, &Ok(SimOutcome::Corun(20))).unwrap();
+        drop(journal);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 9]).unwrap();
+
+        let report = inspect_path(&path).unwrap();
+        let torn = report.torn_tail.expect("tail must be reported torn");
+        assert_eq!(report.interior_bad, 0);
+        // The reported offset is exactly where Journal::resume truncates.
+        let (_, entries, recovery) = Journal::resume(&path, 7).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(recovery.truncated_bytes, torn.bytes);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), torn.offset);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_flagged_not_fatal() {
+        let path = tmp("interior");
+        let journal = Journal::create(&path, 7).unwrap();
+        journal.append(0x1, 0, &Ok(SimOutcome::Corun(10))).unwrap();
+        journal.append(0x2, 0, &Ok(SimOutcome::Corun(20))).unwrap();
+        drop(journal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = bytes.iter().position(|&b| b == b'\n').unwrap() + 20;
+        bytes[off] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let report = inspect_path(&path).unwrap();
+        assert_eq!(report.interior_bad, 1);
+        assert!(report.verdict().contains("INTERIOR CORRUPTION"));
+        assert!(render(&report, false).contains("BAD"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_files_are_recognised_and_keyed() {
+        let path = tmp("store");
+        let store = Store::create(&path, "inspect-test", 42).unwrap();
+        store.put(0xabc, "hello world").unwrap();
+        drop(store);
+        let report = inspect_path(&path).unwrap();
+        assert_eq!(report.kind, FileKind::Store);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[1].key, Some(0xabc));
+        assert!(report.torn_tail.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_and_empty_files_do_not_error() {
+        let path = tmp("foreign");
+        std::fs::write(&path, "intensity_permille,ftc_ratio\n0,1.0\n").unwrap();
+        let report = inspect_path(&path).unwrap();
+        assert_eq!(report.kind, FileKind::Unknown);
+        assert!(report.records.iter().all(|r| !r.crc_ok));
+        std::fs::write(&path, "").unwrap();
+        let report = inspect_path(&path).unwrap();
+        assert!(report.records.is_empty());
+        assert_eq!(report.torn_tail, None);
+        std::fs::remove_file(&path).ok();
+    }
+}

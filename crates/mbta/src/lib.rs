@@ -47,9 +47,11 @@ mod campaign;
 mod exec;
 mod experiment;
 mod faults;
+pub mod inspect;
 mod journal;
 mod pool;
 pub mod report;
+pub mod retry;
 mod runner;
 pub mod store;
 pub mod telemetry;
@@ -57,7 +59,6 @@ pub mod telemetry;
 pub use calibration::{calibrate, calibrate_with, Calibration};
 pub use campaign::{
     CampaignConfig, CampaignManifest, CampaignRunner, CampaignStats, FaultPlan, ManifestEntry,
-    RetryPolicy,
 };
 pub use exec::{
     job_key, BatchRunner, EngineReport, ExecEngine, JobError, JobFailure, SimJob, SimOutcome,
@@ -70,6 +71,7 @@ pub use faults::{perturb_profile, to_sim_counters};
 pub use journal::{
     Journal, JournalEntry, JournalError, JournaledOutcome, RecordSink, RecoveryReport,
 };
+pub use retry::{Backoff, FailureClass, RetryPolicy};
 pub use runner::{
     hwm_campaign, hwm_campaign_with, isolation_profile, isolation_profile_budgeted, observed_corun,
     observed_corun_budgeted, to_model_counters, to_model_counts, HwmMeasurement,

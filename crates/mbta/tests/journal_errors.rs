@@ -79,6 +79,7 @@ fn config(strict: bool) -> CampaignConfig {
         fault: None,
         watchdog_millis: None,
         journal_strict: strict,
+        timeout_fault: None,
     }
 }
 

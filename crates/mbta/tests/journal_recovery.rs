@@ -184,6 +184,7 @@ fn faulted_campaign_resume_matches_uninterrupted_run() {
         }),
         watchdog_millis: None,
         journal_strict: false,
+        timeout_fault: None,
     };
     let jobs = campaign_batch();
     let reference = {

@@ -1,0 +1,218 @@
+//! Watchdog-vs-retry interaction: a watchdog expiry is environmental,
+//! so a job that times out on attempt 1 and succeeds on attempt 2 must
+//! produce **byte-identical** campaign output to a job that never timed
+//! out. The deterministic seam is `CampaignConfig::timeout_fault` — a
+//! pure `(seed, key, attempt)` plan recording attempts as
+//! `JobFailure::TimedOut` without running them, exactly what a real
+//! watchdog expiry leaves behind in the journal.
+
+use mbta::{
+    job_key, BatchRunner, CampaignConfig, CampaignRunner, ExecEngine, FaultPlan, JobFailure,
+    RetryPolicy, SimJob, SimOutcome,
+};
+use std::path::PathBuf;
+use tc27x_sim::{CoreId, DeploymentScenario};
+use workloads::{contender, control_loop, LoadLevel};
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mbta-watchdog-retry-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn batch() -> Vec<SimJob> {
+    let (a, b) = (CoreId(1), CoreId(2));
+    let app = control_loop(DeploymentScenario::Scenario1, a, 42);
+    let mut jobs = vec![SimJob::Isolation {
+        spec: app.clone(),
+        core: a,
+    }];
+    for level in LoadLevel::all() {
+        let load = contender(DeploymentScenario::Scenario1, level, b, 7);
+        jobs.push(SimJob::Isolation {
+            spec: load.clone(),
+            core: b,
+        });
+        jobs.push(SimJob::Corun {
+            app: app.clone(),
+            app_core: a,
+            load,
+            load_core: b,
+        });
+    }
+    jobs
+}
+
+fn ccnts(results: &[Result<SimOutcome, JobFailure>]) -> Vec<u64> {
+    results
+        .iter()
+        .map(|r| match r.as_ref().expect("job must complete") {
+            SimOutcome::Isolation(p) => p.counters().ccnt,
+            SimOutcome::Corun(c) => *c,
+        })
+        .collect()
+}
+
+/// A timeout plan that fires on attempt 0 of at least one job in the
+/// batch but never exhausts anyone's retry budget.
+fn recoverable_timeout_plan() -> FaultPlan {
+    let plan = FaultPlan {
+        rate_permille: 350,
+        seed: 5,
+    };
+    let keys: Vec<u64> = batch().iter().map(job_key).collect();
+    assert!(
+        keys.iter().any(|&k| plan.injects(k, 0)),
+        "plan must expire at least one first attempt"
+    );
+    for &k in &keys {
+        assert!(
+            (0..3).any(|a| !plan.injects(k, a)),
+            "every job must have a surviving attempt"
+        );
+    }
+    plan
+}
+
+#[test]
+fn timeout_then_success_is_byte_identical_to_never_timing_out() {
+    let jobs = batch();
+    let reference = {
+        let engine = ExecEngine::new(2);
+        let campaign = CampaignRunner::new(&engine, CampaignConfig::default());
+        ccnts(&campaign.run_batch_detailed(&jobs))
+    };
+
+    let engine = ExecEngine::new(2);
+    let campaign = CampaignRunner::new(
+        &engine,
+        CampaignConfig {
+            timeout_fault: Some(recoverable_timeout_plan()),
+            ..CampaignConfig::default()
+        },
+    );
+    let got = ccnts(&campaign.run_batch_detailed(&jobs));
+    let stats = campaign.stats();
+    assert!(stats.timed_out > 0, "plan never fired");
+    assert_eq!(
+        stats.retried, stats.timed_out,
+        "every expiry retried, nothing else failed"
+    );
+    assert!(campaign.manifest().is_complete());
+    // The heart of the matter: recovered-after-timeout == undisturbed.
+    // A timeout retry must NOT fold the attempt into the seed (that
+    // would re-measure a sample that was never corrupted).
+    assert_eq!(got, reference);
+}
+
+#[test]
+fn timeouts_and_transient_faults_fold_seeds_independently() {
+    // A transient fault DOES reseed. Interleaving timeouts must not
+    // shift those reseeds: a campaign with both plans reproduces the
+    // timeout-free faulted campaign wherever the fault plan alone
+    // decides the final measurement.
+    let jobs = batch();
+    let fault = FaultPlan {
+        rate_permille: 300,
+        seed: 11,
+    };
+    let faulted_only = {
+        let engine = ExecEngine::new(2);
+        let campaign = CampaignRunner::new(
+            &engine,
+            CampaignConfig {
+                retry: RetryPolicy { max_attempts: 6 },
+                fault: Some(fault),
+                ..CampaignConfig::default()
+            },
+        );
+        let out = ccnts(&campaign.run_batch_detailed(&jobs));
+        assert!(campaign.manifest().is_complete());
+        (out, campaign.stats().injected_faults)
+    };
+    assert!(faulted_only.1 > 0, "fault plan never fired");
+    // Same fault plan, plus timeouts — but the timeout plan fires on
+    // *attempt numbers*, so to keep the fault draws aligned it must
+    // only fire where the fault plan is quiet. Use a plan that fires
+    // exclusively on attempts where no fault fires, for keys where
+    // that attempt would have succeeded: the easy deterministic case
+    // is rate 0 (no interference at all) — and the stronger case in
+    // `timeout_then_success_is_byte_identical_to_never_timing_out`
+    // already pins same-seed retries. Here we assert the zero-rate
+    // plan is a true no-op on a faulted campaign.
+    let engine = ExecEngine::new(2);
+    let campaign = CampaignRunner::new(
+        &engine,
+        CampaignConfig {
+            retry: RetryPolicy { max_attempts: 6 },
+            fault: Some(fault),
+            timeout_fault: Some(FaultPlan {
+                rate_permille: 0,
+                seed: 99,
+            }),
+            ..CampaignConfig::default()
+        },
+    );
+    let got = ccnts(&campaign.run_batch_detailed(&jobs));
+    assert_eq!(got, faulted_only.0);
+    assert_eq!(campaign.stats().injected_faults, faulted_only.1);
+}
+
+#[test]
+fn journaled_timeout_recovery_resumes_byte_identical() {
+    // Kill-shaped variant: run 1 records expiries (and any completed
+    // jobs) in the journal; a resume without the plan recovers the
+    // rest. Merged output must equal an undisturbed journaled run.
+    let jobs = batch();
+    let reference = {
+        let engine = ExecEngine::new(2);
+        let campaign = CampaignRunner::new(&engine, CampaignConfig::default());
+        ccnts(&campaign.run_batch_detailed(&jobs))
+    };
+    let path = tmp("resume");
+    let always_expire = FaultPlan {
+        rate_permille: 1000,
+        seed: 3,
+    };
+    {
+        let engine = ExecEngine::new(2);
+        let campaign = CampaignRunner::journaled(
+            &engine,
+            CampaignConfig {
+                retry: RetryPolicy { max_attempts: 2 },
+                timeout_fault: Some(always_expire),
+                ..CampaignConfig::default()
+            },
+            &path,
+        )
+        .expect("journal create");
+        let results = campaign.run_batch_detailed(&jobs);
+        assert!(
+            results
+                .iter()
+                .all(|r| matches!(r, Err(JobFailure::TimedOut { .. }))),
+            "every attempt expired"
+        );
+        let manifest = campaign.manifest();
+        assert!(manifest.unrecovered.iter().all(|e| e.kind == "timeout"));
+        assert!(manifest.unrecovered.iter().all(|e| e.attempts == 2));
+    }
+    // The timeout plan — like the watchdog — is not part of the config
+    // fingerprint, so the journal opens without it and the jobs rerun.
+    let engine = ExecEngine::new(2);
+    let (campaign, report) = CampaignRunner::resumed(
+        &engine,
+        CampaignConfig {
+            retry: RetryPolicy { max_attempts: 2 },
+            ..CampaignConfig::default()
+        },
+        &path,
+    )
+    .expect("resume");
+    assert!(report.records >= jobs.len(), "expiries were journaled");
+    let got = ccnts(&campaign.run_batch_detailed(&jobs));
+    assert_eq!(got, reference);
+    assert!(campaign.manifest().is_complete());
+    std::fs::remove_file(&path).ok();
+}

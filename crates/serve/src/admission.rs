@@ -48,7 +48,10 @@ struct State<T> {
     queued: usize,
     seq: u64,
     closed: bool,
-    shed: u64,
+    /// Offers shed because the tenant's own queue was full.
+    shed_tenant: u64,
+    /// Offers shed because the cross-tenant global cap was reached.
+    shed_global: u64,
     admitted: u64,
 }
 
@@ -80,7 +83,8 @@ impl<T> Admission<T> {
                 queued: 0,
                 seq: 0,
                 closed: false,
-                shed: 0,
+                shed_tenant: 0,
+                shed_global: 0,
                 admitted: 0,
             }),
             ready: Condvar::new(),
@@ -98,7 +102,7 @@ impl<T> Admission<T> {
             return AdmissionOutcome::Closed;
         }
         if st.queued >= self.global_cap {
-            st.shed += 1;
+            st.shed_global += 1;
             return AdmissionOutcome::Shed {
                 retry_after_ms: self.retry_after_ms,
             };
@@ -113,7 +117,7 @@ impl<T> Admission<T> {
             .get(tenant)
             .is_some_and(|q| q.items.len() >= self.per_tenant_cap)
         {
-            st.shed += 1;
+            st.shed_tenant += 1;
             return AdmissionOutcome::Shed {
                 retry_after_ms: self.retry_after_ms,
             };
@@ -201,9 +205,22 @@ impl<T> Admission<T> {
             .collect()
     }
 
-    /// Total offers shed since construction.
+    /// Total offers shed since construction (both causes).
     pub fn shed_total(&self) -> u64 {
-        lock(&self.state).shed
+        let st = lock(&self.state);
+        st.shed_tenant + st.shed_global
+    }
+
+    /// Offers shed because the *tenant's own* queue was at its cap —
+    /// one client flooding itself.
+    pub fn shed_tenant_total(&self) -> u64 {
+        lock(&self.state).shed_tenant
+    }
+
+    /// Offers shed because the *global* cross-tenant cap was reached —
+    /// aggregate overload (or a client inventing tenant names).
+    pub fn shed_global_total(&self) -> u64 {
+        lock(&self.state).shed_global
     }
 
     /// Total offers admitted since construction.
@@ -253,6 +270,8 @@ mod tests {
         // Another tenant still has room.
         assert_eq!(q.offer("u", 1, ()), AdmissionOutcome::Accepted);
         assert_eq!(q.shed_total(), 1);
+        assert_eq!(q.shed_tenant_total(), 1, "a full tenant queue is the cause");
+        assert_eq!(q.shed_global_total(), 0);
         assert_eq!(q.admitted_total(), 3);
         assert_eq!(q.depths(), vec![("t".to_string(), 2), ("u".to_string(), 1)]);
     }
@@ -297,6 +316,8 @@ mod tests {
             AdmissionOutcome::Shed { retry_after_ms: 15 }
         );
         assert_eq!(q.shed_total(), 1);
+        assert_eq!(q.shed_global_total(), 1, "the global cap is the cause");
+        assert_eq!(q.shed_tenant_total(), 0);
         // Shed offers must not leave empty map entries behind.
         assert_eq!(q.depths().len(), 3);
         // Draining frees global capacity again.

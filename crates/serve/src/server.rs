@@ -146,6 +146,11 @@ struct Counters {
     errors: AtomicU64,
     invalid: AtomicU64,
     proto_errors: AtomicU64,
+    /// Connections torn down because a reply write failed or timed out
+    /// — the slow-reader defence firing. Counted separately from
+    /// `proto_errors` so operators can tell a non-reading client from
+    /// one sending junk frames.
+    write_teardowns: AtomicU64,
 }
 
 struct Inner {
@@ -240,6 +245,7 @@ impl Server {
                 errors: AtomicU64::new(0),
                 invalid: AtomicU64::new(0),
                 proto_errors: AtomicU64::new(0),
+                write_teardowns: AtomicU64::new(0),
             },
             recovery,
             query: config.query.clone(),
@@ -401,7 +407,10 @@ fn reply(inner: &Inner, writer: &Arc<Mutex<Box<dyn ConnWriter>>>, body: &str) {
         // reader. The body is already in the store, so a reconnect
         // replays it.
         w.teardown();
-        inner.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+        inner
+            .counters
+            .write_teardowns
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -528,6 +537,18 @@ fn handle_control(inner: &Arc<Inner>, writer: &Arc<Mutex<Box<dyn ConnWriter>>>, 
                     Val::U64(inner.admission.admitted_total()),
                 ),
                 ("shed".to_string(), Val::U64(inner.admission.shed_total())),
+                (
+                    "shed_tenant_cap".to_string(),
+                    Val::U64(inner.admission.shed_tenant_total()),
+                ),
+                (
+                    "shed_global_cap".to_string(),
+                    Val::U64(inner.admission.shed_global_total()),
+                ),
+                (
+                    "write_teardowns".to_string(),
+                    Val::U64(c.write_teardowns.load(Ordering::Relaxed)),
+                ),
                 (
                     "served".to_string(),
                     Val::U64(c.served.load(Ordering::Relaxed)),

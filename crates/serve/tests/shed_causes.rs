@@ -1,0 +1,211 @@
+//! Shed-cause attribution: operators must be able to tell a tenant
+//! flooding itself (per-tenant cap) from aggregate overload (global
+//! cap) from a slow reader (write-timeout teardown). Each test drives
+//! the matching chaos op and asserts exactly its counter moves.
+
+use serve::chaos::{run, ChaosConfig, ChaosOp};
+use serve::client::{Addr, Client};
+use serve::query::QueryOptions;
+use serve::{QueryKind, Request, Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use tc27x_sim::DeploymentScenario;
+use workloads::LoadLevel;
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("serve-shed-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn server_with_caps(
+    dir: &std::path::Path,
+    queue_cap: usize,
+    global_queue_cap: usize,
+) -> (Server, Addr) {
+    let sock = dir.join("daemon.sock");
+    let server = Server::start(
+        Arc::new(mbta::ExecEngine::new(1)),
+        ServerConfig {
+            unix_socket: Some(sock.clone()),
+            tcp_addr: None,
+            state_dir: dir.join("state"),
+            workers: 1,
+            queue_cap,
+            global_queue_cap,
+            retry_after_ms: 25,
+            io_timeout_ms: 500,
+            query: QueryOptions::default(),
+        },
+    )
+    .expect("daemon must start");
+    (server, Addr::Unix(sock))
+}
+
+fn slow_request(i: usize, tenant: &str) -> Request {
+    let levels = [LoadLevel::High, LoadLevel::Medium, LoadLevel::Low];
+    Request {
+        id: format!("r{i}"),
+        tenant: tenant.to_string(),
+        kind: QueryKind::Bound {
+            scenario: if i.is_multiple_of(2) {
+                DeploymentScenario::Scenario1
+            } else {
+                DeploymentScenario::Scenario2
+            },
+            level: levels[i % 3],
+        },
+        budget: Some(2_000 + i as u64), // distinct fingerprints, never cached
+        strict: false,
+    }
+}
+
+fn stats(addr: &Addr) -> String {
+    let mut c = Client::connect(addr, Duration::from_secs(30)).expect("connect");
+    c.request(&Request {
+        id: "s".to_string(),
+        tenant: "ops".to_string(),
+        kind: QueryKind::Stats,
+        budget: None,
+        strict: false,
+    })
+    .expect("stats answered")
+}
+
+fn stat_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle).unwrap_or_else(|| {
+        panic!("stats body has no `{key}`: {body}");
+    });
+    body[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("`{key}` is not a number in {body}"))
+}
+
+#[test]
+fn tenant_burst_increments_the_tenant_cap_counter() {
+    let dir = scratch("tenant");
+    // Per-tenant cap 1, roomy global cap: a one-tenant burst can only
+    // shed on its own queue.
+    let (server, addr) = server_with_caps(&dir, 1, 64);
+    let ops = vec![ChaosOp::Burst(
+        (0..8).map(|i| slow_request(i, "burst")).collect(),
+    )];
+    let report = run(
+        &addr,
+        &ChaosConfig::default(),
+        &ops,
+        &BTreeMap::<u64, String>::new(),
+    );
+    assert!(!report.wedged, "daemon must stay live under the burst");
+    assert!(
+        report.overloaded_seen > 0,
+        "burst never saturated the queue"
+    );
+    let body = stats(&addr);
+    assert!(stat_u64(&body, "shed_tenant_cap") > 0, "{body}");
+    assert_eq!(stat_u64(&body, "shed_global_cap"), 0, "{body}");
+    assert_eq!(
+        stat_u64(&body, "shed"),
+        stat_u64(&body, "shed_tenant_cap") + stat_u64(&body, "shed_global_cap"),
+        "total must stay the sum of the causes: {body}"
+    );
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fresh_tenant_flood_increments_the_global_cap_counter() {
+    let dir = scratch("global");
+    // Roomy per-tenant cap, global cap 1: every request invents a new
+    // tenant, so only the global bound can shed.
+    let (server, addr) = server_with_caps(&dir, 8, 1);
+    let ops = vec![ChaosOp::Burst(
+        (0..8)
+            .map(|i| slow_request(i, &format!("fresh-{i}")))
+            .collect(),
+    )];
+    let report = run(
+        &addr,
+        &ChaosConfig::default(),
+        &ops,
+        &BTreeMap::<u64, String>::new(),
+    );
+    assert!(!report.wedged, "daemon must stay live under the flood");
+    assert!(report.overloaded_seen > 0, "flood never hit the global cap");
+    let body = stats(&addr);
+    assert!(stat_u64(&body, "shed_global_cap") > 0, "{body}");
+    assert_eq!(stat_u64(&body, "shed_tenant_cap"), 0, "{body}");
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_reading_client_increments_the_write_teardown_counter() {
+    let dir = scratch("teardown");
+    let (server, addr) = server_with_caps(&dir, 64, 256);
+
+    // Prime the cache so the flood is answered inline — the BlackHole
+    // pattern at a volume no socket buffer absorbs.
+    let req = Request {
+        id: "bh".to_string(),
+        tenant: "hole".to_string(),
+        kind: QueryKind::Bound {
+            scenario: DeploymentScenario::LowTraffic,
+            level: LoadLevel::Low,
+        },
+        budget: Some(2_000),
+        strict: false,
+    };
+    {
+        let mut c = Client::connect(&addr, Duration::from_secs(120)).expect("connect");
+        let primed = c.request(&req).expect("prime");
+        assert!(primed.contains("\"status\":\"ok\""), "{primed}");
+    }
+
+    let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+    let flood = {
+        let addr = addr.clone();
+        let req = req.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+            for _ in 0..8_000 {
+                if c.send(&req).is_err() {
+                    break; // torn down — exactly what we are waiting for
+                }
+            }
+            let _ = hold_rx.recv();
+        })
+    };
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let mut teardowns = 0;
+    while std::time::Instant::now() < deadline {
+        teardowns = stat_u64(&stats(&addr), "write_teardowns");
+        if teardowns > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        teardowns > 0,
+        "write timeout on a non-reading client must count as a teardown"
+    );
+    // A slow reader is not a shed: admission never saw overload.
+    let body = stats(&addr);
+    assert_eq!(stat_u64(&body, "shed"), 0, "{body}");
+    drop(hold_tx);
+    flood.join().expect("flood thread");
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
