@@ -17,6 +17,10 @@
 #                  followed by --resume, a seeded shard-chaos run that
 #                  must reach full coverage, and a permanently hostile
 #                  shard that must exit 3 with a FAILED manifest line
+#   ci.sh platform cross-platform gate: golden sweep replay per
+#                  built-in profile (--jobs 1 vs 4), registry rejection
+#                  message, and state-store isolation (a campaign under
+#                  one platform refuses another's journals loudly)
 #   ci.sh all      every tier in order (the default); perf runs
 #                  non-gating here so a slow local machine cannot fail
 #                  the full gate, exactly as the old monolithic script
@@ -61,6 +65,23 @@ stage_lint() {
         -E '(now|cycle|cyc)\s*(\+=\s*1\b|=\s*[a-z_.]*(now|cycle|cyc)\s*\+\s*1\b)' \
         crates/tc27x-sim/src | grep -v 'tick-loop-ok'; then
         echo "per-cycle tick loop found outside reference.rs / memo.rs"
+        exit 1
+    fi
+
+    echo "==> Table 2 service latencies live only in the platform profiles"
+    # The paper's slave service times (16 pf, 11/21 lmu, 43 dfl, 12
+    # sequential) are platform facts, not model or simulator constants:
+    # the only place a service-latency field may be assigned one of them
+    # literally is a profile definition in crates/platform. Comment
+    # lines are ignored; a legitimate stray site can carry a
+    # `table2-ok` marker.
+    if grep -rnE --include='*.rs' \
+        '(service_sequential|writeback_service|service):\s*(10|11|12|16|21|42|43)\b' \
+        src crates \
+        | grep -v '^crates/platform/src' \
+        | grep -vE ':[0-9]+:\s*//' \
+        | grep -v 'table2-ok'; then
+        echo "Table 2 service latency hard-coded outside crates/platform"
         exit 1
     fi
 }
@@ -327,26 +348,86 @@ stage_dse() {
         || { echo "manifest does not name the failed shard"; exit 1; }
 }
 
+stage_platform() {
+    [ -n "$SMOKE_DIR" ] && rm -rf "$SMOKE_DIR"
+    SMOKE_DIR="$(mktemp -d)"
+    SWEEP=target/release/sweep
+    SUP=target/release/dse-supervisor
+    WORKER=target/release/dse-worker
+    cargo build --release --offline -p contention-bench --bin sweep
+    cargo build --release --offline -p dse
+
+    echo "==> platform: golden sweep replay per profile (--jobs 1 vs 4)"
+    # Each built-in profile has a committed golden; the sweep must
+    # reproduce it byte for byte at any worker count. The explicit
+    # `--platform tc27x` spelling must equal the flagless default.
+    for jobs in 1 4; do
+        "$SWEEP" --scenario sc2 --platform tc27x --jobs "$jobs" \
+            > "$SMOKE_DIR/def.csv" 2> /dev/null
+        diff -u crates/bench/tests/golden/sweep_sc2.csv "$SMOKE_DIR/def.csv" \
+            || { echo "explicit --platform tc27x diverged from the default golden"; exit 1; }
+        "$SWEEP" --scenario sc2 --platform tc27x-tdma --jobs "$jobs" \
+            > "$SMOKE_DIR/tdma.csv" 2> /dev/null
+        diff -u crates/bench/tests/golden/sweep_sc2_tdma.csv "$SMOKE_DIR/tdma.csv" \
+            || { echo "tc27x-tdma sweep diverged from its golden at --jobs $jobs"; exit 1; }
+        "$SWEEP" --scenario low --platform ahb2 --jobs "$jobs" \
+            > "$SMOKE_DIR/ahb2.csv" 2> /dev/null
+        diff -u crates/bench/tests/golden/sweep_low_ahb2.csv "$SMOKE_DIR/ahb2.csv" \
+            || { echo "ahb2 sweep diverged from its golden at --jobs $jobs"; exit 1; }
+    done
+
+    echo "==> platform: unknown profile is rejected with the registry listing"
+    if "$SWEEP" --platform vax > /dev/null 2> "$SMOKE_DIR/err.log"; then
+        echo "unknown platform was accepted"; exit 1
+    fi
+    grep -q "known platforms: .*tc27x-tdma" "$SMOKE_DIR/err.log" \
+        || { echo "rejection does not list the built-in profiles"; \
+             cat "$SMOKE_DIR/err.log"; exit 1; }
+
+    echo "==> platform: cross-platform state isolation (alien journals refused loudly)"
+    # A campaign's persisted state binds its platform fingerprint: a
+    # resume of a default-platform state dir under tc27x-tdma must not
+    # silently reuse (or corrupt) the alien journals — it fails loudly,
+    # while a fresh tdma campaign completes and yields distinct curves.
+    CFG=(--shards 2 --jobs 2 --seed 7 --utils 4 --sets 4 --tasks 3 --worker-bin "$WORKER")
+    "$SUP" --state-dir "$SMOKE_DIR/def" "${CFG[@]}" > /dev/null
+    RC=0
+    "$SUP" --state-dir "$SMOKE_DIR/def" --platform tc27x-tdma --resume \
+        "${CFG[@]}" > /dev/null 2> /dev/null || RC=$?
+    [ "$RC" -ne 0 ] \
+        || { echo "tdma resume silently consumed a default-platform state dir"; exit 1; }
+    grep -q "different campaign configuration" "$SMOKE_DIR"/def/shard-*.log \
+        || { echo "alien journal was not refused with an explicit mismatch error"; exit 1; }
+    "$SUP" --state-dir "$SMOKE_DIR/tdma" --platform tc27x-tdma "${CFG[@]}" > /dev/null
+    grep -q "# status complete" "$SMOKE_DIR/tdma/manifest.txt" \
+        || { echo "fresh tdma campaign did not complete"; exit 1; }
+    if cmp -s "$SMOKE_DIR/def/curves.txt" "$SMOKE_DIR/tdma/curves.txt"; then
+        echo "tdma curves are identical to the default platform's"; exit 1
+    fi
+}
+
 STAGE="${1:-all}"
 case "$STAGE" in
-    lint)   stage_lint ;;
-    test)   stage_test ;;
-    golden) stage_golden ;;
-    perf)   stage_perf ;;
-    serve)  stage_serve ;;
-    dse)    stage_dse ;;
+    lint)     stage_lint ;;
+    test)     stage_test ;;
+    golden)   stage_golden ;;
+    perf)     stage_perf ;;
+    serve)    stage_serve ;;
+    dse)      stage_dse ;;
+    platform) stage_platform ;;
     all)
         stage_lint
         stage_test
         stage_golden
         stage_serve
         stage_dse
+        stage_platform
         # Informational in the full gate: a slow or noisy local machine
         # must not fail `ci.sh all`. Run `ci.sh perf` to gate.
         stage_perf || echo "warning: perf stage failed (non-gating in 'all')"
         ;;
     *)
-        echo "usage: $0 [lint|test|golden|perf|serve|dse|all]" >&2
+        echo "usage: $0 [lint|test|golden|perf|serve|dse|platform|all]" >&2
         exit 2
         ;;
 esac

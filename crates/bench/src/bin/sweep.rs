@@ -9,10 +9,15 @@
 //! output (see `contention_bench::sweep_csv`).
 //!
 //! ```text
-//! cargo run -p contention-bench --bin sweep [-- --scenario sc1|sc2] [--jobs N] [--ilp-budget N] > sweep.csv
+//! cargo run -p contention-bench --bin sweep [-- --scenario sc1|sc2|low] [--platform NAME] [--jobs N] [--ilp-budget N] > sweep.csv
 //! cargo run -p contention-bench --bin sweep -- --journal sweep.journal > sweep.csv
 //! cargo run -p contention-bench --bin sweep -- --resume sweep.journal > sweep.csv
 //! ```
+//!
+//! `--platform NAME` selects the simulated machine (see
+//! `platform::PlatformDesc::names()`): core placement, slave topology
+//! and arbitration all follow the description, and the models derive
+//! their tables from it. The default is the paper's `tc27x`.
 //!
 //! With `--journal <file>` every completed simulation is appended to a
 //! crash-safe journal; after an interruption, `--resume <file>` replays
@@ -39,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (scenario, scenario_label) = match args.iter().position(|a| a == "--scenario") {
         Some(i) => match args.get(i + 1).map(String::as_str) {
             Some("sc2") => (DeploymentScenario::Scenario2, "sc2"),
+            Some("low") => (DeploymentScenario::LowTraffic, "low"),
             _ => (DeploymentScenario::Scenario1, "sc1"),
         },
         None => (DeploymentScenario::Scenario1, "sc1"),

@@ -140,9 +140,13 @@ pub fn scaled_contender(core: CoreId, intensity_permille: u32) -> TaskSpec {
 
 /// The sweep's job list, in the fixed order the CSV assembly consumes:
 /// one app isolation, then per intensity a contender isolation and a
-/// co-run.
-fn sweep_batch(scenario: DeploymentScenario, intensities: &[u32]) -> Vec<SimJob> {
-    let (app_core, load_core) = (CoreId(1), CoreId(2));
+/// co-run. Core placement follows the platform description.
+fn sweep_batch(
+    desc: &::platform::PlatformDesc,
+    scenario: DeploymentScenario,
+    intensities: &[u32],
+) -> Vec<SimJob> {
+    let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
     let app_spec = workloads::control_loop(scenario, app_core, 42);
     let mut batch = vec![SimJob::Isolation {
         spec: app_spec.clone(),
@@ -231,10 +235,11 @@ pub fn sweep_csv_partial<R: BatchRunner + ?Sized>(
     runner: &R,
     scenario: DeploymentScenario,
 ) -> Result<PartialSweep, mbta::ExperimentError> {
-    let platform = Platform::tc277_reference();
+    let desc = runner.platform();
+    let platform = Platform::from_desc(desc);
     let intensities: Vec<u32> = (0..=1_000).step_by(100).collect();
     let mut results = runner
-        .run_batch_detailed(&sweep_batch(scenario, &intensities))
+        .run_batch_detailed(&sweep_batch(desc, scenario, &intensities))
         .into_iter();
     let mut next = move |index: usize| -> Result<mbta::SimOutcome, mbta::JobError> {
         results
@@ -344,8 +349,9 @@ pub fn sweep_fallback_report<R: BatchRunner + ?Sized>(
     node_budget: Option<u64>,
     telemetry: Option<&Telemetry>,
 ) -> Result<FallbackReport, mbta::ExperimentError> {
-    let platform = Platform::tc277_reference();
-    let (app_core, load_core) = (CoreId(1), CoreId(2));
+    let desc = engine.platform();
+    let platform = Platform::from_desc(desc);
+    let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
     let app = engine.isolation(&workloads::control_loop(scenario, app_core, 42), app_core)?;
 
     let mut options = EvalOptions::for_scenario(mbta::constraints_for(scenario));
@@ -396,8 +402,9 @@ pub fn panel_fallback_report<R: BatchRunner + ?Sized>(
     node_budget: Option<u64>,
     telemetry: Option<&Telemetry>,
 ) -> Result<FallbackReport, mbta::ExperimentError> {
-    let platform = Platform::tc277_reference();
-    let (app_core, load_core) = (CoreId(1), CoreId(2));
+    let desc = engine.platform();
+    let platform = Platform::from_desc(desc);
+    let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
     let app = engine.isolation(&workloads::control_loop(scenario, app_core, seed), app_core)?;
 
     let mut options = EvalOptions::for_scenario(mbta::constraints_for(scenario));
@@ -456,6 +463,30 @@ pub fn ilp_budget_from_args(args: &[String]) -> Result<Option<u64>, String> {
     }
 }
 
+/// Parses an optional `--platform NAME` from a binary's argument
+/// vector; defaults to the built-in TC27x description. Unknown names
+/// error with the list of known profiles.
+///
+/// # Errors
+///
+/// Returns a human-readable message on a missing or unknown name.
+pub fn platform_from_args(args: &[String]) -> Result<::platform::PlatformDesc, String> {
+    match args.iter().position(|a| a == "--platform") {
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--platform requires a name".to_string())?;
+            ::platform::PlatformDesc::builtin(v).ok_or_else(|| {
+                format!(
+                    "unknown platform `{v}` (known platforms: {})",
+                    ::platform::PlatformDesc::names().join(", ")
+                )
+            })
+        }
+        None => Ok(::platform::default_platform().clone()),
+    }
+}
+
 /// Parses an optional `--<flag> <path>` from an argument vector.
 fn path_from_args(args: &[String], flag: &str) -> Result<Option<PathBuf>, String> {
     match args.iter().position(|a| a == flag) {
@@ -496,6 +527,11 @@ pub struct CommonArgs {
     pub watchdog_millis: Option<u64>,
     /// Telemetry sink (`--telemetry <path>[:format]`; `-` is stderr).
     pub telemetry: Option<mbta::SinkSpec>,
+    /// Platform description jobs run on (`--platform NAME`, default
+    /// `tc27x`). Unlike the kernel/memo knobs this *changes results*:
+    /// it selects the simulated machine, and every journal key and memo
+    /// fingerprint binds it.
+    pub platform: ::platform::PlatformDesc,
 }
 
 impl CommonArgs {
@@ -553,6 +589,7 @@ impl CommonArgs {
             resume,
             watchdog_millis,
             telemetry,
+            platform: platform_from_args(args)?,
         })
     }
 
@@ -576,7 +613,8 @@ impl CommonArgs {
     pub fn engine_with(&self, telemetry: Option<&Arc<Telemetry>>) -> ExecEngine {
         let engine = ExecEngine::new(self.jobs)
             .with_sim_engine(self.sim_engine)
-            .with_block_memo(self.block_memo);
+            .with_block_memo(self.block_memo)
+            .with_platform(self.platform.clone());
         match telemetry {
             Some(t) => engine.with_telemetry(Arc::clone(t)),
             None => engine,
@@ -741,6 +779,24 @@ mod tests {
         assert!(ilp_budget_from_args(&argv("--ilp-budget")).is_err());
         assert!(ilp_budget_from_args(&argv("--ilp-budget 0")).is_err());
         assert!(ilp_budget_from_args(&argv("--ilp-budget x")).is_err());
+    }
+
+    #[test]
+    fn platform_flag_parses_and_rejects() {
+        let d = CommonArgs::parse(&argv("--jobs 1")).unwrap();
+        assert_eq!(d.platform.name, "tc27x");
+        assert!(d.platform.is_default());
+        let t = CommonArgs::parse(&argv("--jobs 1 --platform tc27x-tdma")).unwrap();
+        assert_eq!(t.platform.name, "tc27x-tdma");
+        assert!(!t.platform.is_default());
+        assert_eq!(t.engine().platform().name, "tc27x-tdma");
+        let err = CommonArgs::parse(&argv("--platform hal9000")).unwrap_err();
+        assert!(err.contains("unknown platform `hal9000`"), "{err}");
+        assert!(
+            err.contains("tc27x") && err.contains("tc27x-tdma") && err.contains("ahb2"),
+            "the error must list every known profile: {err}"
+        );
+        assert!(CommonArgs::parse(&argv("--platform")).is_err());
     }
 
     #[test]

@@ -10,6 +10,8 @@ use tc27x_sim::DeploymentScenario;
 
 const GOLDEN: &str = include_str!("golden/sweep_sc1.csv");
 const GOLDEN_SC2: &str = include_str!("golden/sweep_sc2.csv");
+const GOLDEN_SC2_TDMA: &str = include_str!("golden/sweep_sc2_tdma.csv");
+const GOLDEN_LOW_AHB2: &str = include_str!("golden/sweep_low_ahb2.csv");
 
 #[test]
 fn sweep_csv_matches_golden_capture_at_jobs_1_and_4() {
@@ -31,6 +33,35 @@ fn scenario2_sweep_csv_matches_golden_capture() {
         assert_eq!(
             csv, GOLDEN_SC2,
             "Scenario 2 sweep CSV diverged from the golden capture at --jobs {jobs}"
+        );
+    }
+}
+
+/// The non-default platforms have golden captures of their own: the
+/// TDMA TC27x variant on the Scenario 2 mix and the dual-core AHB
+/// machine on the low-traffic mix (the only deployment it can host —
+/// Pf1 is absent there). Worker-count invariance must hold on these
+/// platforms exactly as on the default.
+#[test]
+fn tdma_platform_sweep_matches_its_golden_capture() {
+    for jobs in [1usize, 4] {
+        let engine = ExecEngine::new(jobs).with_platform(platform::PlatformDesc::tc27x_tdma());
+        let csv = sweep_csv(&engine, DeploymentScenario::Scenario2).unwrap();
+        assert_eq!(
+            csv, GOLDEN_SC2_TDMA,
+            "tc27x-tdma sweep CSV diverged from the golden capture at --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn ahb2_platform_sweep_matches_its_golden_capture() {
+    for jobs in [1usize, 4] {
+        let engine = ExecEngine::new(jobs).with_platform(platform::PlatformDesc::ahb2());
+        let csv = sweep_csv(&engine, DeploymentScenario::LowTraffic).unwrap();
+        assert_eq!(
+            csv, GOLDEN_LOW_AHB2,
+            "ahb2 sweep CSV diverged from the golden capture at --jobs {jobs}"
         );
     }
 }

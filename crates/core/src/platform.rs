@@ -171,6 +171,21 @@ impl AccessPaths {
         AccessPaths { feasible }
     }
 
+    /// The paths of a described platform: a `(target, op)` pair is
+    /// feasible iff the slot exists and the slave accepts that class.
+    /// [`Target`] slot `i` is the description's slave slot `i`.
+    pub fn from_desc(desc: &::platform::PlatformDesc) -> Self {
+        let mut feasible = [[false; Operation::COUNT]; Target::COUNT];
+        for t in Target::all() {
+            let s = desc.slave(t.index());
+            if s.present {
+                feasible[t.index()][Operation::Code.index()] = s.code;
+                feasible[t.index()][Operation::Data.index()] = s.data;
+            }
+        }
+        AccessPaths { feasible }
+    }
+
     /// Returns `true` if `op` requests can address `target`.
     pub fn is_feasible(&self, target: Target, op: Operation) -> bool {
         self.feasible[target.index()][op.index()]
@@ -226,29 +241,53 @@ pub struct Platform {
 }
 
 impl Platform {
-    /// The TC277 reference platform with the Table 2 constants.
+    /// The TC277 reference platform: the Table 2 values, derived from
+    /// the default platform description (the constants themselves live
+    /// only in `platform::PlatformDesc::tc27x`).
     pub fn tc277_reference() -> Self {
-        let mut latency = PerTargetOp::new();
-        let mut stall = PerTargetOp::new();
-        use Operation::{Code, Data};
-        use Target::{Dfl, Lmu, Pf0, Pf1};
-        for pf in [Pf0, Pf1] {
-            latency.set(pf, Code, 16);
-            latency.set(pf, Data, 16);
-            stall.set(pf, Code, 6);
-            stall.set(pf, Data, 11);
-        }
-        latency.set(Lmu, Code, 11);
-        latency.set(Lmu, Data, 11);
-        stall.set(Lmu, Code, 11);
-        stall.set(Lmu, Data, 10);
-        latency.set(Dfl, Data, 43);
-        stall.set(Dfl, Data, 42);
+        Platform::from_desc(::platform::default_platform())
+    }
+
+    /// Derives the model tables from a platform description.
+    ///
+    /// * `l^{t,o}` (latency) — the per-access worst-case interference
+    ///   charge the slot's arbitration policy admits
+    ///   (`PlatformDesc::contention_charge`): one full contender
+    ///   service under round-robin, rank-dependent service or blocking
+    ///   under fixed priority, the exact worst slot-alignment wait
+    ///   `(S−1)·slot_len + service − 1` under TDMA. Infeasible pairs
+    ///   stay 0.
+    /// * `cs^{t,o}` (stall) — the best-case stall of an own access:
+    ///   sequential service minus the hidden pipeline cycles (prefetch
+    ///   hide for code on prefetching slaves, the posted address phase
+    ///   for data).
+    /// * The dirty-miss charge is `PlatformDesc::dirty_charge` (the
+    ///   TC27x's bracketed 21).
+    pub fn from_desc(desc: &::platform::PlatformDesc) -> Self {
+        let paths = AccessPaths::from_desc(desc);
+        let latency = PerTargetOp::from_fn(|t, o| {
+            if !paths.is_feasible(t, o) {
+                return 0;
+            }
+            desc.contention_charge(t.index(), desc.slave(t.index()).service)
+        });
+        let stall = PerTargetOp::from_fn(|t, o| {
+            if !paths.is_feasible(t, o) {
+                return 0;
+            }
+            let s = desc.slave(t.index());
+            let hide = match o {
+                Operation::Code if s.prefetch => desc.fetch_prefetch_hide,
+                Operation::Code => 0,
+                Operation::Data => desc.data_hide,
+            };
+            u64::from(s.service_sequential.saturating_sub(hide))
+        });
         Platform {
             latency,
             stall,
-            paths: AccessPaths::tc27x(),
-            lmu_dirty_latency: 21,
+            paths,
+            lmu_dirty_latency: desc.dirty_charge(Target::Lmu.index()),
         }
     }
 
@@ -388,6 +427,59 @@ mod tests {
         assert_eq!(p.latency(Target::Lmu, Operation::Code), 20);
         assert_eq!(p.cs_code_min(), 5);
         assert_eq!(p.lmu_dirty_latency(), 40);
+    }
+
+    #[test]
+    fn reference_is_derived_from_the_default_description() {
+        assert_eq!(
+            Platform::tc277_reference(),
+            Platform::from_desc(::platform::default_platform())
+        );
+    }
+
+    #[test]
+    fn tdma_description_yields_slot_wait_latencies() {
+        let desc = ::platform::PlatformDesc::tc27x_tdma();
+        let p = Platform::from_desc(&desc);
+        use Operation::{Code, Data};
+        // pf slot: (3−1)·16 + 16 − 1 = 47; lmu slot: 2·11 + 10 = 32;
+        // dfl slot: 2·43 + 42 = 128. Stalls are isolation-side and
+        // unchanged from the round-robin tables.
+        assert_eq!(p.latency(Target::Pf0, Code), 47);
+        assert_eq!(p.latency(Target::Lmu, Data), 32);
+        assert_eq!(p.latency(Target::Dfl, Data), 128);
+        assert_eq!(p.stall(Target::Pf0, Code), 6);
+        assert_eq!(p.stall(Target::Lmu, Data), 10);
+        // Dirty miss: two independent worst slot alignments.
+        assert_eq!(
+            p.lmu_dirty_latency(),
+            ::platform::tdma_worst_wait(3, 11, 10) + ::platform::tdma_worst_wait(3, 11, 11)
+        );
+    }
+
+    #[test]
+    fn ahb2_description_shrinks_the_paths_and_tables() {
+        let desc = ::platform::PlatformDesc::ahb2();
+        let p = Platform::from_desc(&desc);
+        use Operation::{Code, Data};
+        // Only the flash (slot pf0) and sram (slot lmu) exist.
+        assert!(p.paths().is_feasible(Target::Pf0, Code));
+        assert!(!p.paths().is_feasible(Target::Pf1, Code));
+        assert!(!p.paths().is_feasible(Target::Dfl, Data));
+        assert_eq!(p.paths().pairs().len(), 4);
+        // The analysed core holds the top fixed-priority class: one
+        // access can only be blocked by an in-flight transaction
+        // (service − 1).
+        assert_eq!(p.latency(Target::Pf0, Code), 7);
+        assert_eq!(p.latency(Target::Lmu, Data), 1);
+        assert_eq!(p.latency(Target::Dfl, Data), 0);
+        // No prefetcher: code stall is the full sequential service.
+        assert_eq!(p.stall(Target::Pf0, Code), 8);
+        assert_eq!(p.stall(Target::Lmu, Data), 1);
+        // Code can also run from sram (stall 2), data from flash (7).
+        assert_eq!(p.stall(Target::Lmu, Code), 2);
+        assert_eq!(p.cs_code_min(), 2);
+        assert_eq!(p.cs_data_min(), 1);
     }
 
     #[test]

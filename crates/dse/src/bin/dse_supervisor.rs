@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dse-supervisor --state-dir DIR [--shards N] [--jobs M]
-//!                [--seed S] [--scenario sc1|sc2|low]
+//!                [--seed S] [--scenario sc1|sc2|low] [--platform NAME]
+//!                [--report txt|md]
 //!                [--utils U] [--util-min-ppm P] [--util-max-ppm P]
 //!                [--sets K] [--tasks T]
 //!                [--watchdog-ms W] [--max-attempts A] [--backoff-ms B]
@@ -12,9 +13,12 @@
 //! ```
 //!
 //! Writes `curves.txt` and `manifest.txt` into the state dir and prints
-//! both to stdout. Exit status: 0 on full coverage, 3 when any shard
-//! exhausted its retries (partial coverage — the manifest says which),
-//! 1 on error, 2 on usage.
+//! both to stdout. With `--report md` the merged curves are also
+//! rendered as a markdown table (written to `curves.md` and printed in
+//! place of the plain text) — same rows, headed by the
+//! platform/arbitration variant. Exit status: 0 on full coverage, 3
+//! when any shard exhausted its retries (partial coverage — the
+//! manifest says which), 1 on error, 2 on usage.
 //!
 //! The curves are byte-identical for a fixed seed at any
 //! `--shards`/`--jobs` split, across kill -9s of workers or of this
@@ -38,7 +42,12 @@ fn default_worker_bin() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("dse-worker"))
 }
 
-fn parse_args() -> Result<SupervisorConfig, String> {
+struct Args {
+    sup: SupervisorConfig,
+    report_md: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut cfg = DseConfig::default();
     let mut state_dir: Option<PathBuf> = None;
     let mut worker_bin = default_worker_bin();
@@ -47,6 +56,7 @@ fn parse_args() -> Result<SupervisorConfig, String> {
     let mut max_attempts = RetryPolicy::default().max_attempts;
     let mut backoff_ms = 50u64;
     let mut resume = false;
+    let mut report_md = false;
     let mut point_delay_ms = 0u64;
     let (mut chaos_seed, mut kill, mut stall, mut tear, mut only) =
         (None::<u64>, 0u32, 0u32, 0u32, None::<u32>);
@@ -77,6 +87,21 @@ fn parse_args() -> Result<SupervisorConfig, String> {
                 cfg.scenario =
                     parse_scenario(&value).ok_or_else(|| format!("unknown scenario {value}"))?;
             }
+            "--platform" => {
+                cfg.platform = platform::PlatformDesc::builtin(&value).ok_or_else(|| {
+                    format!(
+                        "unknown platform `{value}` (known platforms: {})",
+                        platform::PlatformDesc::names().join(", ")
+                    )
+                })?;
+            }
+            "--report" => {
+                report_md = match value.as_str() {
+                    "md" | "markdown" => true,
+                    "txt" | "text" => false,
+                    other => return Err(format!("unknown report format `{other}` (txt or md)")),
+                };
+            }
             "--utils" => cfg.utils = num(&value)? as u32,
             "--util-min-ppm" => cfg.util_min_ppm = num(&value)?,
             "--util-max-ppm" => cfg.util_max_ppm = num(&value)?,
@@ -102,27 +127,30 @@ fn parse_args() -> Result<SupervisorConfig, String> {
         tear_permille: tear,
         only_shard: only,
     });
-    Ok(SupervisorConfig {
-        cfg,
-        shards,
-        jobs,
-        state_dir,
-        worker_bin,
-        watchdog_millis: watchdog_ms,
-        retry: RetryPolicy { max_attempts },
-        backoff: Backoff {
-            base_millis: backoff_ms,
-            ..Default::default()
+    Ok(Args {
+        sup: SupervisorConfig {
+            cfg,
+            shards,
+            jobs,
+            state_dir,
+            worker_bin,
+            watchdog_millis: watchdog_ms,
+            retry: RetryPolicy { max_attempts },
+            backoff: Backoff {
+                base_millis: backoff_ms,
+                ..Default::default()
+            },
+            resume,
+            chaos,
+            point_delay_millis: point_delay_ms,
         },
-        resume,
-        chaos,
-        point_delay_millis: point_delay_ms,
+        report_md,
     })
 }
 
 fn main() -> ExitCode {
-    let sup = match parse_args() {
-        Ok(sup) => sup,
+    let args = match parse_args() {
+        Ok(args) => args,
         Err(msg) => {
             if msg.is_empty() {
                 println!("{USAGE}");
@@ -132,24 +160,33 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match supervise(&sup) {
+    let sup = &args.sup;
+    let report = match supervise(sup) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("dse-supervisor: {e}");
             return ExitCode::FAILURE;
         }
     };
-    for (name, text) in [
+    let mut artifacts = vec![
         ("curves.txt", &report.curves_text),
         ("manifest.txt", &report.manifest_text),
-    ] {
+    ];
+    if args.report_md {
+        artifacts.push(("curves.md", &report.curves_md_text));
+    }
+    for (name, text) in artifacts {
         if let Err(e) = std::fs::write(sup.state_dir.join(name), text) {
             eprintln!("dse-supervisor: writing {name}: {e}");
             return ExitCode::FAILURE;
         }
     }
     print!("{}", report.manifest_text);
-    print!("{}", report.curves_text);
+    if args.report_md {
+        print!("{}", report.curves_md_text);
+    } else {
+        print!("{}", report.curves_text);
+    }
     if report.partial {
         eprintln!(
             "dse-supervisor: PARTIAL coverage {:.4} — see manifest.txt",

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! dse-worker --state-dir DIR --shard I --shards N
-//!            [--seed S] [--scenario sc1|sc2|low]
+//!            [--seed S] [--scenario sc1|sc2|low] [--platform NAME]
 //!            [--utils U] [--util-min-ppm P] [--util-max-ppm P]
 //!            [--sets K] [--tasks T] [--attempt A] [--point-delay-ms D]
 //!            [--chaos-seed C --chaos-kill P --chaos-stall P
@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use dse::{model_ratios, parse_scenario, run_shard, DseConfig, ShardChaos};
+use dse::{model_ratios_on, parse_scenario, run_shard, DseConfig, ShardChaos};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -61,6 +61,14 @@ fn parse_args() -> Result<Args, String> {
             "--scenario" => {
                 cfg.scenario =
                     parse_scenario(&value).ok_or_else(|| format!("unknown scenario {value}"))?;
+            }
+            "--platform" => {
+                cfg.platform = platform::PlatformDesc::builtin(&value).ok_or_else(|| {
+                    format!(
+                        "unknown platform `{value}` (known platforms: {})",
+                        platform::PlatformDesc::names().join(", ")
+                    )
+                })?;
             }
             "--utils" => cfg.utils = num(&value)? as u32,
             "--util-min-ppm" => cfg.util_min_ppm = num(&value)?,
@@ -110,7 +118,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let ratios = match model_ratios(args.cfg.scenario, args.cfg.seed) {
+    let ratios = match model_ratios_on(&args.cfg.platform, args.cfg.scenario, args.cfg.seed) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("dse-worker: deriving model ratios: {e}");

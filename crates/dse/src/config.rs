@@ -24,6 +24,11 @@ pub const PPM: u64 = 1_000_000;
 pub struct DseConfig {
     /// Master seed: task-set draws and point keys derive from it.
     pub seed: u64,
+    /// Platform description the model ratios are derived on. The
+    /// default (paper TC27x) leaves every fingerprint unchanged; any
+    /// other description is folded in, so two campaigns over different
+    /// machines never share shard state.
+    pub platform: platform::PlatformDesc,
     /// Deployment scenario the model ratios are derived under.
     pub scenario: DeploymentScenario,
     /// Number of utilization grid points.
@@ -43,6 +48,7 @@ impl Default for DseConfig {
     fn default() -> Self {
         DseConfig {
             seed: 42,
+            platform: platform::default_platform().clone(),
             scenario: DeploymentScenario::Scenario1,
             utils: 10,
             util_min_ppm: 100_000,
@@ -96,6 +102,9 @@ impl DseConfig {
                 self.util_max_ppm
             )));
         }
+        self.platform
+            .validate()
+            .map_err(|e| DseError::Config(format!("platform `{}`: {e}", self.platform.name)))?;
         Ok(())
     }
 
@@ -106,6 +115,10 @@ impl DseConfig {
     pub fn fingerprint(&self) -> u64 {
         let mut h = StableHasher::new();
         h.write_str("dse-campaign/v1");
+        if !self.platform.is_default() {
+            h.write_str("platform");
+            h.write_u64(self.platform.fingerprint());
+        }
         h.write_u64(self.seed);
         h.write_str(scenario_tag(self.scenario));
         h.write_u64(u64::from(self.utils));
@@ -198,6 +211,29 @@ mod tests {
         wider.tasks += 1;
         assert_ne!(base.fingerprint(), wider.fingerprint());
         assert_eq!(base.fingerprint(), base.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_binds_the_platform_but_default_is_stable() {
+        let base = DseConfig::default();
+        assert!(base.platform.is_default());
+        let tdma = DseConfig {
+            platform: platform::PlatformDesc::tc27x_tdma(),
+            ..base.clone()
+        };
+        let ahb = DseConfig {
+            platform: platform::PlatformDesc::ahb2(),
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), tdma.fingerprint());
+        assert_ne!(base.fingerprint(), ahb.fingerprint());
+        assert_ne!(tdma.fingerprint(), ahb.fingerprint());
+        // Spelling out the default explicitly keys identically.
+        let explicit = DseConfig {
+            platform: platform::PlatformDesc::tc27x(),
+            ..base.clone()
+        };
+        assert_eq!(base.fingerprint(), explicit.fingerprint());
     }
 
     #[test]

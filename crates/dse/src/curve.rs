@@ -111,6 +111,61 @@ pub fn render_curves(cfg: &DseConfig, rows: &[CurveRow]) -> String {
     out
 }
 
+/// Renders the curves as a GitHub-flavoured markdown table (the
+/// supervisor's `--report md`): the same rows as [`render_curves`],
+/// headed by the platform and its per-slave arbitration so
+/// cross-platform reports are self-describing. A test holds the two
+/// artifacts cell-for-cell equal, and the bytes are stable under the
+/// same conditions as the text artifact.
+pub fn render_curves_md(cfg: &DseConfig, rows: &[CurveRow]) -> String {
+    use crate::config::scenario_tag;
+    use std::fmt::Write as _;
+    let arbitration: Vec<String> = cfg
+        .platform
+        .slaves
+        .iter()
+        .filter(|s| s.present)
+        .map(|s| format!("{}:{}", s.name, s.arbitration))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Schedulability curves — platform `{}` ({}), scenario `{}`",
+        cfg.platform.name,
+        arbitration.join(" "),
+        scenario_tag(cfg.scenario)
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Config `{:016x}`: seed {}, {} levels × {} sets × {} tasks.",
+        cfg.fingerprint(),
+        cfg.seed,
+        cfg.utils,
+        cfg.sets,
+        cfg.tasks
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| util_ppm | covered | sched_ideal | sched_ftc | sched_ilp |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {}/{} | {} | {} | {} |",
+            row.util_ppm,
+            row.covered,
+            row.total,
+            frac(row.ideal, row.covered).trim(),
+            frac(row.ftc, row.covered).trim(),
+            frac(row.ilp, row.covered).trim(),
+        );
+    }
+    out
+}
+
 /// What the merged results actually cover.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Coverage {
@@ -230,6 +285,55 @@ mod tests {
         assert!(text.contains("-"), "{text}");
         assert!(text.contains("1.0000"), "{text}");
         assert!(text.contains("0.0000"), "{text}");
+    }
+
+    #[test]
+    fn markdown_report_matches_the_text_artifact_cell_for_cell() {
+        let cfg = small_cfg();
+        let verdict = PointVerdict {
+            ideal: true,
+            ftc: false,
+            ilp: true,
+        };
+        let mut merged = full_merge(&cfg, verdict);
+        // Leave level 1 uncovered so the "-" cells are exercised too.
+        for p in cfg.points().filter(|p| p.u_idx == 1) {
+            merged.remove(&p.key(&cfg));
+        }
+        let rows = curves(&cfg, &merged).unwrap();
+        let txt = render_curves(&cfg, &rows);
+        let md = render_curves_md(&cfg, &rows);
+        assert_eq!(md, render_curves_md(&cfg, &rows), "md must be byte-stable");
+        assert!(
+            md.contains(&format!("platform `{}`", cfg.platform.name)),
+            "{md}"
+        );
+        assert!(md.contains("prr"), "arbitration must be named: {md}");
+        // Every data row of curves.txt appears, cell for cell, in the
+        // markdown table.
+        let txt_rows: Vec<Vec<String>> = txt
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| {
+                l.replace('/', " ")
+                    .split_whitespace()
+                    .map(str::to_string)
+                    .collect()
+            })
+            .collect();
+        let md_rows: Vec<Vec<String>> = md
+            .lines()
+            .filter(|l| l.starts_with("| ") && !l.contains("util_ppm"))
+            .map(|l| {
+                l.trim_matches('|')
+                    .replace('/', " ")
+                    .split_whitespace()
+                    .filter(|c| *c != "|")
+                    .map(str::to_string)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(txt_rows, md_rows, "txt:\n{txt}\nmd:\n{md}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use contention::rta::{analyze, PeriodicTask};
 use contention::{ContentionModel, FtcModel, IdealModel, IlpPtacModel, Platform};
 use mbta::{constraints_for, ExecEngine, SimJob};
 use tc27x_sim::{CoreId, DeploymentScenario};
-use workloads::{contender, control_loop, LoadLevel};
+use workloads::{contender_on, control_loop_on, LoadLevel};
 
 /// An exact rational WCET inflation ratio.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,21 +53,37 @@ pub struct ModelRatios {
     pub ilp: Inflation,
 }
 
-/// Derives the per-model inflation ratios for `scenario`: profile the
-/// control-loop app and the H-Load contender in isolation (the paper's
-/// placement, cores 1 and 2), then ask each model for its WCET
-/// estimate. Pure in `(scenario, seed)`.
+/// Derives the per-model inflation ratios for `scenario` on the
+/// default (paper TC27x) platform. See [`model_ratios_on`].
 ///
 /// # Errors
 ///
 /// Simulation failures surface as [`DseError::Job`], model rejections
 /// as [`DseError::Model`].
 pub fn model_ratios(scenario: DeploymentScenario, seed: u64) -> Result<ModelRatios, DseError> {
-    let platform = Platform::tc277_reference();
-    let (app_core, load_core) = (CoreId(1), CoreId(2));
-    let app_spec = control_loop(scenario, app_core, seed);
-    let load_spec = contender(scenario, LoadLevel::High, load_core, seed ^ 0xbeef);
-    let engine = ExecEngine::sequential();
+    model_ratios_on(platform::default_platform(), scenario, seed)
+}
+
+/// Derives the per-model inflation ratios for `scenario` on `desc`:
+/// profile the control-loop app and the H-Load contender in isolation
+/// (on the description's application and load cores), then ask each
+/// model — its tables re-derived from the same description — for its
+/// WCET estimate. Pure in `(desc, scenario, seed)`.
+///
+/// # Errors
+///
+/// Simulation failures surface as [`DseError::Job`], model rejections
+/// as [`DseError::Model`].
+pub fn model_ratios_on(
+    desc: &platform::PlatformDesc,
+    scenario: DeploymentScenario,
+    seed: u64,
+) -> Result<ModelRatios, DseError> {
+    let platform = Platform::from_desc(desc);
+    let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
+    let app_spec = control_loop_on(desc, scenario, app_core, seed);
+    let load_spec = contender_on(desc, scenario, LoadLevel::High, load_core, seed ^ 0xbeef);
+    let engine = ExecEngine::sequential().with_platform(desc.clone());
     let mut outcomes = engine
         .run_batch(&[
             SimJob::Isolation {

@@ -67,8 +67,10 @@ pub mod shard;
 pub mod supervise;
 
 pub use config::{parse_scenario, scenario_tag, DseConfig, PointId};
-pub use curve::{curves, render_curves, render_manifest, Coverage, CurveRow};
+pub use curve::{curves, render_curves, render_curves_md, render_manifest, Coverage, CurveRow};
 pub use error::DseError;
-pub use eval::{evaluate_point, model_ratios, Inflation, ModelRatios, PointVerdict};
+pub use eval::{
+    evaluate_point, model_ratios, model_ratios_on, Inflation, ModelRatios, PointVerdict,
+};
 pub use shard::{run_shard, ChaosAction, ShardChaos, ShardRunStats};
 pub use supervise::{supervise, RunReport, ShardOutcome, SupervisorConfig};

@@ -27,7 +27,7 @@
 //! kill/resume history.
 
 use crate::config::DseConfig;
-use crate::curve::{curves, render_curves, render_manifest, Coverage};
+use crate::curve::{curves, render_curves, render_curves_md, render_manifest, Coverage};
 use crate::error::DseError;
 use crate::shard::{
     done_marker, done_path, heartbeat_path, pid_path, shard_fingerprint, store_path, ShardChaos,
@@ -108,6 +108,9 @@ pub struct RunReport {
     pub coverage: Coverage,
     /// The curves artifact (byte-stable for a fixed config).
     pub curves_text: String,
+    /// The curves as a markdown table (`--report md`) — the same rows
+    /// as `curves_text`, headed by the platform/arbitration variant.
+    pub curves_md_text: String,
     /// The coverage manifest.
     pub manifest_text: String,
     /// `true` when any shard was dropped after exhausting retries.
@@ -215,10 +218,14 @@ fn spawn_worker(sup: &SupervisorConfig, shard: u32, attempt: u32) -> Result<Chil
         .args(["--sets", &sup.cfg.sets.to_string()])
         .args(["--tasks", &sup.cfg.tasks.to_string()])
         .args(["--attempt", &attempt.to_string()])
-        .args(["--point-delay-ms", &sup.point_delay_millis.to_string()])
-        .stdin(Stdio::null())
-        .stdout(log)
-        .stderr(log_err);
+        .args(["--point-delay-ms", &sup.point_delay_millis.to_string()]);
+    // Default-platform invocations stay byte-identical to older
+    // supervisors; a non-default platform is forwarded by registry name
+    // (the config fingerprint already binds its full description).
+    if !sup.cfg.platform.is_default() {
+        cmd.args(["--platform", sup.cfg.platform.name]);
+    }
+    cmd.stdin(Stdio::null()).stdout(log).stderr(log_err);
     if let Some(chaos) = &sup.chaos {
         cmd.args(["--chaos-seed", &chaos.seed.to_string()])
             .args(["--chaos-kill", &chaos.kill_permille.to_string()])
@@ -407,6 +414,7 @@ pub fn supervise(sup: &SupervisorConfig) -> Result<RunReport, DseError> {
     };
     let rows = curves(&sup.cfg, &merged)?;
     let curves_text = render_curves(&sup.cfg, &rows);
+    let curves_md_text = render_curves_md(&sup.cfg, &rows);
     let attempts: Vec<(u32, u32)> = slots
         .iter()
         .enumerate()
@@ -427,6 +435,7 @@ pub fn supervise(sup: &SupervisorConfig) -> Result<RunReport, DseError> {
         outcomes,
         coverage,
         curves_text,
+        curves_md_text,
         manifest_text,
         partial: !failed.is_empty(),
     })

@@ -36,7 +36,7 @@
 //! sweep — becomes durable by swapping the runner.
 
 use crate::exec::{
-    execute_job_budgeted, job_key, panic_message, BatchRunner, ExecEngine, JobFailure, SimJob,
+    execute_job_budgeted, job_key_on, panic_message, BatchRunner, ExecEngine, JobFailure, SimJob,
     SimOutcome,
 };
 use crate::journal::{Journal, JournalEntry, JournalError, JournaledOutcome, RecoveryReport};
@@ -122,10 +122,17 @@ pub struct CampaignConfig {
 impl CampaignConfig {
     /// The fingerprint a journal written under this config carries
     /// (combined with the engine's cycle budget, which caps the
-    /// simulated work per job).
-    fn fingerprint(&self, cycle_budget: Option<u64>) -> u64 {
+    /// simulated work per job, and the engine's platform description,
+    /// which decides the simulated machine). The default platform
+    /// contributes nothing, so journals written before platforms were
+    /// pluggable resume unchanged.
+    fn fingerprint(&self, cycle_budget: Option<u64>, desc: &::platform::PlatformDesc) -> u64 {
         let mut h = StableHasher::new();
         h.write_str("mbta-campaign/v1");
+        if !desc.is_default() {
+            h.write_str("platform");
+            h.write_u64(desc.fingerprint());
+        }
         h.write_u64(u64::from(self.retry.max_attempts));
         match self.fault {
             Some(p) => {
@@ -277,7 +284,7 @@ impl<'e> CampaignRunner<'e> {
         config: CampaignConfig,
         path: &Path,
     ) -> Result<Self, JournalError> {
-        let fp = config.fingerprint(engine.cycle_budget());
+        let fp = config.fingerprint(engine.cycle_budget(), engine.platform());
         let journal = Journal::create(path, fp)?;
         let mut runner = CampaignRunner::new(engine, config);
         runner.journal = Some(journal);
@@ -299,7 +306,8 @@ impl<'e> CampaignRunner<'e> {
     /// configuration carries — what [`Journal::with_sink`] callers pair
     /// with [`Self::with_journal`].
     pub fn config_fingerprint(&self) -> u64 {
-        self.config.fingerprint(self.engine.cycle_budget())
+        self.config
+            .fingerprint(self.engine.cycle_budget(), self.engine.platform())
     }
 
     /// Resumes a journaled campaign from `path`: recovers every intact
@@ -320,7 +328,7 @@ impl<'e> CampaignRunner<'e> {
         config: CampaignConfig,
         path: &Path,
     ) -> Result<(Self, RecoveryReport), JournalError> {
-        let fp = config.fingerprint(engine.cycle_budget());
+        let fp = config.fingerprint(engine.cycle_budget(), engine.platform());
         let (journal, entries, report) = Journal::resume(path, fp)?;
         let mut runner = CampaignRunner::new(engine, config);
         runner.journal = Some(journal);
@@ -437,6 +445,7 @@ impl<'e> CampaignRunner<'e> {
                     self.engine.cycle_budget(),
                     self.engine.sim_engine(),
                     self.engine.block_memo(),
+                    self.engine.platform().clone(),
                     millis,
                 );
                 if matches!(result, Err(JobFailure::TimedOut { .. })) {
@@ -496,8 +505,15 @@ impl<'e> CampaignRunner<'e> {
 }
 
 impl BatchRunner for CampaignRunner<'_> {
+    fn platform(&self) -> &::platform::PlatformDesc {
+        self.engine.platform()
+    }
+
     fn run_batch_detailed(&self, batch: &[SimJob]) -> Vec<Result<SimOutcome, JobFailure>> {
-        let keys: Vec<u64> = batch.iter().map(job_key).collect();
+        let keys: Vec<u64> = batch
+            .iter()
+            .map(|j| job_key_on(j, self.engine.platform()))
+            .collect();
         let mut results: Vec<Option<Result<SimOutcome, JobFailure>>> = vec![None; batch.len()];
 
         // Phase 1: replay — serve journal-recovered (and already
@@ -605,13 +621,14 @@ fn run_with_watchdog(
     cycle_budget: Option<u64>,
     sim_engine: tc27x_sim::Engine,
     block_memo: bool,
+    desc: ::platform::PlatformDesc,
     millis: u64,
 ) -> Result<SimOutcome, JobFailure> {
     let (tx, rx) = mpsc::channel();
     let owned = job.clone();
     std::thread::spawn(move || {
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            execute_job_budgeted(&owned, cycle_budget, sim_engine, block_memo)
+            execute_job_budgeted(&owned, cycle_budget, sim_engine, block_memo, &desc)
         }))
         .unwrap_or_else(|payload| Err(JobFailure::Panic(panic_message(payload))));
         let _ = tx.send(result);

@@ -276,6 +276,7 @@ pub struct ExecEngine {
     cycle_budget: Option<u64>,
     sim_engine: Engine,
     block_memo: bool,
+    platform: Arc<::platform::PlatformDesc>,
     telemetry: Option<Arc<Telemetry>>,
     cache: Mutex<HashMap<u64, IsolationProfile>>,
     hits: AtomicU64,
@@ -302,6 +303,7 @@ impl ExecEngine {
             cycle_budget: None,
             sim_engine: Engine::default(),
             block_memo: true,
+            platform: Arc::new(::platform::default_platform().clone()),
             telemetry: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
@@ -341,6 +343,25 @@ impl ExecEngine {
     /// The simulator timing kernel jobs run on.
     pub fn sim_engine(&self) -> Engine {
         self.sim_engine
+    }
+
+    /// Variant running every job on an explicit platform description
+    /// (builder style). The description decides the simulated machine —
+    /// cores, slave topology, service latencies, arbitration — so, unlike
+    /// the kernel and memo knobs, switching it *changes results*: memo
+    /// fingerprints and journal keys of non-default platforms fold the
+    /// description's fingerprint, which keeps profiles and journals from
+    /// ever leaking across machines. The default TC27x description keys
+    /// exactly as before, so existing journals and stores stay valid.
+    #[must_use]
+    pub fn with_platform(mut self, desc: ::platform::PlatformDesc) -> Self {
+        self.platform = Arc::new(desc);
+        self
+    }
+
+    /// The platform description jobs run on.
+    pub fn platform(&self) -> &::platform::PlatformDesc {
+        &self.platform
     }
 
     /// Variant controlling the event kernel's basic-block memoization
@@ -398,15 +419,29 @@ impl ExecEngine {
     /// The stable cache key for an isolation run: task spec (name,
     /// segments, ops, objects, activations, seed), core, and a platform
     /// tag so profiles never leak across simulator configurations.
-    fn fingerprint(spec: &TaskSpec, core: CoreId) -> u64 {
+    /// Non-default platform descriptions additionally fold their own
+    /// fingerprint; the default TC27x description keys exactly as it
+    /// always has, so journals and stores written before platforms were
+    /// pluggable replay unchanged.
+    fn fingerprint_on(spec: &TaskSpec, core: CoreId, desc: &::platform::PlatformDesc) -> u64 {
         let mut h = StableHasher::new();
         h.write_str("tc277/isolation/v1");
+        if !desc.is_default() {
+            h.write_str("platform");
+            h.write_u64(desc.fingerprint());
+        }
         h.write_u8(core.0);
         // `TaskSpec`'s Debug output covers every field recursively and
         // changes whenever the spec's structure does — exactly the
         // invalidation behaviour a memo key needs.
         h.write_str(&format!("{spec:?}"));
         h.finish()
+    }
+
+    /// [`Self::fingerprint_on`] for the default platform description.
+    #[cfg(test)]
+    fn fingerprint(spec: &TaskSpec, core: CoreId) -> u64 {
+        Self::fingerprint_on(spec, core, ::platform::default_platform())
     }
 
     /// Locks the memo cache, recovering from poisoning: the cache only
@@ -466,7 +501,7 @@ impl ExecEngine {
             for (i, job) in batch.iter().enumerate() {
                 match job {
                     SimJob::Isolation { spec, core } => {
-                        let fp = Self::fingerprint(spec, *core);
+                        let fp = Self::fingerprint_on(spec, *core, &self.platform);
                         if let Some(p) = cache.get(&fp) {
                             self.hits.fetch_add(1, Ordering::Relaxed);
                             plan.push(Plan::Cached(p.clone()));
@@ -532,7 +567,12 @@ impl ExecEngine {
                                     SimOutcome::Isolation(p) => p.counters().ccnt,
                                     SimOutcome::Corun(c) => *c,
                                 };
-                                t.record_job(job_key(&batch[i]), &batch[i], cycles, stats.as_ref());
+                                t.record_job(
+                                    job_key_on(&batch[i], &self.platform),
+                                    &batch[i],
+                                    cycles,
+                                    stats.as_ref(),
+                                );
                             }
                             Err(_) => t.record_job_failure(),
                         }
@@ -540,7 +580,7 @@ impl ExecEngine {
                     if let (Ok(SimOutcome::Isolation(p)), SimJob::Isolation { spec, core }) =
                         (&r, &batch[i])
                     {
-                        fresh.push((Self::fingerprint(spec, *core), p.clone()));
+                        fresh.push((Self::fingerprint_on(spec, *core, &self.platform), p.clone()));
                     }
                     r
                 }
@@ -554,7 +594,13 @@ impl ExecEngine {
     }
 
     fn execute_job(&self, job: &SimJob) -> (Result<SimOutcome, JobFailure>, Option<SimStats>) {
-        execute_job_with_stats(job, self.cycle_budget, self.sim_engine, self.block_memo)
+        execute_job_with_stats(
+            job,
+            self.cycle_budget,
+            self.sim_engine,
+            self.block_memo,
+            &self.platform,
+        )
     }
 
     /// Memoized single isolation run.
@@ -623,7 +669,7 @@ impl ExecEngine {
     pub fn prime(&self, job: &SimJob, profile: IsolationProfile) {
         if let SimJob::Isolation { spec, core } = job {
             self.cache_lock()
-                .insert(Self::fingerprint(spec, *core), profile);
+                .insert(Self::fingerprint_on(spec, *core, &self.platform), profile);
         }
     }
 
@@ -643,8 +689,9 @@ pub(crate) fn execute_job_budgeted(
     cycle_budget: Option<u64>,
     engine: Engine,
     block_memo: bool,
+    desc: &::platform::PlatformDesc,
 ) -> Result<SimOutcome, JobFailure> {
-    execute_job_with_stats(job, cycle_budget, engine, block_memo).0
+    execute_job_with_stats(job, cycle_budget, engine, block_memo, desc).0
 }
 
 /// [`execute_job_budgeted`] that also returns the simulator's post-run
@@ -654,6 +701,7 @@ pub(crate) fn execute_job_with_stats(
     cycle_budget: Option<u64>,
     engine: Engine,
     block_memo: bool,
+    desc: &::platform::PlatformDesc,
 ) -> (Result<SimOutcome, JobFailure>, Option<SimStats>) {
     match job {
         SimJob::Isolation { spec, core } => {
@@ -663,6 +711,7 @@ pub(crate) fn execute_job_with_stats(
                 cycle_budget,
                 engine,
                 block_memo,
+                desc,
             ) {
                 Ok((p, s)) => (Ok(SimOutcome::Isolation(p)), Some(s)),
                 Err(e) => (Err(e.into()), None),
@@ -682,6 +731,7 @@ pub(crate) fn execute_job_with_stats(
                 cycle_budget,
                 engine,
                 block_memo,
+                desc,
             ) {
                 Ok((c, s)) => (Ok(SimOutcome::Corun(c)), Some(s)),
                 Err(e) => (Err(e.into()), None),
@@ -698,8 +748,17 @@ pub(crate) fn execute_job_with_stats(
 /// every platform and in every process, which is what lets a journal
 /// written at `--jobs 4` resume at `--jobs 1`.
 pub fn job_key(job: &SimJob) -> u64 {
+    job_key_on(job, ::platform::default_platform())
+}
+
+/// [`job_key`] on an explicit platform description. Non-default
+/// descriptions fold their fingerprint into every key, so the same job
+/// on two platforms journals (and memoizes) under distinct identities;
+/// the default description reproduces [`job_key`] bit for bit, which is
+/// what keeps journals written before platforms were pluggable valid.
+pub fn job_key_on(job: &SimJob, desc: &::platform::PlatformDesc) -> u64 {
     match job {
-        SimJob::Isolation { spec, core } => ExecEngine::fingerprint(spec, *core),
+        SimJob::Isolation { spec, core } => ExecEngine::fingerprint_on(spec, *core, desc),
         SimJob::Corun {
             app,
             app_core,
@@ -708,6 +767,10 @@ pub fn job_key(job: &SimJob) -> u64 {
         } => {
             let mut h = StableHasher::new();
             h.write_str("tc277/corun/v1");
+            if !desc.is_default() {
+                h.write_str("platform");
+                h.write_u64(desc.fingerprint());
+            }
             h.write_u8(app_core.0);
             h.write_str(&format!("{app:?}"));
             h.write_u8(load_core.0);
@@ -737,6 +800,14 @@ pub trait BatchRunner: Sync {
     /// failing job must not abort the batch: its slot carries the
     /// [`JobFailure`] and every other job completes.
     fn run_batch_detailed(&self, batch: &[SimJob]) -> Vec<Result<SimOutcome, JobFailure>>;
+
+    /// The platform description this runner executes jobs on. The
+    /// experiment drivers derive core placement and model tables from
+    /// it, so a sweep follows the runner's machine automatically. The
+    /// default implementation reports the default TC27x description.
+    fn platform(&self) -> &::platform::PlatformDesc {
+        ::platform::default_platform()
+    }
 
     /// Runs a batch of jobs and returns their outcomes in batch order.
     ///
@@ -793,6 +864,10 @@ pub trait BatchRunner: Sync {
 impl BatchRunner for ExecEngine {
     fn run_batch_detailed(&self, batch: &[SimJob]) -> Vec<Result<SimOutcome, JobFailure>> {
         ExecEngine::run_batch_detailed(self, batch)
+    }
+
+    fn platform(&self) -> &::platform::PlatformDesc {
+        ExecEngine::platform(self)
     }
 
     fn run_batch(&self, batch: &[SimJob]) -> Result<Vec<SimOutcome>, JobError> {
@@ -1007,6 +1082,79 @@ mod tests {
         assert_ne!(job_key(&iso), job_key(&SimJob::Poison));
         // The isolation key IS the memo-cache fingerprint.
         assert_eq!(job_key(&iso), ExecEngine::fingerprint(&app(), CoreId(1)));
+    }
+
+    #[test]
+    fn default_platform_keys_are_unchanged_and_non_default_keys_are_distinct() {
+        let iso = SimJob::Isolation {
+            spec: app(),
+            core: CoreId(1),
+        };
+        let co = SimJob::Corun {
+            app: app(),
+            app_core: CoreId(1),
+            load: load(LoadLevel::High),
+            load_core: CoreId(2),
+        };
+        // The default description is invisible to the keying: journals
+        // and stores written before platforms were pluggable replay.
+        let default = ::platform::PlatformDesc::tc27x();
+        assert_eq!(job_key(&iso), job_key_on(&iso, &default));
+        assert_eq!(job_key(&co), job_key_on(&co, &default));
+        // Non-default descriptions key distinctly — per description.
+        let tdma = ::platform::PlatformDesc::tc27x_tdma();
+        let ahb = ::platform::PlatformDesc::ahb2();
+        for job in [&iso, &co] {
+            assert_ne!(job_key(job), job_key_on(job, &tdma));
+            assert_ne!(job_key(job), job_key_on(job, &ahb));
+            assert_ne!(job_key_on(job, &tdma), job_key_on(job, &ahb));
+        }
+    }
+
+    #[test]
+    fn non_default_platform_runs_simulate_that_platform() {
+        // A TDMA engine must neither share cache entries with a default
+        // engine nor reproduce its timings for a contended co-run.
+        let tdma = ExecEngine::sequential().with_platform(::platform::PlatformDesc::tc27x_tdma());
+        assert_eq!(tdma.platform().name, "tc27x-tdma");
+        let co = SimJob::Corun {
+            app: app(),
+            app_core: CoreId(1),
+            load: load(LoadLevel::High),
+            load_core: CoreId(2),
+        };
+        let default_co = ExecEngine::sequential()
+            .run_batch(std::slice::from_ref(&co))
+            .unwrap()[0]
+            .clone()
+            .into_observed();
+        let tdma_co = tdma.run_batch(std::slice::from_ref(&co)).unwrap()[0]
+            .clone()
+            .into_observed();
+        assert_ne!(
+            default_co, tdma_co,
+            "TDMA arbitration must change a contended co-run"
+        );
+        // Isolation profiles prime under the platform-bound key: a
+        // default engine primed with a TDMA job's profile must miss.
+        let profile = tdma.isolation(&app(), CoreId(1)).unwrap();
+        let fresh = ExecEngine::sequential();
+        fresh.prime(
+            &SimJob::Isolation {
+                spec: app(),
+                core: CoreId(1),
+            },
+            profile,
+        );
+        assert_eq!(
+            fresh.cached_profiles(),
+            1,
+            "primed under the default engine's own key"
+        );
+        assert_ne!(
+            ExecEngine::fingerprint(&app(), CoreId(1)),
+            ExecEngine::fingerprint_on(&app(), CoreId(1), &::platform::PlatformDesc::tc27x_tdma()),
+        );
     }
 
     #[test]

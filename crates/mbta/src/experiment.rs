@@ -119,9 +119,10 @@ impl Figure4Panel {
     }
 }
 
-/// Runs the Figure 4 experiment for one scenario: app on core 1,
-/// contender on core 2 (the paper's placement). Executes sequentially;
-/// use [`figure4_panel_with`] to share an [`ExecEngine`].
+/// Runs the Figure 4 experiment for one scenario: app on the platform's
+/// application core, contender on its load core (cores 1 and 2 on the
+/// paper's TC277). Executes sequentially; use [`figure4_panel_with`] to
+/// share an [`ExecEngine`].
 ///
 /// # Errors
 ///
@@ -150,7 +151,8 @@ pub fn figure4_panel_with<R: BatchRunner + ?Sized>(
     platform: &Platform,
     seed: u64,
 ) -> Result<Figure4Panel, ExperimentError> {
-    let (app_core, load_core) = (CoreId(1), CoreId(2));
+    let desc = engine.platform();
+    let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
     let app_spec = control_loop(scenario, app_core, seed);
 
     let mut batch = vec![SimJob::Isolation {
@@ -236,7 +238,8 @@ pub fn table6_block_with<R: BatchRunner + ?Sized>(
     scenario: DeploymentScenario,
     seed: u64,
 ) -> Result<Table6Block, ExperimentError> {
-    let (c1, c2) = (CoreId(1), CoreId(2));
+    let desc = engine.platform();
+    let (c1, c2) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
     let batch = [
         SimJob::Isolation {
             spec: control_loop(scenario, c1, seed),

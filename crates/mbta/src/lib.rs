@@ -61,7 +61,8 @@ pub use campaign::{
     CampaignConfig, CampaignManifest, CampaignRunner, CampaignStats, FaultPlan, ManifestEntry,
 };
 pub use exec::{
-    job_key, BatchRunner, EngineReport, ExecEngine, JobError, JobFailure, SimJob, SimOutcome,
+    job_key, job_key_on, BatchRunner, EngineReport, ExecEngine, JobError, JobFailure, SimJob,
+    SimOutcome,
 };
 pub use experiment::{
     constraints_for, figure4_panel, figure4_panel_with, table6_block, table6_block_with,
@@ -73,8 +74,9 @@ pub use journal::{
 };
 pub use retry::{Backoff, FailureClass, RetryPolicy};
 pub use runner::{
-    hwm_campaign, hwm_campaign_with, isolation_profile, isolation_profile_budgeted, observed_corun,
-    observed_corun_budgeted, to_model_counters, to_model_counts, HwmMeasurement,
+    hwm_campaign, hwm_campaign_with, isolation_profile, isolation_profile_budgeted,
+    isolation_profile_for, observed_corun, observed_corun_budgeted, observed_corun_for,
+    to_model_counters, to_model_counts, HwmMeasurement,
 };
 pub use store::{Store, StoreRecovery};
 pub use telemetry::{Format, SinkSpec, Telemetry, Val};

@@ -94,7 +94,32 @@ pub fn isolation_profile_on(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
 ) -> Result<IsolationProfile, SimError> {
-    isolation_profile_stats(spec, core, max_cycles, engine, true).map(|(p, _)| p)
+    isolation_profile_stats(
+        spec,
+        core,
+        max_cycles,
+        engine,
+        true,
+        ::platform::default_platform(),
+    )
+    .map(|(p, _)| p)
+}
+
+/// [`isolation_profile`] on an explicit platform description: the run
+/// happens on the machine the description parameterizes — its cores,
+/// slave topology and arbitration — instead of the reference TC277.
+///
+/// # Errors
+///
+/// Propagates link and simulation errors (including placements on
+/// slaves the description does not provide).
+pub fn isolation_profile_for(
+    spec: &TaskSpec,
+    core: CoreId,
+    desc: &::platform::PlatformDesc,
+) -> Result<IsolationProfile, SimError> {
+    isolation_profile_stats(spec, core, None, tc27x_sim::Engine::default(), true, desc)
+        .map(|(p, _)| p)
 }
 
 /// [`isolation_profile_on`] that also snapshots the simulator's
@@ -107,8 +132,9 @@ pub(crate) fn isolation_profile_stats(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
     block_memo: bool,
+    desc: &::platform::PlatformDesc,
 ) -> Result<(IsolationProfile, tc27x_sim::SimStats), SimError> {
-    let mut config = tc27x_sim::SimConfig::tc277_reference()
+    let mut config = tc27x_sim::SimConfig::from_platform(desc)
         .with_engine(engine)
         .with_block_memo(block_memo);
     if let Some(limit) = max_cycles {
@@ -263,12 +289,49 @@ pub fn observed_corun_on(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
 ) -> Result<u64, SimError> {
-    observed_corun_stats(app, app_core, load, load_core, max_cycles, engine, true).map(|(c, _)| c)
+    observed_corun_stats(
+        app,
+        app_core,
+        load,
+        load_core,
+        max_cycles,
+        engine,
+        true,
+        ::platform::default_platform(),
+    )
+    .map(|(c, _)| c)
+}
+
+/// [`observed_corun`] on an explicit platform description (see
+/// [`isolation_profile_for`]).
+///
+/// # Errors
+///
+/// Propagates link and simulation errors.
+pub fn observed_corun_for(
+    app: &TaskSpec,
+    app_core: CoreId,
+    load: &TaskSpec,
+    load_core: CoreId,
+    desc: &::platform::PlatformDesc,
+) -> Result<u64, SimError> {
+    observed_corun_stats(
+        app,
+        app_core,
+        load,
+        load_core,
+        None,
+        tc27x_sim::Engine::default(),
+        true,
+        desc,
+    )
+    .map(|(c, _)| c)
 }
 
 /// [`observed_corun_on`] that also snapshots the simulator's post-run
 /// statistics ([`tc27x_sim::SimStats`]) for the telemetry layer, with
 /// explicit control over the event kernel's block memo.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn observed_corun_stats(
     app: &TaskSpec,
     app_core: CoreId,
@@ -277,8 +340,9 @@ pub(crate) fn observed_corun_stats(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
     block_memo: bool,
+    desc: &::platform::PlatformDesc,
 ) -> Result<(u64, tc27x_sim::SimStats), SimError> {
-    let mut config = tc27x_sim::SimConfig::tc277_reference()
+    let mut config = tc27x_sim::SimConfig::from_platform(desc)
         .with_engine(engine)
         .with_block_memo(block_memo);
     if let Some(limit) = max_cycles {

@@ -5,7 +5,7 @@
 //!                  [--jobs N] [--workers N] [--queue-cap N]
 //!                  [--global-queue-cap N] [--retry-after-ms N]
 //!                  [--io-timeout-ms N] [--default-budget N]
-//!                  [--telemetry FILE[:FORMAT]]
+//!                  [--telemetry FILE[:FORMAT]] [--platform NAME]
 //! ```
 //!
 //! At least one of `--unix` / `--tcp` is required. The daemon replays
@@ -27,6 +27,7 @@ struct Args {
     config: ServerConfig,
     jobs: usize,
     telemetry: Option<SinkSpec>,
+    platform: platform::PlatformDesc,
 }
 
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -88,6 +89,18 @@ fn parse(mut args: Vec<String>) -> Result<Args, String> {
                 .map_err(|e| format!("invalid --telemetry `{v}`: {e}"))
         })
         .transpose()?;
+    // The platform flag changes the *results* the daemon serves, and
+    // the store fingerprint tracks it: a state dir written for one
+    // machine model is never replayed for another.
+    let platform = match take_value(&mut args, "--platform")? {
+        Some(v) => platform::PlatformDesc::builtin(&v).ok_or_else(|| {
+            format!(
+                "unknown platform `{v}` (known platforms: {})",
+                platform::PlatformDesc::names().join(", ")
+            )
+        })?,
+        None => platform::default_platform().clone(),
+    };
     if let Some(stray) = args.first() {
         return Err(format!("unknown argument `{stray}`"));
     }
@@ -95,6 +108,7 @@ fn parse(mut args: Vec<String>) -> Result<Args, String> {
         config,
         jobs,
         telemetry,
+        platform,
     })
 }
 
@@ -104,7 +118,7 @@ fn run() -> Result<(), String> {
         .telemetry
         .as_ref()
         .map(|_| Arc::new(Telemetry::new("contention-serve")));
-    let mut engine = ExecEngine::new(args.jobs);
+    let mut engine = ExecEngine::new(args.jobs).with_platform(args.platform.clone());
     if let Some(t) = &telemetry {
         engine = engine.with_telemetry(Arc::clone(t));
     }

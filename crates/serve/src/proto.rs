@@ -320,8 +320,17 @@ impl Request {
 
     /// Content-address of the request's *semantic* fields — `id` and
     /// `tenant` excluded, so identical queries from different callers
-    /// share one stored response.
+    /// share one stored response. Keys the daemon's default platform;
+    /// a daemon serving another machine uses [`Request::fingerprint_on`].
     pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_on(platform::default_platform())
+    }
+
+    /// [`Request::fingerprint`] bound to the platform the daemon
+    /// simulates. The default (paper TC27x) keys are unchanged from
+    /// `fingerprint`; any other description is folded in, so the same
+    /// request against two platforms never shares a store entry.
+    pub fn fingerprint_on(&self, desc: &platform::PlatformDesc) -> u64 {
         let budget = self.budget.map_or("-".to_string(), |b| b.to_string());
         let policy = if self.strict { "strict" } else { "repair" };
         let (scenario, level, period, deadline) = match &self.kind {
@@ -341,18 +350,23 @@ impl Request {
             ),
             _ => ("-", "-", 0, 0),
         };
-        content_key(
-            "contention-serve/req/v1",
-            &[
-                self.kind.token(),
-                scenario,
-                level,
-                &period.to_string(),
-                &deadline.to_string(),
-                &budget,
-                policy,
-            ],
-        )
+        let period = period.to_string();
+        let deadline = deadline.to_string();
+        let mut fields = vec![
+            self.kind.token(),
+            scenario,
+            level,
+            period.as_str(),
+            deadline.as_str(),
+            &budget,
+            policy,
+        ];
+        let plat;
+        if !desc.is_default() {
+            plat = format!("platform/{:016x}", desc.fingerprint());
+            fields.push(plat.as_str());
+        }
+        content_key("contention-serve/req/v1", &fields)
     }
 
     /// Renders this request as a canonical JSON frame payload (the
@@ -537,6 +551,32 @@ mod tests {
             }
             .fingerprint()
         );
+    }
+
+    #[test]
+    fn fingerprint_binds_the_platform_but_default_is_unchanged() {
+        let req = Request {
+            id: "a".to_string(),
+            tenant: "t".to_string(),
+            kind: QueryKind::Bound {
+                scenario: DeploymentScenario::Scenario1,
+                level: LoadLevel::High,
+            },
+            budget: None,
+            strict: false,
+        };
+        // Default TC27x keys are exactly the historical `fingerprint`
+        // keys — existing stores keep replaying.
+        assert_eq!(
+            req.fingerprint(),
+            req.fingerprint_on(&platform::PlatformDesc::tc27x())
+        );
+        // Any other machine gets its own key space.
+        let tdma = req.fingerprint_on(&platform::PlatformDesc::tc27x_tdma());
+        let ahb = req.fingerprint_on(&platform::PlatformDesc::ahb2());
+        assert_ne!(req.fingerprint(), tdma);
+        assert_ne!(req.fingerprint(), ahb);
+        assert_ne!(tdma, ahb);
     }
 
     #[test]

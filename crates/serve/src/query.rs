@@ -20,7 +20,7 @@ use contention::{
     ContentionModel, EvalOptions, Evaluator, FtcModel, Platform, ValidationPolicy, Validator,
     WcetEstimate,
 };
-use mbta::{constraints_for, job_key, ExecEngine, SimJob};
+use mbta::{constraints_for, job_key_on, ExecEngine, SimJob};
 use obs::json::Val;
 use tc27x_sim::{CoreId, DeploymentScenario};
 use workloads::LoadLevel;
@@ -65,12 +65,13 @@ pub struct QueryEngine<'e> {
 }
 
 impl<'e> QueryEngine<'e> {
-    /// Creates a query engine over `engine` with the TC277 reference
-    /// platform.
+    /// Creates a query engine over `engine`; the model tables are
+    /// derived from the platform description the engine simulates
+    /// (the paper's TC277 by default).
     pub fn new(engine: &'e ExecEngine, options: QueryOptions) -> QueryEngine<'e> {
         QueryEngine {
+            platform: Platform::from_desc(engine.platform()),
             engine,
-            platform: Platform::tc277_reference(),
             options,
         }
     }
@@ -131,29 +132,37 @@ impl<'e> QueryEngine<'e> {
         scenario: DeploymentScenario,
         level: LoadLevel,
     ) -> Result<Pair, String> {
-        let app_spec = workloads::control_loop(scenario, CoreId(1), 42);
-        let load_spec = workloads::contender(scenario, level, CoreId(2), 7);
+        let desc = self.engine.platform();
+        let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
+        let app_spec = workloads::control_loop_on(desc, scenario, app_core, 42);
+        let load_spec = workloads::contender_on(desc, scenario, level, load_core, 7);
         let app = self
             .engine
-            .isolation(&app_spec, CoreId(1))
+            .isolation(&app_spec, app_core)
             .map_err(|e| format!("app isolation failed: {e}"))?;
         let load = self
             .engine
-            .isolation(&load_spec, CoreId(2))
+            .isolation(&load_spec, load_core)
             .map_err(|e| format!("contender isolation failed: {e}"))?;
         let profiles = vec![
             (
-                job_key(&SimJob::Isolation {
-                    spec: app_spec,
-                    core: CoreId(1),
-                }),
+                job_key_on(
+                    &SimJob::Isolation {
+                        spec: app_spec,
+                        core: app_core,
+                    },
+                    desc,
+                ),
                 app.clone(),
             ),
             (
-                job_key(&SimJob::Isolation {
-                    spec: load_spec,
-                    core: CoreId(2),
-                }),
+                job_key_on(
+                    &SimJob::Isolation {
+                        spec: load_spec,
+                        core: load_core,
+                    },
+                    desc,
+                ),
                 load.clone(),
             ),
         ];
@@ -252,13 +261,15 @@ impl<'e> QueryEngine<'e> {
         let ftc = FtcModel::new(&self.platform)
             .wcet_estimate(&va, &[&vb])
             .map_err(|e| format!("fTC model failed: {e}"))?;
+        let desc = self.engine.platform();
+        let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
         let observed = self
             .engine
             .corun(
-                &workloads::control_loop(scenario, CoreId(1), 42),
-                CoreId(1),
-                &workloads::contender(scenario, level, CoreId(2), 7),
-                CoreId(2),
+                &workloads::control_loop_on(desc, scenario, app_core, 42),
+                app_core,
+                &workloads::contender_on(desc, scenario, level, load_core, 7),
+                load_core,
             )
             .map_err(|e| format!("co-run failed: {e}"))?;
         let iso = app.counters().ccnt;

@@ -55,8 +55,17 @@ use std::time::Duration;
 /// change — v1 stores keyed budget-less requests before resolution.
 const STORE_CONFIG: &str = "contention-serve/v2";
 
-fn store_config_fp() -> u64 {
-    obs::fnv1a(STORE_CONFIG.as_bytes())
+/// Store fingerprint, bound to the platform the daemon simulates. The
+/// default (paper TC27x) keeps the bare `STORE_CONFIG` hash, so every
+/// existing store replays; any other description is folded in, so a
+/// daemon restarted onto a different machine model refuses to replay
+/// bodies computed for the old one.
+fn store_config_fp(desc: &platform::PlatformDesc) -> u64 {
+    if desc.is_default() {
+        obs::fnv1a(STORE_CONFIG.as_bytes())
+    } else {
+        obs::fnv1a(format!("{STORE_CONFIG}+platform/{:016x}", desc.fingerprint()).as_bytes())
+    }
 }
 
 /// A reply sink that can also tear its connection down. When a write
@@ -199,7 +208,7 @@ impl Server {
     /// Propagates store corruption and bind failures.
     pub fn start(engine: Arc<ExecEngine>, config: ServerConfig) -> io::Result<Server> {
         std::fs::create_dir_all(&config.state_dir)?;
-        let fp = store_config_fp();
+        let fp = store_config_fp(engine.platform());
         let (responses, bodies, rec_r) =
             Store::open(&config.state_dir.join("responses.store"), "responses", fp)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
@@ -460,7 +469,7 @@ fn conn_loop(
         if request.budget.is_none() {
             request.budget = inner.query.default_budget;
         }
-        let fingerprint = request.fingerprint();
+        let fingerprint = request.fingerprint_on(inner.engine.platform());
         // Served-before? Byte-identical replay straight from cache.
         let cached = {
             let cache = inner

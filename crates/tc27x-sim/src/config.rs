@@ -11,6 +11,13 @@ use crate::addr::{CoreId, SriTarget};
 use crate::cache::CacheGeometry;
 use crate::engine::Engine;
 use crate::layout::AccessClass;
+use platform::{Arbitration, PlatformDesc};
+
+// The platform crate's capacity constants and the simulator's dense
+// array sizes must agree; a description with fewer cores/slaves marks
+// the surplus inactive/absent.
+const _: () = assert!(CoreId::COUNT == platform::MAX_CORES);
+const _: () = assert!(SriTarget::COUNT == platform::SLAVE_SLOTS);
 
 /// Service and hiding parameters of one SRI slave.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,6 +37,18 @@ pub struct SlaveTiming {
 pub struct SimConfig {
     /// Per-target slave timing, indexed by [`SriTarget::index`].
     pub slaves: [SlaveTiming; SriTarget::COUNT],
+    /// Which slave slots exist on this platform; placements into an
+    /// absent slot are rejected at load time.
+    pub slave_present: [bool; SriTarget::COUNT],
+    /// Which slaves have a sequential prefetcher (whose hits are served
+    /// in `service_sequential` and hide `fetch_prefetch_hide` cycles).
+    pub slave_prefetch: [bool; SriTarget::COUNT],
+    /// Arbitration policy per slave port.
+    pub arbitration: [Arbitration; SriTarget::COUNT],
+    /// Number of active cores (`1..=CoreId::COUNT`); loading a task on
+    /// a core at or past this index is rejected, and the TDMA schedule
+    /// has one slot per active core.
+    pub active_cores: usize,
     /// Pipeline cycles a *sequential, prefetched* code fetch from program
     /// flash can hide (run-ahead of the fetch engine).
     pub fetch_prefetch_hide: u32,
@@ -79,36 +98,43 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// The TC277 reference configuration (matches Figure 1 and Table 2
-    /// of the paper).
+    /// of the paper). Exactly [`SimConfig::from_platform`] applied to
+    /// the default platform description — the Table 2 numbers live in
+    /// one place, [`platform::PlatformDesc::tc27x`], and flow from
+    /// there.
     pub fn tc277_reference() -> Self {
-        let pf = SlaveTiming {
-            service_sequential: 12,
-            service: 16,
-            writeback_service: 16,
-        };
+        SimConfig::from_platform(platform::default_platform())
+    }
+
+    /// Derives a configuration from a platform description: slave
+    /// timings, presence, prefetchers, arbitration, hide cycles, cache
+    /// geometries, priorities and the active core count all come from
+    /// the description; engine/memo/trace/quota knobs get their
+    /// defaults (set them with the builders). For the default TC27x
+    /// description this is [`SimConfig::tc277_reference`].
+    pub fn from_platform(desc: &PlatformDesc) -> Self {
+        let geom = |c: platform::CacheShape| CacheGeometry::new(c.size_bytes, c.ways);
         SimConfig {
-            slaves: [
-                pf, // pf0
-                pf, // pf1
+            slaves: std::array::from_fn(|i| {
+                let s = desc.slave(i);
                 SlaveTiming {
-                    service_sequential: 43,
-                    service: 43,
-                    writeback_service: 43,
-                }, // dfl
-                SlaveTiming {
-                    service_sequential: 11,
-                    service: 11,
-                    writeback_service: 10,
-                }, // lmu
-            ],
-            fetch_prefetch_hide: 6,
-            data_hide: 1,
-            icache_p: CacheGeometry::new(16 << 10, 2),
-            icache_e: CacheGeometry::new(8 << 10, 2),
-            dcache_p: CacheGeometry::new(8 << 10, 2),
-            drb_e: CacheGeometry::new(32, 1),
+                    service_sequential: s.service_sequential,
+                    service: s.service,
+                    writeback_service: s.writeback_service,
+                }
+            }),
+            slave_present: std::array::from_fn(|i| desc.slave(i).present),
+            slave_prefetch: std::array::from_fn(|i| desc.slave(i).prefetch),
+            arbitration: std::array::from_fn(|i| desc.slave(i).arbitration),
+            active_cores: desc.cores.min(CoreId::COUNT),
+            fetch_prefetch_hide: desc.fetch_prefetch_hide,
+            data_hide: desc.data_hide,
+            icache_p: geom(desc.icache_p),
+            icache_e: geom(desc.icache_e),
+            dcache_p: geom(desc.dcache_p),
+            drb_e: geom(desc.drb_e),
             max_cycles: 500_000_000,
-            master_priority: [0; CoreId::COUNT],
+            master_priority: desc.master_priority,
             trace_capacity: 0,
             sri_quota: [None; CoreId::COUNT],
             engine: Engine::default(),
@@ -185,7 +211,9 @@ impl SimConfig {
     /// prefetcher predicted it.
     pub fn hide_cycles(&self, class: AccessClass, target: SriTarget, sequential: bool) -> u32 {
         match class {
-            AccessClass::Code if sequential && target.is_pflash() => self.fetch_prefetch_hide,
+            AccessClass::Code if sequential && self.slave_prefetch[target.index()] => {
+                self.fetch_prefetch_hide
+            }
             AccessClass::Code => 0,
             AccessClass::Data => self.data_hide,
         }
@@ -288,6 +316,36 @@ mod tests {
         let c = c.with_block_memo(false).with_block_memo_capacity(16);
         assert!(!c.block_memo);
         assert_eq!(c.block_memo_capacity, 16);
+    }
+
+    #[test]
+    fn default_platform_derivation_is_bit_identical_to_the_reference() {
+        let derived = SimConfig::from_platform(platform::default_platform());
+        let reference = SimConfig::tc277_reference();
+        assert_eq!(format!("{derived:?}"), format!("{reference:?}"));
+    }
+
+    #[test]
+    fn non_default_platforms_derive_their_own_shape() {
+        let tdma = SimConfig::from_platform(&platform::PlatformDesc::tc27x_tdma());
+        assert!(matches!(
+            tdma.arbitration[0],
+            Arbitration::Tdma { slot_len: 16 }
+        ));
+        assert_eq!(tdma.active_cores, 3);
+        let ahb = SimConfig::from_platform(&platform::PlatformDesc::ahb2());
+        assert_eq!(ahb.active_cores, 2);
+        assert_eq!(
+            ahb.slave_present,
+            [true, false, false, true],
+            "pf1/dfl slots are absent on ahb2"
+        );
+        assert_eq!(ahb.slave_prefetch, [false; SriTarget::COUNT]);
+        assert_eq!(ahb.slave(SriTarget::Pf0).service, 8);
+        assert_eq!(ahb.slave(SriTarget::Lmu).service, 2);
+        assert!(matches!(ahb.arbitration[0], Arbitration::FixedPriority));
+        // No prefetcher anywhere: sequential code fetches hide nothing.
+        assert_eq!(ahb.hide_cycles(AccessClass::Code, SriTarget::Pf0, true), 0);
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub use layout::{
 };
 pub use linker::{Linker, TaskImage};
 pub use program::{Op, Pattern, Program, ProgramBuilder};
+pub use sri::{Arbiter, FixedPriority, PriorityRoundRobin, Sri, SriRequest, Tdma};
 pub use system::{RunOutcome, SimError, System};
 pub use trace::{Trace, TraceKind, TraceRecord};
 

@@ -1,17 +1,35 @@
-//! The Shared Resource Interconnect: a crossbar with per-slave,
-//! priority-then-round-robin arbitration.
+//! The Shared Resource Interconnect: a crossbar with pluggable
+//! per-slave arbitration ([`Arbiter`]).
 //!
 //! The SRI lets transactions to *distinct* slaves proceed in parallel;
 //! contention arises only between requests to the same slave (§2 of the
-//! paper). Each slave serves one transaction at a time. Masters carry a
-//! priority class: among pending requests the highest class wins, and
-//! ties within a class are broken round-robin over cores. With all
-//! masters in the same class (the default, and the case the paper
-//! analyses as "the most stressing one for our model") this degenerates
-//! to plain round-robin.
+//! paper). Each slave serves one transaction at a time; which waiting
+//! request a free slave grants is the arbiter's decision. Three policies
+//! exist, selected per slave by the platform description
+//! ([`platform::Arbitration`]):
+//!
+//! * [`PriorityRoundRobin`] — the TC27x default: masters carry a
+//!   priority class, the highest class present wins, ties within a
+//!   class are broken round-robin over cores. With all masters in one
+//!   class (the paper's "most stressing" case) this degenerates to
+//!   plain round-robin.
+//! * [`FixedPriority`] — strict: the highest class always wins, ties
+//!   broken by the lower core index; in-flight transactions are never
+//!   preempted (so a low-priority request can block for at most one
+//!   service).
+//! * [`Tdma`] — time-division: the schedule cycles through one slot per
+//!   active core; a request is granted only inside its own slot and
+//!   only if its service fits the slot remainder, so transactions never
+//!   spill into foreign slots and contenders cannot delay a grant.
+//!
+//! Every arbiter must also *predict* its next grant cycle exactly
+//! ([`Arbiter::next_grant`]) — that prediction is the event kernel's
+//! claim, and any error would break the bit-identity between the event
+//! kernel and the per-cycle reference stepper.
 
 use crate::addr::{CoreId, SriTarget};
 use crate::layout::AccessClass;
+use platform::Arbitration;
 
 /// A request posted by a core's PMI or DMI.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,13 +46,208 @@ pub struct SriRequest {
     pub service: u32,
 }
 
+/// A queued request as the arbiters see it.
 #[derive(Clone, Copy, Debug)]
-struct Pending {
-    core: CoreId,
-    service: u32,
+pub struct Pending {
+    /// Requesting core.
+    pub core: CoreId,
+    /// Slave occupancy in cycles.
+    pub service: u32,
     /// Cycle the request was posted — grant time minus this is the
     /// exact queueing delay the crossbar imposed on the requester.
-    posted_at: u64,
+    pub posted_at: u64,
+}
+
+/// Per-slave arbitration policy: picks which queued request a free
+/// slave grants, and predicts the next cycle any grant could be issued
+/// (the event kernel's claim for this slave).
+pub trait Arbiter {
+    /// Index into `queue` of the request granted at `now` on a *free*
+    /// slave, or `None` if no queued request may start this cycle.
+    /// `last_grant` is the slave's round-robin pointer (core index of
+    /// the most recent grant); policies that do not rotate ignore it.
+    fn pick(
+        &self,
+        now: u64,
+        queue: &[Pending],
+        last_grant: usize,
+        priority: &[u8; CoreId::COUNT],
+    ) -> Option<usize>;
+
+    /// The earliest cycle `≥ now` at which [`Arbiter::pick`] succeeds,
+    /// given the slave frees at `busy_until` and the queue stays as it
+    /// is. `None` iff the queue is empty (a passive slave claims
+    /// nothing). Exactness is load-bearing: the event kernel steps the
+    /// crossbar only at claimed cycles.
+    fn next_grant(
+        &self,
+        now: u64,
+        busy_until: u64,
+        queue: &[Pending],
+        priority: &[u8; CoreId::COUNT],
+    ) -> Option<u64>;
+}
+
+/// Priority classes, round-robin within the winning class (the TC27x
+/// SRI policy).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PriorityRoundRobin;
+
+impl Arbiter for PriorityRoundRobin {
+    fn pick(
+        &self,
+        _now: u64,
+        queue: &[Pending],
+        last_grant: usize,
+        priority: &[u8; CoreId::COUNT],
+    ) -> Option<usize> {
+        // Highest priority class present wins; round-robin within the
+        // class (first queued core strictly after `last_grant` in
+        // circular core order).
+        let best_class = queue.iter().map(|p| priority[p.core.index()]).max()?;
+        (1..=CoreId::COUNT)
+            .map(|d| (last_grant + d) % CoreId::COUNT)
+            .filter(|&c| priority[c] == best_class)
+            .find_map(|c| queue.iter().position(|p| p.core.index() == c))
+    }
+
+    fn next_grant(
+        &self,
+        now: u64,
+        busy_until: u64,
+        queue: &[Pending],
+        _priority: &[u8; CoreId::COUNT],
+    ) -> Option<u64> {
+        // A free slave with any waiter grants immediately.
+        (!queue.is_empty()).then(|| busy_until.max(now))
+    }
+}
+
+/// Strict fixed priority: highest class wins, ties broken by the lower
+/// core index; never rotates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FixedPriority;
+
+impl Arbiter for FixedPriority {
+    fn pick(
+        &self,
+        _now: u64,
+        queue: &[Pending],
+        _last_grant: usize,
+        priority: &[u8; CoreId::COUNT],
+    ) -> Option<usize> {
+        queue
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| (priority[p.core.index()], std::cmp::Reverse(p.core.index())))
+            .map(|(i, _)| i)
+    }
+
+    fn next_grant(
+        &self,
+        now: u64,
+        busy_until: u64,
+        queue: &[Pending],
+        _priority: &[u8; CoreId::COUNT],
+    ) -> Option<u64> {
+        (!queue.is_empty()).then(|| busy_until.max(now))
+    }
+}
+
+/// Time-division multiplexing over the active cores: slot `i` of every
+/// `cores × slot_len` period belongs to core `i`, and a grant must fit
+/// the remainder of its own slot.
+#[derive(Clone, Copy, Debug)]
+pub struct Tdma {
+    slot_len: u64,
+    cores: u64,
+}
+
+impl Tdma {
+    /// Creates the schedule; `slot_len` must cover every service this
+    /// slave can be asked for (the platform validator enforces this for
+    /// described platforms).
+    pub fn new(slot_len: u32, cores: usize) -> Self {
+        assert!(slot_len > 0 && cores > 0, "degenerate TDMA schedule");
+        Tdma {
+            slot_len: u64::from(slot_len),
+            cores: cores as u64,
+        }
+    }
+
+    /// The earliest cycle `≥ from` at which `p` can start: inside its
+    /// own slot with `service` cycles of the slot remaining.
+    fn next_start(&self, from: u64, p: &Pending) -> u64 {
+        let (l, n) = (self.slot_len, self.cores);
+        let s = u64::from(p.service);
+        debug_assert!(s <= l, "TDMA slot {l} cannot fit a service of {s}");
+        let slot = from / l;
+        let core = p.core.index() as u64 % n;
+        if slot % n == core && (from % l) + s <= l {
+            return from;
+        }
+        // Jump to the start of the core's next slot (a full period
+        // ahead when we are late in our own slot).
+        let mut delta = (core + n - slot % n) % n;
+        if delta == 0 {
+            delta = n;
+        }
+        (slot + delta) * l
+    }
+}
+
+impl Arbiter for Tdma {
+    fn pick(
+        &self,
+        now: u64,
+        queue: &[Pending],
+        _last_grant: usize,
+        _priority: &[u8; CoreId::COUNT],
+    ) -> Option<usize> {
+        let owner = (now / self.slot_len) % self.cores;
+        let remaining = self.slot_len - (now % self.slot_len);
+        queue.iter().position(|p| {
+            p.core.index() as u64 % self.cores == owner && u64::from(p.service) <= remaining
+        })
+    }
+
+    fn next_grant(
+        &self,
+        now: u64,
+        busy_until: u64,
+        queue: &[Pending],
+        _priority: &[u8; CoreId::COUNT],
+    ) -> Option<u64> {
+        let from = busy_until.max(now);
+        queue.iter().map(|p| self.next_start(from, p)).min()
+    }
+}
+
+/// The arbiter of one slave port, dispatching to the concrete policy
+/// (an enum so [`Sri`] stays `Clone + Debug`).
+#[derive(Clone, Copy, Debug)]
+enum SlaveArbiter {
+    Prr(PriorityRoundRobin),
+    Fp(FixedPriority),
+    Tdma(Tdma),
+}
+
+impl SlaveArbiter {
+    fn from_policy(policy: Arbitration, cores: usize) -> Self {
+        match policy {
+            Arbitration::PriorityRoundRobin => SlaveArbiter::Prr(PriorityRoundRobin),
+            Arbitration::FixedPriority => SlaveArbiter::Fp(FixedPriority),
+            Arbitration::Tdma { slot_len } => SlaveArbiter::Tdma(Tdma::new(slot_len, cores)),
+        }
+    }
+
+    fn as_arbiter(&self) -> &dyn Arbiter {
+        match self {
+            SlaveArbiter::Prr(a) => a,
+            SlaveArbiter::Fp(a) => a,
+            SlaveArbiter::Tdma(a) => a,
+        }
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -83,6 +296,8 @@ pub struct Grant {
 #[derive(Clone, Debug)]
 pub struct Sri {
     slaves: [Slave; SriTarget::COUNT],
+    /// Arbitration policy per slave port.
+    arbiters: [SlaveArbiter; SriTarget::COUNT],
     /// Priority class per core (higher wins); all-equal by default.
     priority: [u8; CoreId::COUNT],
 }
@@ -91,17 +306,31 @@ impl Sri {
     /// Creates an idle crossbar with all masters in the same priority
     /// class (round-robin arbitration).
     pub fn new() -> Self {
-        Sri {
-            slaves: Default::default(),
-            priority: [0; CoreId::COUNT],
-        }
+        Sri::with_priorities([0; CoreId::COUNT])
     }
 
     /// Creates a crossbar with explicit per-core priority classes
-    /// (higher value = higher priority).
+    /// (higher value = higher priority) and the default
+    /// priority-then-round-robin policy on every slave.
     pub fn with_priorities(priority: [u8; CoreId::COUNT]) -> Self {
+        Sri::with_arbitration(
+            priority,
+            [Arbitration::PriorityRoundRobin; SriTarget::COUNT],
+            CoreId::COUNT,
+        )
+    }
+
+    /// Creates a crossbar with an explicit arbitration policy per slave
+    /// port; `cores` is the number of active cores (the TDMA schedule
+    /// has one slot per active core).
+    pub fn with_arbitration(
+        priority: [u8; CoreId::COUNT],
+        arbitration: [Arbitration; SriTarget::COUNT],
+        cores: usize,
+    ) -> Self {
         Sri {
             slaves: Default::default(),
+            arbiters: std::array::from_fn(|i| SlaveArbiter::from_policy(arbitration[i], cores)),
             priority,
         }
     }
@@ -140,33 +369,19 @@ impl Sri {
     pub fn step(&mut self, now: u64) -> [Option<Grant>; CoreId::COUNT] {
         let mut grants = [None; CoreId::COUNT];
         let priority = self.priority;
-        for slave in &mut self.slaves {
+        for (slave, arbiter) in self.slaves.iter_mut().zip(&self.arbiters) {
             if slave.busy_until > now || slave.queue.is_empty() {
                 continue;
             }
-            // Highest priority class present wins; round-robin within
-            // the class (first queued core strictly after `last_grant`
-            // in circular core order).
-            let best_class = slave
-                .queue
-                .iter()
-                .map(|p| priority[p.core.index()])
-                .max()
-                .unwrap_or_else(|| unreachable!("queue checked non-empty"));
-            let pick = (1..=CoreId::COUNT)
-                .map(|d| (slave.last_grant + d) % CoreId::COUNT)
-                .filter(|&c| priority[c] == best_class)
-                .find_map(|c| {
-                    slave
-                        .queue
-                        .iter()
-                        .position(|p| p.core.index() == c)
-                        .map(|pos| (c, pos))
-                });
-            let Some((core_idx, pos)) = pick else {
+            let Some(pos) =
+                arbiter
+                    .as_arbiter()
+                    .pick(now, &slave.queue, slave.last_grant, &priority)
+            else {
                 continue;
             };
             let p = slave.queue.remove(pos);
+            let core_idx = p.core.index();
             slave.last_grant = core_idx;
             slave.busy_until = now + p.service as u64;
             slave.served += 1;
@@ -235,8 +450,11 @@ impl Sri {
 
 impl crate::engine::EventSource for Sri {
     /// The next cycle at which [`Sri::step`] can issue a grant: the
-    /// earliest `busy_until` (clamped to `now`) over slaves with a
-    /// non-empty queue. A busy slave with an *empty* queue needs no
+    /// minimum of each slave arbiter's [`Arbiter::next_grant`] claim.
+    /// Under round-robin and fixed priority that is the earliest
+    /// `busy_until` (clamped to `now`) over slaves with a non-empty
+    /// queue; under TDMA it is the next feasible slot start for any
+    /// queued request. A busy slave with an *empty* queue needs no
     /// claim — stepping it is a no-op until someone posts, and the
     /// poster's own step precedes arbitration within that cycle. With no
     /// queued work anywhere the arbiter is passive ([`Sri::is_idle`] is
@@ -244,8 +462,11 @@ impl crate::engine::EventSource for Sri {
     fn next_event(&self, now: u64) -> Option<u64> {
         self.slaves
             .iter()
-            .filter(|s| !s.queue.is_empty())
-            .map(|s| s.busy_until.max(now))
+            .zip(&self.arbiters)
+            .filter_map(|(s, a)| {
+                a.as_arbiter()
+                    .next_grant(now, s.busy_until, &s.queue, &self.priority)
+            })
             .min()
     }
 }
@@ -451,6 +672,120 @@ mod tests {
             sri.step(t);
             assert!(sri.is_idle(t + 11));
             assert_eq!(sri.next_event(t + 11), None);
+        }
+    }
+
+    fn tdma_sri(slot_len: u32, cores: usize) -> Sri {
+        Sri::with_arbitration(
+            [0; CoreId::COUNT],
+            [Arbitration::Tdma { slot_len }; SriTarget::COUNT],
+            cores,
+        )
+    }
+
+    #[test]
+    fn fixed_priority_always_prefers_the_higher_class() {
+        let mut sri = Sri::with_arbitration(
+            [0, 2, 1],
+            [Arbitration::FixedPriority; SriTarget::COUNT],
+            CoreId::COUNT,
+        );
+        // All three queued on a free slave: core 1 (class 2) wins, then
+        // core 2 (class 1), then core 0 — never round-robin rotation.
+        for c in 0..3 {
+            sri.post(0, req(c, SriTarget::Lmu, 11));
+        }
+        let g = sri.step(0);
+        assert!(g[1].is_some() && g[0].is_none() && g[2].is_none());
+        let g = sri.step(11);
+        assert!(g[2].is_some() && g[0].is_none());
+        let g = sri.step(22);
+        assert!(g[0].is_some());
+    }
+
+    #[test]
+    fn fixed_priority_breaks_ties_by_core_index() {
+        let mut sri = Sri::with_arbitration(
+            [1, 1, 0],
+            [Arbitration::FixedPriority; SriTarget::COUNT],
+            CoreId::COUNT,
+        );
+        sri.post(0, req(1, SriTarget::Lmu, 11));
+        sri.post(0, req(0, SriTarget::Lmu, 11));
+        let g = sri.step(0);
+        assert!(g[0].is_some() && g[1].is_none(), "lower index wins ties");
+    }
+
+    #[test]
+    fn tdma_grants_only_in_the_owners_slot() {
+        // Slots of 16: [0,16) core0, [16,32) core1, [32,48) core2.
+        let mut sri = tdma_sri(16, 3);
+        sri.post(0, req(1, SriTarget::Pf0, 16));
+        // Core 1's slot starts at 16 — nothing before that.
+        for t in 0..16 {
+            assert_eq!(sri.step(t).iter().flatten().count(), 0, "t={t}");
+        }
+        assert_eq!(sri.next_event(0), Some(16));
+        let g = sri.step(16);
+        assert_eq!(g[1].unwrap().complete_at, 32);
+    }
+
+    #[test]
+    fn tdma_grant_must_fit_the_slot_remainder() {
+        let mut sri = tdma_sri(16, 3);
+        // Posted 10 cycles into core 0's own slot: a 16-cycle service no
+        // longer fits (6 cycles remain), so it waits a full period.
+        sri.post(10, req(0, SriTarget::Pf0, 16));
+        assert_eq!(sri.next_event(10), Some(48));
+        for t in 10..48 {
+            assert_eq!(sri.step(t).iter().flatten().count(), 0, "t={t}");
+        }
+        let g = sri.step(48);
+        assert_eq!(g[0].unwrap().complete_at, 64);
+        // A shorter service fits the same remainder immediately.
+        let mut sri = tdma_sri(16, 3);
+        sri.post(10, req(0, SriTarget::Pf0, 6));
+        assert_eq!(sri.next_event(10), Some(10));
+        assert_eq!(sri.step(10)[0].unwrap().complete_at, 16);
+    }
+
+    #[test]
+    fn tdma_contenders_cannot_delay_a_grant() {
+        // Core 1 posts at its slot start; core 0 and 2 flooding the
+        // same slave never move core 1's grant cycle.
+        let grant_cycle = |with_contenders: bool| {
+            let mut sri = tdma_sri(16, 3);
+            if with_contenders {
+                sri.post(0, req(0, SriTarget::Pf0, 16));
+                sri.post(0, req(2, SriTarget::Pf0, 16));
+            }
+            sri.post(5, req(1, SriTarget::Pf0, 16));
+            let mut t = 5;
+            loop {
+                if let Some(g) = sri.step(t)[1] {
+                    return (t, g.complete_at);
+                }
+                t += 1;
+            }
+        };
+        assert_eq!(grant_cycle(false), grant_cycle(true));
+    }
+
+    #[test]
+    fn tdma_claims_are_exact() {
+        // Whatever the posting phase, the claimed cycle is the first
+        // cycle at which step() actually grants.
+        for phase in 0..48u64 {
+            let mut sri = tdma_sri(16, 3);
+            sri.post(phase, req(2, SriTarget::Lmu, 11));
+            let claim = sri.next_event(phase).unwrap();
+            for t in phase..claim {
+                assert_eq!(sri.step(t).iter().flatten().count(), 0, "phase={phase}");
+            }
+            assert!(
+                sri.step(claim)[2].is_some(),
+                "claim {claim} must grant (phase {phase})"
+            );
         }
     }
 

@@ -135,6 +135,20 @@ pub enum SimError {
         /// The core in question.
         core: CoreId,
     },
+    /// A task was loaded on a core the platform does not have
+    /// ([`SimConfig::active_cores`]).
+    InactiveCore {
+        /// The core in question.
+        core: CoreId,
+        /// Active cores on this platform.
+        active: usize,
+    },
+    /// A task places code or data on a slave slot the platform does not
+    /// have ([`SimConfig::slave_present`]).
+    SlaveAbsent {
+        /// The absent slave.
+        target: crate::addr::SriTarget,
+    },
     /// `run` was called with no tasks loaded.
     NothingLoaded,
 }
@@ -147,6 +161,12 @@ impl fmt::Display for SimError {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
             }
             SimError::CoreBusy { core } => write!(f, "{core} already has a task loaded"),
+            SimError::InactiveCore { core, active } => {
+                write!(f, "{core} is not active (platform has {active} cores)")
+            }
+            SimError::SlaveAbsent { target } => {
+                write!(f, "slave {target} does not exist on this platform")
+            }
             SimError::NothingLoaded => write!(f, "no tasks loaded"),
         }
     }
@@ -187,7 +207,11 @@ impl System {
     /// Creates a system with a custom configuration.
     pub fn with_config(config: SimConfig) -> Self {
         let map = MemMap::tc277();
-        let sri = Sri::with_priorities(config.master_priority);
+        let sri = Sri::with_arbitration(
+            config.master_priority,
+            config.arbitration,
+            config.active_cores,
+        );
         System {
             linker: Linker::new(map.clone()),
             map,
@@ -224,8 +248,28 @@ impl System {
     /// [`SimError::CoreBusy`] if the core already has a task, or any
     /// [`LayoutError`] from linking.
     pub fn load(&mut self, core: CoreId, spec: &TaskSpec) -> Result<(), SimError> {
+        if core.index() >= self.config.active_cores {
+            return Err(SimError::InactiveCore {
+                core,
+                active: self.config.active_cores,
+            });
+        }
         if self.cores[core.index()].is_some() {
             return Err(SimError::CoreBusy { core });
+        }
+        // Placements must land on slaves this platform actually has;
+        // core-local scratchpads are always available.
+        let placements = spec
+            .segments
+            .iter()
+            .map(|s| s.placement)
+            .chain(spec.data_objects.iter().map(|o| o.placement));
+        for p in placements {
+            if let Some(target) = p.region.sri_target() {
+                if !self.config.slave_present[target.index()] {
+                    return Err(SimError::SlaveAbsent { target });
+                }
+            }
         }
         let image = self.linker.link(core, spec)?;
         self.cores[core.index()] = Some(CorePipeline::new(core, image, &self.config));

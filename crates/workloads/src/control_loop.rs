@@ -100,6 +100,20 @@ fn init_segment() -> Program {
 /// # }
 /// ```
 pub fn control_loop(scenario: DeploymentScenario, core: CoreId, seed: u64) -> TaskSpec {
+    control_loop_on(platform::default_platform(), scenario, core, seed)
+}
+
+/// [`control_loop`] for an explicit platform description: placements
+/// that name the second flash bank fold onto the platform's available
+/// code slave (see `second_code_bank`). On the default TC27x this is
+/// exactly [`control_loop`].
+pub fn control_loop_on(
+    desc: &platform::PlatformDesc,
+    scenario: DeploymentScenario,
+    core: CoreId,
+    seed: u64,
+) -> TaskSpec {
+    let bank2 = crate::second_code_bank(desc);
     match scenario {
         DeploymentScenario::Scenario1 => TaskSpec::empty("cruise-control-sc1")
             .with_segment(init_segment(), Placement::pspr(core))
@@ -109,7 +123,7 @@ pub fn control_loop(scenario: DeploymentScenario, core: CoreId, seed: u64) -> Ta
             )
             .with_segment(
                 bank_loop(ITERS_PER_BANK, UNITS_PER_ITER, sc1_unit),
-                Placement::new(Region::Pflash1, true),
+                Placement::new(bank2, true),
             )
             .with_object(DataObject::new(
                 "sensors",
@@ -131,7 +145,7 @@ pub fn control_loop(scenario: DeploymentScenario, core: CoreId, seed: u64) -> Ta
             )
             .with_segment(
                 bank_loop(ITERS_PER_BANK, UNITS_PER_ITER, sc2_unit),
-                Placement::new(Region::Pflash1, true),
+                Placement::new(bank2, true),
             )
             .with_object(DataObject::new(
                 "lut",

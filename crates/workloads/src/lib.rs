@@ -38,6 +38,19 @@ mod fir;
 mod loads;
 pub mod micro;
 
-pub use control_loop::{control_loop, ITERS_PER_BANK, UNITS_PER_ITER};
+pub use control_loop::{control_loop, control_loop_on, ITERS_PER_BANK, UNITS_PER_ITER};
 pub use fir::{fir_filter, FIR_SAMPLES, FIR_TAPS};
-pub use loads::{contender, LoadLevel};
+pub use loads::{contender, contender_on, LoadLevel};
+
+/// The region hosting a workload's *second* flash code bank on this
+/// platform: Pflash1 where it exists, else the platform's single flash
+/// bank. The paper's two-bank layouts stay bit-identical on the
+/// default TC27x; single-flash platforms (e.g. `ahb2`) fold both banks
+/// into Pflash0 rather than becoming infeasible.
+pub(crate) fn second_code_bank(desc: &platform::PlatformDesc) -> tc27x_sim::Region {
+    if desc.slave(1).present {
+        tc27x_sim::Region::Pflash1
+    } else {
+        tc27x_sim::Region::Pflash0
+    }
+}

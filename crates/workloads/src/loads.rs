@@ -136,6 +136,21 @@ pub fn contender(
     core: CoreId,
     seed: u64,
 ) -> TaskSpec {
+    contender_on(platform::default_platform(), scenario, level, core, seed)
+}
+
+/// [`contender`] for an explicit platform description: the second
+/// flash bank folds onto the platform's available code slave (see
+/// `second_code_bank`). On the default TC27x this is exactly
+/// [`contender`].
+pub fn contender_on(
+    desc: &platform::PlatformDesc,
+    scenario: DeploymentScenario,
+    level: LoadLevel,
+    core: CoreId,
+    seed: u64,
+) -> TaskSpec {
+    let bank2 = crate::second_code_bank(desc);
     let iters = level.iterations(scenario).max(1);
     let pad = level.padding_cycles(scenario);
     let name = format!("{level}-{scenario}");
@@ -148,7 +163,7 @@ pub fn contender(
             .with_segment(padding(pad), Placement::pspr(core))
             .with_segment(
                 main_loop(iters, contender_unit_sc1),
-                Placement::new(Region::Pflash1, true),
+                Placement::new(bank2, true),
             )
             .with_segment(padding(pad), Placement::pspr(core))
             .with_object(DataObject::new(
@@ -170,7 +185,7 @@ pub fn contender(
             .with_segment(padding(pad), Placement::pspr(core))
             .with_segment(
                 main_loop(iters, contender_unit_sc2),
-                Placement::new(Region::Pflash1, true),
+                Placement::new(bank2, true),
             )
             .with_segment(padding(pad), Placement::pspr(core))
             .with_object(DataObject::new(
@@ -181,7 +196,7 @@ pub fn contender(
             .with_object(DataObject::new(
                 "calib_b",
                 2 << 10,
-                Placement::new(Region::Pflash1, true),
+                Placement::new(bank2, true),
             ))
             .with_object(DataObject::new(
                 "shared_b",

@@ -214,6 +214,12 @@ pub struct Invocation {
     /// Telemetry sink (`--telemetry FILE[:FORMAT]`); disabled when
     /// `None`.
     pub telemetry: Option<SinkSpec>,
+    /// Simulated machine (`--platform NAME`; default: the paper's
+    /// TC27x). Unlike the other global flags this one *changes
+    /// results*: core placement, slave topology and arbitration all
+    /// follow the description, and the models derive their tables
+    /// from it.
+    pub platform: platform::PlatformDesc,
 }
 
 /// Parses an argument vector (without the program name), extracting the
@@ -294,6 +300,15 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
                 .map_err(|e| ParseError(format!("invalid --telemetry `{v}`: {e}")))
         })
         .transpose()?;
+    let platform = match take_value(&mut rest, "--platform")? {
+        Some(v) => platform::PlatformDesc::builtin(&v).ok_or_else(|| {
+            ParseError(format!(
+                "unknown platform `{v}` (known platforms: {})",
+                platform::PlatformDesc::names().join(", ")
+            ))
+        })?,
+        None => platform::default_platform().clone(),
+    };
     Ok(Invocation {
         command: parse(&rest)?,
         jobs,
@@ -308,6 +323,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
             watchdog_millis,
         },
         telemetry,
+        platform,
     })
 }
 
@@ -451,6 +467,13 @@ GLOBAL OPTIONS:
                                     for chrome://tracing) or summary; FILE `-`
                                     writes to stderr. The deterministic subset
                                     is byte-identical for any --jobs/--engine
+    --platform NAME                 simulated machine (default: tc27x, the
+                                    paper's TC277). Unlike every flag above
+                                    this one changes results: core placement,
+                                    slave topology and arbitration follow the
+                                    named description and the models derive
+                                    their tables from it. Built-ins: tc27x,
+                                    tc27x-tdma, ahb2
 ";
 
 /// Executes a parsed invocation: builds the experiment engine from the
@@ -471,6 +494,7 @@ pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>>
     let telemetry: Arc<Telemetry> = Arc::new(Telemetry::new(inv.command.label()));
     let engine = ExecEngine::new(inv.jobs)
         .with_sim_engine(inv.settings.engine)
+        .with_platform(inv.platform.clone())
         .with_telemetry(Arc::clone(&telemetry));
     let config = CampaignConfig {
         watchdog_millis: inv.campaign.watchdog_millis,
@@ -625,7 +649,7 @@ pub fn run_with_telemetry(
             Ok(())
         }
         Command::Figure4 { scenario } => {
-            let platform = Platform::tc277_reference();
+            let platform = Platform::from_desc(engine.platform());
             let scenarios = match scenario {
                 Some(s) => vec![s],
                 None => vec![DeploymentScenario::Scenario1, DeploymentScenario::Scenario2],
@@ -651,12 +675,16 @@ pub fn run_with_telemetry(
             level,
             model,
         } => {
-            let platform = Platform::tc277_reference();
-            let app =
-                engine.isolation(&workloads::control_loop(scenario, CoreId(1), 42), CoreId(1))?;
+            let desc = engine.platform();
+            let platform = Platform::from_desc(desc);
+            let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
+            let app = engine.isolation(
+                &workloads::control_loop_on(desc, scenario, app_core, 42),
+                app_core,
+            )?;
             let load = engine.isolation(
-                &workloads::contender(scenario, level, CoreId(2), 7),
-                CoreId(2),
+                &workloads::contender_on(desc, scenario, level, load_core, 7),
+                load_core,
             )?;
             match model {
                 ModelChoice::Ilp => {
@@ -708,28 +736,38 @@ pub fn run_with_telemetry(
             Ok(())
         }
         Command::Profile { scenario, level } => {
+            let desc = engine.platform();
+            let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
             let profile = match level {
-                None => engine
-                    .isolation(&workloads::control_loop(scenario, CoreId(1), 42), CoreId(1))?,
-                Some(l) => {
-                    engine.isolation(&workloads::contender(scenario, l, CoreId(2), 7), CoreId(2))?
-                }
+                None => engine.isolation(
+                    &workloads::control_loop_on(desc, scenario, app_core, 42),
+                    app_core,
+                )?,
+                Some(l) => engine.isolation(
+                    &workloads::contender_on(desc, scenario, l, load_core, 7),
+                    load_core,
+                )?,
             };
             println!("{}", profile.to_record());
             Ok(())
         }
         Command::Trace { scenario, limit } => {
-            let cfg = SimConfig::tc277_reference()
+            let desc = engine.platform();
+            let app_core = CoreId(desc.app_core as u8);
+            let cfg = SimConfig::from_platform(desc)
                 .with_trace_capacity(limit.max(1))
                 .with_engine(settings.engine);
             let mut sys = System::with_config(cfg);
-            sys.load(CoreId(1), &workloads::control_loop(scenario, CoreId(1), 42))?;
+            sys.load(
+                app_core,
+                &workloads::control_loop_on(desc, scenario, app_core, 42),
+            )?;
             let out = sys.run()?;
-            if out.trace_dropped(CoreId(1)) > 0 {
+            if out.trace_dropped(app_core) > 0 {
                 let message = format!(
                     "trace truncated — {} event(s) were dropped after the \
                      {}-event buffer filled; raise --limit to capture them",
-                    out.trace_dropped(CoreId(1)),
+                    out.trace_dropped(app_core),
                     limit.max(1)
                 );
                 match telemetry {
@@ -737,7 +775,7 @@ pub fn run_with_telemetry(
                     None => eprintln!("warning: {message}"),
                 }
             }
-            let trace = sys.trace(CoreId(1));
+            let trace = sys.trace(app_core);
             for r in trace.records().iter().take(limit) {
                 println!("{r}");
             }
@@ -1008,6 +1046,7 @@ mod tests {
             "--watchdog-ms",
             "--engine",
             "--telemetry",
+            "--platform",
         ] {
             assert!(USAGE.contains(sub), "{sub}");
         }
@@ -1034,6 +1073,30 @@ mod tests {
         let spec = inv.telemetry.expect("sink spec parsed");
         assert_eq!(spec.path, "-");
         assert_eq!(spec.format, mbta::Format::Summary);
+    }
+
+    #[test]
+    fn parses_platform_flag() {
+        let inv = parse_invocation(&argv("calibrate")).unwrap();
+        assert!(inv.platform.is_default(), "default is the paper's TC27x");
+        assert_eq!(inv.platform.name, "tc27x");
+
+        let inv = parse_invocation(&argv("--platform tc27x-tdma trace --limit 3")).unwrap();
+        assert_eq!(inv.platform.name, "tc27x-tdma");
+        assert!(!inv.platform.is_default());
+        assert_eq!(
+            inv.command,
+            Command::Trace {
+                scenario: DeploymentScenario::Scenario1,
+                limit: 3
+            }
+        );
+
+        let err = parse_invocation(&argv("calibrate --platform vax")).unwrap_err();
+        for name in platform::PlatformDesc::names() {
+            assert!(err.to_string().contains(name), "error must list `{name}`");
+        }
+        assert!(parse_invocation(&argv("calibrate --platform")).is_err());
     }
 
     #[test]
