@@ -21,6 +21,13 @@
 #                  built-in profile (--jobs 1 vs 4), registry rejection
 #                  message, and state-store isolation (a campaign under
 #                  one platform refuses another's journals loudly)
+#   ci.sh attr     contention-attribution gate: the tightness audit
+#                  must report zero violations (observed <= bound) on
+#                  every builtin platform and scenario, the committed
+#                  golden attribution matrix must replay byte-for-byte
+#                  across worker counts and timing kernels, and the
+#                  attribution telemetry stream must pass the schema
+#                  lint warning-free
 #   ci.sh all      every tier in order (the default); perf runs
 #                  non-gating here so a slow local machine cannot fail
 #                  the full gate, exactly as the old monolithic script
@@ -406,6 +413,49 @@ stage_platform() {
     fi
 }
 
+stage_attr() {
+    [ -n "$SMOKE_DIR" ] && rm -rf "$SMOKE_DIR"
+    SMOKE_DIR="$(mktemp -d)"
+    MAIN=target/release/aurix-contention
+    LINT=target/release/telemetry_lint
+    cargo build --release --offline
+    cargo build --release --offline -p contention-bench --bin telemetry_lint
+
+    echo "==> attr: tightness audit on every builtin platform (observed <= bound)"
+    # Every audited bound must hold for every access class, slave and
+    # scenario; a single VIOLATION row means an unsound model and fails
+    # the gate outright.
+    for p in tc27x tc27x-tdma ahb2; do
+        for s in sc1 sc2; do
+            "$MAIN" --platform "$p" --jobs 1 contention-attr --scenario "$s" \
+                > "$SMOKE_DIR/attr_${p}_${s}.txt" 2> /dev/null
+            if grep -q "VIOLATION" "$SMOKE_DIR/attr_${p}_${s}.txt"; then
+                echo "bound violation on $p/$s:"
+                cat "$SMOKE_DIR/attr_${p}_${s}.txt"; exit 1
+            fi
+            grep -q "violations: 0" "$SMOKE_DIR/attr_${p}_${s}.txt" \
+                || { echo "no tightness verdict in the $p/$s report"; \
+                     cat "$SMOKE_DIR/attr_${p}_${s}.txt"; exit 1; }
+        done
+    done
+
+    echo "==> attr: golden attribution matrix replay (jobs 1 vs 4, event vs tick)"
+    # The committed sc2 attribution stream must reproduce byte-for-byte
+    # at any worker count and under either timing kernel — the ledger
+    # inherits the grant sequence's bit-identity.
+    for variant in "--jobs 1 --engine event" "--jobs 4 --engine event" "--jobs 4 --engine tick"; do
+        # shellcheck disable=SC2086  # variant is a flag list on purpose
+        "$MAIN" $variant --attribution "$SMOKE_DIR/attr.jsonl" \
+            contention-attr --scenario sc2 > /dev/null 2> /dev/null
+        diff -u crates/bench/tests/golden/attribution_sc2.jsonl "$SMOKE_DIR/attr.jsonl" \
+            || { echo "attribution stream diverged from the golden at $variant"; exit 1; }
+    done
+
+    echo "==> attr: attribution telemetry passes the schema lint warning-free"
+    "$LINT" "$SMOKE_DIR/attr.jsonl" --deny-warn \
+        || { echo "attribution telemetry failed the lint"; exit 1; }
+}
+
 STAGE="${1:-all}"
 case "$STAGE" in
     lint)     stage_lint ;;
@@ -415,6 +465,7 @@ case "$STAGE" in
     serve)    stage_serve ;;
     dse)      stage_dse ;;
     platform) stage_platform ;;
+    attr)     stage_attr ;;
     all)
         stage_lint
         stage_test
@@ -422,12 +473,13 @@ case "$STAGE" in
         stage_serve
         stage_dse
         stage_platform
+        stage_attr
         # Informational in the full gate: a slow or noisy local machine
         # must not fail `ci.sh all`. Run `ci.sh perf` to gate.
         stage_perf || echo "warning: perf stage failed (non-gating in 'all')"
         ;;
     *)
-        echo "usage: $0 [lint|test|golden|perf|serve|dse|platform|all]" >&2
+        echo "usage: $0 [lint|test|golden|perf|serve|dse|platform|attr|all]" >&2
         exit 2
         ;;
 esac

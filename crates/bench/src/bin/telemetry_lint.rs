@@ -22,7 +22,9 @@
 use obs::json::{parse, Json};
 
 /// Record kinds the JSONL schema admits.
-const KINDS: &[&str] = &["meta", "span", "counter", "hist", "warn", "profile"];
+const KINDS: &[&str] = &[
+    "meta", "span", "counter", "hist", "matrix", "table", "warn", "profile",
+];
 
 /// Keys that must never appear (at any depth) in a deterministic
 /// record: they encode host/run conditions, not logical results.
@@ -227,6 +229,13 @@ mod tests {
         let warn = "{\"k\":\"warn\",\"det\":true,\"code\":\"x\",\"count\":1}\n";
         assert!(lint_jsonl(warn, false).is_ok());
         assert!(lint_jsonl(warn, true).is_err());
+
+        let matrix = "{\"k\":\"matrix\",\"det\":true,\"name\":\"attribution.wait\",\
+                      \"rows\":[\"lmu/c0\"],\"cols\":[\"c1\"],\"cells\":[11]}\n";
+        assert!(lint_jsonl(matrix, true).is_ok());
+        let table = "{\"k\":\"table\",\"det\":true,\"name\":\"tightness.sc1\",\
+                     \"cols\":[\"bound\"],\"rows\":[[3200]]}\n";
+        assert!(lint_jsonl(table, true).is_ok());
     }
 
     #[test]
@@ -252,6 +261,25 @@ mod tests {
     fn real_streams_pass_the_lint() {
         let t = mbta::Telemetry::new("lint-self-test");
         t.record_solve("solve:a", 10, false);
+        // A job with attribution stats, so the stream carries matrix
+        // records through the lint.
+        let mut stats = tc27x_sim::SimStats::default();
+        stats.attribution.charge(
+            tc27x_sim::SriTarget::Lmu.index(),
+            0,
+            1,
+            tc27x_sim::AccessClass::Data,
+            11,
+        );
+        let job = mbta::SimJob::Isolation {
+            spec: workloads::control_loop(
+                tc27x_sim::DeploymentScenario::Scenario1,
+                tc27x_sim::CoreId(0),
+                1,
+            ),
+            core: tc27x_sim::CoreId(0),
+        };
+        t.record_job(7, &job, 100, Some(&stats));
         t.record_engine(&mbta::EngineReport {
             jobs: 2,
             simulations_run: 1,

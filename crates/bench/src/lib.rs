@@ -527,6 +527,11 @@ pub struct CommonArgs {
     pub watchdog_millis: Option<u64>,
     /// Telemetry sink (`--telemetry <path>[:format]`; `-` is stderr).
     pub telemetry: Option<mbta::SinkSpec>,
+    /// Attribution sink (`--attribution <path>`): record per-grant
+    /// contention attribution on every simulation and flush the folded
+    /// matrices as JSONL on exit. Observation-only — no table or figure
+    /// changes.
+    pub attribution: Option<PathBuf>,
     /// Platform description jobs run on (`--platform NAME`, default
     /// `tc27x`). Unlike the kernel/memo knobs this *changes results*:
     /// it selects the simulated machine, and every journal key and memo
@@ -589,6 +594,7 @@ impl CommonArgs {
             resume,
             watchdog_millis,
             telemetry,
+            attribution: path_from_args(args, "--attribution")?,
             platform: platform_from_args(args)?,
         })
     }
@@ -614,6 +620,7 @@ impl CommonArgs {
         let engine = ExecEngine::new(self.jobs)
             .with_sim_engine(self.sim_engine)
             .with_block_memo(self.block_memo)
+            .with_attribution(self.attribution.is_some())
             .with_platform(self.platform.clone());
         match telemetry {
             Some(t) => engine.with_telemetry(Arc::clone(t)),
@@ -637,6 +644,25 @@ impl CommonArgs {
         if let (Some(spec), Some(t)) = (&self.telemetry, telemetry) {
             t.flush(spec)
                 .map_err(|e| format!("cannot write telemetry to {}: {e}", spec.path))?;
+        }
+        Ok(())
+    }
+
+    /// Writes the engine's folded attribution matrices to the
+    /// `--attribution` sink. A no-op when the flag is absent; requires
+    /// the engine to carry a telemetry recorder (the matrices ride on
+    /// recorded job statistics), so attach one via
+    /// [`engine_with`](Self::engine_with) — or pass the recorder the
+    /// engine already holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a readable message when writing the sink fails.
+    pub fn flush_attribution(&self, telemetry: Option<&Arc<Telemetry>>) -> Result<(), String> {
+        if let (Some(path), Some(t)) = (&self.attribution, telemetry) {
+            let rendered = mbta::telemetry::render_attribution_jsonl(&t.attribution());
+            std::fs::write(path, rendered)
+                .map_err(|e| format!("cannot write attribution to {}: {e}", path.display()))?;
         }
         Ok(())
     }
@@ -857,6 +883,12 @@ mod tests {
         let envelope = tel.envelope(&argv("--jobs 1"));
         assert_eq!(envelope.jobs, 1);
         assert_eq!(envelope.engine, "event");
+
+        let attr = CommonArgs::parse(&argv("--jobs 1 --attribution attr.jsonl")).unwrap();
+        assert_eq!(attr.attribution, Some(PathBuf::from("attr.jsonl")));
+        assert!(attr.engine().attribution(), "flag switches the recorder on");
+        assert!(!t.engine().attribution(), "off by default");
+        assert!(CommonArgs::parse(&argv("--attribution")).is_err());
 
         assert!(CommonArgs::parse(&argv("--telemetry")).is_err());
         assert!(CommonArgs::parse(&argv("--telemetry :chrome")).is_err());

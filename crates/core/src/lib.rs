@@ -65,6 +65,7 @@ pub mod rta;
 mod scenario;
 mod sensitivity;
 mod signature;
+mod tightness;
 pub mod validate;
 mod wcet;
 
@@ -80,6 +81,9 @@ pub use profile::{AccessCounts, DebugCounters, IsolationProfile, ParseProfileErr
 pub use scenario::ScenarioConstraints;
 pub use sensitivity::{CounterKind, Sensitivity, SensitivityReport, Side};
 pub use signature::{ContenderSignature, StableHasher};
+pub use tightness::{
+    per_grant_wait_bound, AuditKind, ObservedContention, TightnessReport, TightnessRow,
+};
 pub use validate::{ValidationIssue, ValidationPolicy, ValidationReport, Validator};
 pub use wcet::{ContentionBound, ContentionModel, WcetEstimate};
 

@@ -16,9 +16,11 @@
 //! both to stdout. With `--report md` the merged curves are also
 //! rendered as a markdown table (written to `curves.md` and printed in
 //! place of the plain text) — same rows, headed by the
-//! platform/arbitration variant. Exit status: 0 on full coverage, 3
-//! when any shard exhausted its retries (partial coverage — the
-//! manifest says which), 1 on error, 2 on usage.
+//! platform/arbitration variant. A per-shard progress summary (points
+//! merged, attempts, retries, coverage %, then wall-clock points/s)
+//! goes to stderr so stdout stays byte-stable. Exit status: 0 on full
+//! coverage, 3 when any shard exhausted its retries (partial coverage
+//! — the manifest says which), 1 on error, 2 on usage.
 //!
 //! The curves are byte-identical for a fixed seed at any
 //! `--shards`/`--jobs` split, across kill -9s of workers or of this
@@ -187,6 +189,9 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.curves_text);
     }
+    // Progress summary on stderr: stdout stays the byte-stable
+    // artifacts; the summary's timing section is wall-clock.
+    eprint!("{}", report.render_summary());
     if report.partial {
         eprintln!(
             "dse-supervisor: PARTIAL coverage {:.4} — see manifest.txt",

@@ -115,6 +115,75 @@ pub struct RunReport {
     pub manifest_text: String,
     /// `true` when any shard was dropped after exhausting retries.
     pub partial: bool,
+    /// Point records each shard contributed to the merge, shard order
+    /// (failed shards contribute zero).
+    pub shard_points: Vec<(u32, u64)>,
+    /// Wall-clock seconds from the first spawn decision to the end of
+    /// the merge — host-dependent, reported only in the timing section
+    /// of [`RunReport::render_summary`].
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// End-of-run progress summary. The first section is a pure
+    /// function of the shard journals and retry history — byte-stable
+    /// for a fixed campaign outcome — while the trailing timing section
+    /// carries the wall-clock throughput and is labelled
+    /// nondeterministic so golden diffs know to strip it.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::from("run summary (deterministic)\n");
+        for o in &self.outcomes {
+            let points = self
+                .shard_points
+                .iter()
+                .find(|(s, _)| *s == o.shard)
+                .map_or(0, |(_, p)| *p);
+            let state = if o.completed { "done" } else { "FAILED" };
+            out.push_str(&format!(
+                "  shard {:04}: {points} point(s), {} attempt(s), {state}",
+                o.shard, o.attempts
+            ));
+            if !o.note.is_empty() && !o.completed {
+                out.push_str(&format!(" — {}", o.note));
+            }
+            out.push('\n');
+        }
+        let retries: u32 = self
+            .outcomes
+            .iter()
+            .map(|o| o.attempts.saturating_sub(1))
+            .sum();
+        out.push_str(&format!(
+            "  coverage: {}/{} points ({:.2}%), {}/{} shard(s) complete, {} failed\n",
+            self.coverage.covered_points,
+            self.coverage.total_points,
+            self.coverage.fraction() * 100.0,
+            self.coverage.completed.len(),
+            self.coverage.shards,
+            self.coverage.failed.len(),
+        ));
+        out.push_str(&format!("  retries: {retries}\n"));
+        out.push_str("run timing (wall-clock, nondeterministic)\n");
+        let rate = |points: u64| {
+            if self.wall_seconds > 0.0 {
+                points as f64 / self.wall_seconds
+            } else {
+                0.0
+            }
+        };
+        out.push_str(&format!(
+            "  wall {:.2}s, overall {:.1} points/s\n",
+            self.wall_seconds,
+            rate(self.coverage.covered_points)
+        ));
+        for (shard, points) in &self.shard_points {
+            out.push_str(&format!(
+                "  shard {shard:04}: {:.1} points/s\n",
+                rate(*points)
+            ));
+        }
+        out
+    }
 }
 
 /// The backoff key of a shard — a distinct hash domain so shard delays
@@ -267,6 +336,7 @@ pub fn supervise(sup: &SupervisorConfig) -> Result<RunReport, DseError> {
     }
     std::fs::create_dir_all(&sup.state_dir)?;
 
+    let started = Instant::now();
     let max_attempts = sup.retry.max_attempts.max(1);
     let mut slots: Vec<ShardSlot> = (0..sup.shards)
         .map(|shard| ShardSlot {
@@ -386,6 +456,7 @@ pub fn supervise(sup: &SupervisorConfig) -> Result<RunReport, DseError> {
     let mut merged: BTreeMap<u64, String> = BTreeMap::new();
     let mut completed = Vec::new();
     let mut failed = Vec::new();
+    let mut shard_points = Vec::new();
     for (shard, slot) in slots.iter().enumerate() {
         let shard = shard as u32;
         match slot.state {
@@ -393,10 +464,14 @@ pub fn supervise(sup: &SupervisorConfig) -> Result<RunReport, DseError> {
                 let fp = shard_fingerprint(&sup.cfg, sup.shards, shard);
                 let (_store, entries, _recovery) =
                     Store::open(&store_path(&sup.state_dir, shard), "dse-shard", fp)?;
+                shard_points.push((shard, entries.len() as u64));
                 merged.extend(entries);
                 completed.push(shard);
             }
-            ShardState::Failed => failed.push(shard),
+            ShardState::Failed => {
+                shard_points.push((shard, 0));
+                failed.push(shard);
+            }
             _ => {
                 return Err(DseError::Config(format!(
                     "shard {shard} left non-terminal — supervisor bug"
@@ -438,5 +513,62 @@ pub fn supervise(sup: &SupervisorConfig) -> Result<RunReport, DseError> {
         curves_md_text,
         manifest_text,
         partial: !failed.is_empty(),
+        shard_points,
+        wall_seconds: started.elapsed().as_secs_f64(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::Coverage;
+
+    #[test]
+    fn run_summary_separates_deterministic_rows_from_wall_timing() {
+        let report = RunReport {
+            outcomes: vec![
+                ShardOutcome {
+                    shard: 0,
+                    attempts: 1,
+                    completed: true,
+                    note: String::new(),
+                },
+                ShardOutcome {
+                    shard: 1,
+                    attempts: 3,
+                    completed: false,
+                    note: "worker died: signal 9".to_string(),
+                },
+            ],
+            coverage: Coverage {
+                shards: 2,
+                completed: vec![0],
+                failed: vec![1],
+                covered_points: 12,
+                total_points: 24,
+            },
+            curves_text: String::new(),
+            curves_md_text: String::new(),
+            manifest_text: String::new(),
+            partial: true,
+            shard_points: vec![(0, 12), (1, 0)],
+            wall_seconds: 2.0,
+        };
+        let s = report.render_summary();
+        let det: String = s
+            .lines()
+            .take_while(|l| !l.starts_with("run timing"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(det.contains("shard 0000: 12 point(s), 1 attempt(s), done"));
+        assert!(det.contains("shard 0001: 0 point(s), 3 attempt(s), FAILED — worker died"));
+        assert!(det.contains("coverage: 12/24 points (50.00%), 1/2 shard(s) complete, 1 failed"));
+        assert!(det.contains("retries: 2"), "{det}");
+        assert!(
+            !det.contains("points/s"),
+            "wall rate leaked into det: {det}"
+        );
+        assert!(s.contains("wall 2.00s, overall 6.0 points/s"), "{s}");
+        assert!(s.contains("shard 0000: 6.0 points/s"), "{s}");
+    }
 }

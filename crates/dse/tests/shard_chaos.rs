@@ -144,6 +144,20 @@ fn supervisor_binary_exits_3_on_partial_coverage() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(3), "{out:?}");
+    // The progress summary rides on stderr, never on the artifact
+    // stream: deterministic rows first, wall-clock timing after.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("run summary (deterministic)"), "{err}");
+    assert!(err.contains("shard 0001:"), "{err}");
+    assert!(err.contains("FAILED"), "{err}");
+    assert!(err.contains("coverage:"), "{err}");
+    assert!(err.contains("retries:"), "{err}");
+    assert!(err.contains("points/s"), "{err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("points/s"),
+        "wall rate on stdout: {stdout}"
+    );
     let manifest = std::fs::read_to_string(dir.join("manifest.txt")).unwrap();
     assert!(manifest.contains("# status partial"), "{manifest}");
     assert!(manifest.contains("FAILED"), "{manifest}");

@@ -6,9 +6,10 @@
 //! ```
 //!
 //! For each file: a one-line verdict (format, line/intact counts,
-//! torn-tail position or interior-corruption flag), then — unless
-//! `--summary` — one line per record with byte offset, length, CRC
-//! status, key and body. Unlike `Journal::resume`/`Store::open` this
+//! torn-tail position or interior-corruption flag), then — with
+//! `--summary` — a counts line (data-record count, CRC-ok ratio in
+//! permille, torn-tail byte offset), otherwise one line per record
+//! with byte offset, length, CRC status, key and body. Unlike `Journal::resume`/`Store::open` this
 //! never modifies the file and never stops at the first problem, so a
 //! file the recovery path refuses can still be examined.
 //!

@@ -276,6 +276,7 @@ pub struct ExecEngine {
     cycle_budget: Option<u64>,
     sim_engine: Engine,
     block_memo: bool,
+    attribution: bool,
     platform: Arc<::platform::PlatformDesc>,
     telemetry: Option<Arc<Telemetry>>,
     cache: Mutex<HashMap<u64, IsolationProfile>>,
@@ -303,6 +304,7 @@ impl ExecEngine {
             cycle_budget: None,
             sim_engine: Engine::default(),
             block_memo: true,
+            attribution: false,
             platform: Arc::new(::platform::default_platform().clone()),
             telemetry: None,
             cache: Mutex::new(HashMap::new()),
@@ -379,6 +381,24 @@ impl ExecEngine {
     /// Whether jobs run with basic-block memoization enabled.
     pub fn block_memo(&self) -> bool {
         self.block_memo
+    }
+
+    /// Variant recording per-grant contention attribution on every job
+    /// (builder style): the simulator charges each SRI wait cycle to
+    /// the aggressor core (or the arbitration schedule) that caused it,
+    /// and the matrices ride back on [`tc27x_sim::SimStats`] into the
+    /// attached telemetry recorder. Attribution is observation-only —
+    /// timing, counters, memo cache and journal keys are untouched — so
+    /// attributed and bare engines stay bit-identical.
+    #[must_use]
+    pub fn with_attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
+        self
+    }
+
+    /// Whether jobs record contention attribution.
+    pub fn attribution(&self) -> bool {
+        self.attribution
     }
 
     /// Variant with an attached telemetry recorder (builder style):
@@ -599,6 +619,7 @@ impl ExecEngine {
             self.cycle_budget,
             self.sim_engine,
             self.block_memo,
+            self.attribution,
             &self.platform,
         )
     }
@@ -691,16 +712,21 @@ pub(crate) fn execute_job_budgeted(
     block_memo: bool,
     desc: &::platform::PlatformDesc,
 ) -> Result<SimOutcome, JobFailure> {
-    execute_job_with_stats(job, cycle_budget, engine, block_memo, desc).0
+    // The watchdog path discards the statistics snapshot, so it never
+    // pays for attribution recording.
+    execute_job_with_stats(job, cycle_budget, engine, block_memo, false, desc).0
 }
 
 /// [`execute_job_budgeted`] that also returns the simulator's post-run
 /// statistics snapshot for the telemetry layer (`None` on failure).
+/// `attribution` switches on the simulator's per-grant contention
+/// attribution recorder, whose matrices ride back on the snapshot.
 pub(crate) fn execute_job_with_stats(
     job: &SimJob,
     cycle_budget: Option<u64>,
     engine: Engine,
     block_memo: bool,
+    attribution: bool,
     desc: &::platform::PlatformDesc,
 ) -> (Result<SimOutcome, JobFailure>, Option<SimStats>) {
     match job {
@@ -711,6 +737,7 @@ pub(crate) fn execute_job_with_stats(
                 cycle_budget,
                 engine,
                 block_memo,
+                attribution,
                 desc,
             ) {
                 Ok((p, s)) => (Ok(SimOutcome::Isolation(p)), Some(s)),
@@ -731,6 +758,7 @@ pub(crate) fn execute_job_with_stats(
                 cycle_budget,
                 engine,
                 block_memo,
+                attribution,
                 desc,
             ) {
                 Ok((c, s)) => (Ok(SimOutcome::Corun(c)), Some(s)),

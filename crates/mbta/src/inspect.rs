@@ -108,6 +108,24 @@ impl InspectReport {
             self.intact,
         )
     }
+
+    /// One grep-stable counts line for `--summary` mode: data-record
+    /// count (header excluded), CRC-ok ratio over every line, and the
+    /// byte offset recovery would truncate at (`-` when the tail is
+    /// whole).
+    pub fn summary_line(&self) -> String {
+        let lines = self.records.len();
+        let crc_ok = self.records.iter().filter(|r| r.crc_ok).count();
+        let permille = (crc_ok * 1000).checked_div(lines).unwrap_or(1000);
+        let tail = match self.torn_tail {
+            Some(t) => t.offset.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "  records {} · crc-ok {crc_ok}/{lines} ({permille} permille) · torn-tail offset {tail}",
+            lines.saturating_sub(1),
+        )
+    }
 }
 
 /// Scans `path` without modifying it. Never fails on content — only on
@@ -197,12 +215,15 @@ pub fn inspect_path(path: &Path) -> io::Result<InspectReport> {
 }
 
 /// Renders a report the way the `journal-inspect` bin prints it: the
-/// verdict line, then (unless `summary_only`) one line per record with
+/// verdict line, then either the `--summary` counts line (record
+/// count, CRC-ok ratio, torn-tail offset) or one line per record with
 /// offset, length, CRC status, key and body.
 pub fn render(report: &InspectReport, summary_only: bool) -> String {
     let mut out = report.verdict();
     out.push('\n');
     if summary_only {
+        out.push_str(&report.summary_line());
+        out.push('\n');
         return out;
     }
     for r in &report.records {
@@ -297,6 +318,38 @@ mod tests {
         assert_eq!(report.interior_bad, 1);
         assert!(report.verdict().contains("INTERIOR CORRUPTION"));
         assert!(render(&report, false).contains("BAD"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_mode_counts_records_crc_ratio_and_torn_offset() {
+        let path = tmp("summary");
+        let journal = Journal::create(&path, 9).unwrap();
+        journal.append(0x1, 0, &Ok(SimOutcome::Corun(10))).unwrap();
+        journal.append(0x2, 0, &Ok(SimOutcome::Corun(20))).unwrap();
+        drop(journal);
+
+        // Clean file: 2 data records, every line CRC-ok, no tail.
+        let clean = render(&inspect_path(&path).unwrap(), true);
+        assert_eq!(clean.lines().count(), 2, "verdict + counts: {clean}");
+        assert!(
+            clean.contains("records 2 · crc-ok 3/3 (1000 permille) · torn-tail offset -"),
+            "{clean}"
+        );
+        assert!(!clean.contains("line 1"), "per-record dump leaked: {clean}");
+
+        // Tear the tail and the counts line must name the truncation
+        // offset recovery would use.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 9]).unwrap();
+        let report = inspect_path(&path).unwrap();
+        let torn = report.torn_tail.unwrap();
+        let summary = render(&report, true);
+        assert!(
+            summary.contains(&format!("torn-tail offset {}", torn.offset)),
+            "{summary}"
+        );
+        assert!(summary.contains("crc-ok 2/3 (666 permille)"), "{summary}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -100,6 +100,7 @@ pub fn isolation_profile_on(
         max_cycles,
         engine,
         true,
+        false,
         ::platform::default_platform(),
     )
     .map(|(p, _)| p)
@@ -118,25 +119,36 @@ pub fn isolation_profile_for(
     core: CoreId,
     desc: &::platform::PlatformDesc,
 ) -> Result<IsolationProfile, SimError> {
-    isolation_profile_stats(spec, core, None, tc27x_sim::Engine::default(), true, desc)
-        .map(|(p, _)| p)
+    isolation_profile_stats(
+        spec,
+        core,
+        None,
+        tc27x_sim::Engine::default(),
+        true,
+        false,
+        desc,
+    )
+    .map(|(p, _)| p)
 }
 
 /// [`isolation_profile_on`] that also snapshots the simulator's
 /// post-run statistics ([`tc27x_sim::SimStats`]) for the telemetry
 /// layer, with explicit control over the event kernel's block memo
 /// (a pure speed knob — both settings are bit-identical).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn isolation_profile_stats(
     spec: &TaskSpec,
     core: CoreId,
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
     block_memo: bool,
+    attribution: bool,
     desc: &::platform::PlatformDesc,
 ) -> Result<(IsolationProfile, tc27x_sim::SimStats), SimError> {
     let mut config = tc27x_sim::SimConfig::from_platform(desc)
         .with_engine(engine)
-        .with_block_memo(block_memo);
+        .with_block_memo(block_memo)
+        .with_attribution(attribution);
     if let Some(limit) = max_cycles {
         config = config.with_max_cycles(limit);
     }
@@ -297,6 +309,7 @@ pub fn observed_corun_on(
         max_cycles,
         engine,
         true,
+        false,
         ::platform::default_platform(),
     )
     .map(|(c, _)| c)
@@ -323,6 +336,7 @@ pub fn observed_corun_for(
         None,
         tc27x_sim::Engine::default(),
         true,
+        false,
         desc,
     )
     .map(|(c, _)| c)
@@ -340,11 +354,13 @@ pub(crate) fn observed_corun_stats(
     max_cycles: Option<u64>,
     engine: tc27x_sim::Engine,
     block_memo: bool,
+    attribution: bool,
     desc: &::platform::PlatformDesc,
 ) -> Result<(u64, tc27x_sim::SimStats), SimError> {
     let mut config = tc27x_sim::SimConfig::from_platform(desc)
         .with_engine(engine)
-        .with_block_memo(block_memo);
+        .with_block_memo(block_memo)
+        .with_attribution(attribution);
     if let Some(limit) = max_cycles {
         config = config.with_max_cycles(limit);
     }

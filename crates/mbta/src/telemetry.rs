@@ -30,16 +30,18 @@
 
 use crate::exec::{EngineReport, SimJob};
 use crate::CampaignStats;
-use obs::{span_id, SpanRec, Stream, Warning};
+use obs::{span_id, MatrixRec, SpanRec, Stream, Warning};
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::sync::{Mutex, MutexGuard, PoisonError};
-use tc27x_sim::{SimStats, SriTarget};
+use tc27x_sim::attribution::{AGGRESSOR_COLS, SCHED_COL};
+use tc27x_sim::{AccessClass, AttributionMatrix, CoreId, SimStats, SriTarget};
 
 pub use obs::{Format, SinkSpec, Val};
 
 /// Telemetry schema version, bumped whenever record shapes change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: `matrix`/`table` record kinds (contention attribution ledger).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The Chrome-trace track (`tid`) solver spans render on, clear of the
 /// per-core simulation tracks (cores are 0–2 on the TC27x).
@@ -66,6 +68,10 @@ struct SolveRec {
 struct Inner {
     meta: Vec<(String, Val)>,
     jobs: BTreeMap<u64, JobRec>,
+    /// Per-job attribution ledgers, keyed like `jobs` and first-write-
+    /// wins: folding the values in ascending key order is deterministic
+    /// at any worker count even without relying on merge commutativity.
+    attribution: BTreeMap<u64, AttributionMatrix>,
     solves: Vec<SolveRec>,
     det: obs::Registry,
     nondet: obs::Registry,
@@ -93,6 +99,81 @@ fn slave_label(t: SriTarget) -> &'static str {
         SriTarget::Dfl => "dfl",
         SriTarget::Lmu => "lmu",
     }
+}
+
+/// Renders a folded attribution ledger as deterministic `matrix`
+/// records, in name order: per-victim grant counts and other-core
+/// interference by access class, per-(slave, victim) worst single-grant
+/// waits, and the full `victim × aggressor` wait matrix whose cells sum
+/// to the slaves' `queue_delay` (the conservation invariant the CI
+/// attribution stage replays).
+pub fn attribution_matrices(m: &AttributionMatrix) -> Vec<MatrixRec> {
+    let core = |i: usize| format!("c{i}");
+    let class_cols = vec!["co".to_string(), "da".to_string()];
+    let core_rows: Vec<String> = (0..CoreId::COUNT).map(core).collect();
+    let pair_rows: Vec<String> = SriTarget::all()
+        .iter()
+        .flat_map(|t| (0..CoreId::COUNT).map(move |v| format!("{}/{}", slave_label(*t), core(v))))
+        .collect();
+    let per_class = |f: &dyn Fn(CoreId, AccessClass) -> u64| -> Vec<u64> {
+        CoreId::all()
+            .iter()
+            .flat_map(|&v| [AccessClass::Code, AccessClass::Data].map(|c| f(v, c)))
+            .collect()
+    };
+    vec![
+        MatrixRec {
+            name: "attribution.grants".to_string(),
+            rows: core_rows.clone(),
+            cols: class_cols.clone(),
+            cells: per_class(&|v, c| m.class_grants_total(v, c)),
+        },
+        MatrixRec {
+            name: "attribution.interference".to_string(),
+            rows: core_rows.clone(),
+            cols: class_cols,
+            cells: per_class(&|v, c| m.interference_total(v, c)),
+        },
+        MatrixRec {
+            name: "attribution.max_wait".to_string(),
+            rows: SriTarget::all()
+                .iter()
+                .map(|t| slave_label(*t).to_string())
+                .collect(),
+            cols: core_rows,
+            cells: SriTarget::all()
+                .iter()
+                .flat_map(|&t| CoreId::all().map(move |v| m.max_wait(t, v)))
+                .collect(),
+        },
+        MatrixRec {
+            name: "attribution.wait".to_string(),
+            rows: pair_rows,
+            cols: (0..AGGRESSOR_COLS)
+                .map(|a| {
+                    if a == SCHED_COL {
+                        "sched".to_string()
+                    } else {
+                        core(a)
+                    }
+                })
+                .collect(),
+            cells: SriTarget::all()
+                .iter()
+                .flat_map(|&t| CoreId::all().map(move |v| m.row(t, v)))
+                .flatten()
+                .collect(),
+        },
+    ]
+}
+
+/// Renders a folded attribution ledger as a standalone JSONL stream of
+/// `matrix` records — the `--attribution FILE` sink. Deterministic:
+/// byte-identical for any worker count and timing kernel.
+pub fn render_attribution_jsonl(m: &AttributionMatrix) -> String {
+    let mut stream = Stream::new();
+    stream.matrices = attribution_matrices(m);
+    stream.render_jsonl()
 }
 
 impl Telemetry {
@@ -157,6 +238,9 @@ impl Telemetry {
             cycles,
         });
         if let Some(s) = stats {
+            if !s.attribution.is_zero() {
+                inner.attribution.entry(key).or_insert(s.attribution);
+            }
             for target in SriTarget::all() {
                 let slave = s.slave(target);
                 let label = slave_label(target);
@@ -287,6 +371,18 @@ impl Telemetry {
         }
     }
 
+    /// The run's folded attribution ledger: per-job matrices merged in
+    /// ascending job-key order. All-zero when no recorded job carried
+    /// one (attribution off, or no contention observed).
+    pub fn attribution(&self) -> AttributionMatrix {
+        let inner = lock(&self.inner);
+        let mut total = AttributionMatrix::default();
+        for m in inner.attribution.values() {
+            total.merge(m);
+        }
+        total
+    }
+
     /// The value of a deterministic counter (0 when never recorded).
     pub fn det_counter(&self, name: &str) -> u64 {
         lock(&self.inner).det.counter(name).unwrap_or(0)
@@ -378,6 +474,14 @@ impl Telemetry {
                 .with_arg("fallback", Val::Bool(s.fallback)),
             );
             solve_cursor = solve_cursor.saturating_add(s.nodes.max(1));
+        }
+
+        let mut attr = AttributionMatrix::default();
+        for m in inner.attribution.values() {
+            attr.merge(m);
+        }
+        if !attr.is_zero() {
+            stream.matrices = attribution_matrices(&attr);
         }
 
         stream.det = inner.det.clone();
@@ -487,6 +591,49 @@ mod tests {
             stream.det.counter("kernel.memo_hits").is_none(),
             "memo stats are kernel-dependent, never part of the det subset"
         );
+    }
+
+    #[test]
+    fn attribution_folds_in_key_order_and_renders_matrices() {
+        let mut a = SimStats::default();
+        a.attribution.charge(3, 0, 1, AccessClass::Data, 11);
+        a.attribution.note_grant(3, 0, AccessClass::Data, 11);
+        let mut b = SimStats::default();
+        b.attribution.charge(0, 0, 2, AccessClass::Code, 16);
+        b.attribution.note_grant(0, 0, AccessClass::Code, 16);
+        let record = |order: &[(u64, &SimStats)]| {
+            let t = Telemetry::new("test");
+            for &(k, s) in order {
+                t.record_job(k, &iso_job(k), 100, Some(s));
+            }
+            t
+        };
+        let fwd = record(&[(1, &a), (2, &b)]);
+        let rev = record(&[(2, &b), (1, &a)]);
+        assert_eq!(fwd.attribution(), rev.attribution());
+        assert_eq!(
+            fwd.to_stream().render_jsonl(),
+            rev.to_stream().render_jsonl()
+        );
+        let stream = fwd.to_stream();
+        let names: Vec<&str> = stream.matrices.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "attribution.grants",
+                "attribution.interference",
+                "attribution.max_wait",
+                "attribution.wait"
+            ]
+        );
+        let wait = stream.matrices.last().unwrap();
+        assert_eq!(wait.rows.len() * wait.cols.len(), wait.cells.len());
+        assert_eq!(wait.cells.iter().sum::<u64>(), 27, "conservation: 11 + 16");
+        // No attribution recorded: no matrix records at all.
+        let off = Telemetry::new("test");
+        off.record_job(1, &iso_job(1), 100, Some(&SimStats::default()));
+        assert!(off.to_stream().matrices.is_empty());
+        assert!(off.attribution().is_zero());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use json::Val;
 pub use metrics::{Hist, Registry};
 pub use sink::{Format, SinkSpec};
 pub use span::{span_id, SpanRec};
-pub use stream::{Stream, Warning};
+pub use stream::{MatrixRec, Stream, TableRec, Warning};
 
 /// An incremental FNV-1a 64-bit hasher — the same construction as the
 /// model-side `StableHasher`, duplicated here so the foundation crate

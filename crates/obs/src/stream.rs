@@ -22,6 +22,32 @@ pub struct Warning {
     pub count: u64,
 }
 
+/// A named dense matrix of deterministic counters (e.g. the contention
+/// attribution ledger): row-major `cells` under row/column labels.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatrixRec {
+    /// Metric-style name (e.g. `attribution.wait`).
+    pub name: String,
+    /// Row labels, in cell order.
+    pub rows: Vec<String>,
+    /// Column labels, in cell order.
+    pub cols: Vec<String>,
+    /// Row-major cells; `rows.len() * cols.len()` entries.
+    pub cells: Vec<u64>,
+}
+
+/// A named table of deterministic values (e.g. the bound-tightness
+/// audit): column headers plus value rows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableRec {
+    /// Metric-style name (e.g. `tightness.sc1`).
+    pub name: String,
+    /// Column headers.
+    pub cols: Vec<String>,
+    /// One entry per row; each row has `cols.len()` values.
+    pub rows: Vec<Vec<Val>>,
+}
+
 /// The merged telemetry of one run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stream {
@@ -33,6 +59,10 @@ pub struct Stream {
     pub spans: Vec<SpanRec>,
     /// Deterministic metrics: logical quantities only.
     pub det: Registry,
+    /// Deterministic matrices, in name order.
+    pub matrices: Vec<MatrixRec>,
+    /// Deterministic tables, in name order.
+    pub tables: Vec<TableRec>,
     /// Non-deterministic metrics: anything engine- or
     /// scheduling-dependent (fast-forward gaps, claims depth).
     pub nondet: Registry,
@@ -71,6 +101,10 @@ fn span_fields(s: &SpanRec) -> Vec<(String, Val)> {
     fields
 }
 
+fn str_arr(items: &[String]) -> Val {
+    Val::Arr(items.iter().map(|s| Val::str(s.clone())).collect())
+}
+
 fn registry_records(out: &mut String, reg: &Registry, det: bool) {
     for (name, value) in reg.counters() {
         record(
@@ -97,9 +131,9 @@ impl Stream {
     }
 
     /// Renders the JSONL event stream. Record order: the `meta` record,
-    /// spans, counters, histograms and warnings (all `det:true`), then
-    /// the non-deterministic metrics and the `profile` record
-    /// (`det:false`).
+    /// spans, counters, histograms, matrices, tables and warnings (all
+    /// `det:true`), then the non-deterministic metrics and the `profile`
+    /// record (`det:false`).
     pub fn render_jsonl(&self) -> String {
         let mut out = String::new();
         record(&mut out, "meta", true, &self.meta);
@@ -107,6 +141,37 @@ impl Stream {
             record(&mut out, "span", true, &span_fields(span));
         }
         registry_records(&mut out, &self.det, true);
+        for m in &self.matrices {
+            record(
+                &mut out,
+                "matrix",
+                true,
+                &[
+                    ("name".to_string(), Val::str(m.name.clone())),
+                    ("rows".to_string(), str_arr(&m.rows)),
+                    ("cols".to_string(), str_arr(&m.cols)),
+                    (
+                        "cells".to_string(),
+                        Val::Arr(m.cells.iter().map(|&c| Val::U64(c)).collect()),
+                    ),
+                ],
+            );
+        }
+        for t in &self.tables {
+            record(
+                &mut out,
+                "table",
+                true,
+                &[
+                    ("name".to_string(), Val::str(t.name.clone())),
+                    ("cols".to_string(), str_arr(&t.cols)),
+                    (
+                        "rows".to_string(),
+                        Val::Arr(t.rows.iter().map(|r| Val::Arr(r.clone())).collect()),
+                    ),
+                ],
+            );
+        }
         for w in &self.warnings {
             record(
                 &mut out,
@@ -208,6 +273,19 @@ impl Stream {
                 );
             }
         }
+        for m in &self.matrices {
+            let _ = writeln!(
+                out,
+                "  matrix {} ({}x{}): total={}",
+                m.name,
+                m.rows.len(),
+                m.cols.len(),
+                m.cells.iter().sum::<u64>()
+            );
+        }
+        for t in &self.tables {
+            let _ = writeln!(out, "  table {} ({} rows)", t.name, t.rows.len());
+        }
         if self.spans.is_empty() {
             out.push_str("  spans: none\n");
         } else {
@@ -248,6 +326,17 @@ mod tests {
         s.spans.push(SpanRec::new(8, 0, "job:b", 1, 100, 50));
         s.det.add("exec.cache_hits", 3);
         s.det.observe("sri.lmu.queue_delay", 11);
+        s.matrices.push(MatrixRec {
+            name: "attribution.wait".to_string(),
+            rows: vec!["lmu/c0".to_string()],
+            cols: vec!["c1".to_string(), "sched".to_string()],
+            cells: vec![11, 0],
+        });
+        s.tables.push(TableRec {
+            name: "tightness.sc1".to_string(),
+            cols: vec!["what".to_string(), "observed".to_string()],
+            rows: vec![vec![Val::str("co"), Val::U64(11)]],
+        });
         s.nondet.add("kernel.ff_jumps", 42);
         s.warnings.push(Warning {
             code: "journal.torn".to_string(),
@@ -276,7 +365,7 @@ mod tests {
         }
         assert_eq!(
             det_kinds,
-            vec!["meta", "span", "span", "counter", "hist", "warn"]
+            vec!["meta", "span", "span", "counter", "hist", "matrix", "table", "warn"]
         );
         assert_eq!(nondet_kinds, vec!["counter", "profile"]);
     }
@@ -321,6 +410,8 @@ mod tests {
         assert!(s.contains("exec.cache_hits"));
         assert!(s.contains("journal.torn"));
         assert!(s.contains("spans: 2"));
+        assert!(s.contains("matrix attribution.wait (1x2): total=11"));
+        assert!(s.contains("table tightness.sc1 (1 rows)"));
         let empty = Stream::new().render_summary();
         assert!(empty.contains("warnings: none"));
         assert!(empty.contains("spans: none"));

@@ -150,6 +150,11 @@ struct Work {
 struct Counters {
     served: AtomicU64,
     cache_hits: AtomicU64,
+    /// Data-plane requests that missed the response cache and had to
+    /// go through the query engine. Together with `cache_hits` this
+    /// makes the response-store hit rate derivable from one stats
+    /// snapshot.
+    cache_misses: AtomicU64,
     fallback: AtomicU64,
     repaired: AtomicU64,
     errors: AtomicU64,
@@ -249,6 +254,7 @@ impl Server {
             counters: Counters {
                 served: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
                 fallback: AtomicU64::new(0),
                 repaired: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
@@ -530,6 +536,7 @@ fn handle_control(inner: &Arc<Inner>, writer: &Arc<Mutex<Box<dyn ConnWriter>>>, 
         _ => {
             // stats: live operational numbers — deliberately
             // nondeterministic and never stored.
+            let memo = inner.engine.report();
             let depths = inner
                 .admission
                 .depths()
@@ -567,6 +574,17 @@ fn handle_control(inner: &Arc<Inner>, writer: &Arc<Mutex<Box<dyn ConnWriter>>>, 
                     Val::U64(c.cache_hits.load(Ordering::Relaxed)),
                 ),
                 (
+                    "cache_misses".to_string(),
+                    Val::U64(c.cache_misses.load(Ordering::Relaxed)),
+                ),
+                (
+                    "cache_hit_permille".to_string(),
+                    Val::U64(hit_permille(
+                        c.cache_hits.load(Ordering::Relaxed),
+                        c.cache_misses.load(Ordering::Relaxed),
+                    )),
+                ),
+                (
                     "fallback".to_string(),
                     Val::U64(c.fallback.load(Ordering::Relaxed)),
                 ),
@@ -598,6 +616,18 @@ fn handle_control(inner: &Arc<Inner>, writer: &Arc<Mutex<Box<dyn ConnWriter>>>, 
                 (
                     "recovered_profiles".to_string(),
                     Val::U64(inner.recovery.profiles),
+                ),
+                // Engine memo store: isolation-profile reuse across all
+                // requests this process has answered.
+                ("memo_hits".to_string(), Val::U64(memo.cache_hits)),
+                ("memo_misses".to_string(), Val::U64(memo.cache_misses)),
+                (
+                    "memo_hit_permille".to_string(),
+                    Val::U64(hit_permille(memo.cache_hits, memo.cache_misses)),
+                ),
+                (
+                    "simulations_run".to_string(),
+                    Val::U64(memo.simulations_run),
                 ),
             ])
             .to_json();
@@ -633,6 +663,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             );
             continue;
         }
+        inner.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         match qe.answer(&request) {
             Ok(answer) => {
                 persist_profiles(inner, &answer.profiles);
@@ -696,6 +727,13 @@ fn persist_profiles(inner: &Inner, profiles: &[(u64, contention::IsolationProfil
             Err(e) => store_warn(inner, "profiles", &e),
         }
     }
+}
+
+/// Integer hit rate in permille (hits per thousand lookups); zero for
+/// a store that has never been consulted. Integer so the stats body
+/// stays free of float formatting concerns.
+fn hit_permille(hits: u64, misses: u64) -> u64 {
+    (hits * 1000).checked_div(hits + misses).unwrap_or(0)
 }
 
 fn store_warn(inner: &Inner, which: &str, e: &io::Error) {

@@ -1,0 +1,114 @@
+//! The `stats` control request as a live observability registry: one
+//! snapshot must carry queue depths, shed counters by cause, and the
+//! hit/miss numbers for both stores (response cache and engine memo)
+//! as structured JSON an operator can parse without scraping logs.
+
+use obs::json::{parse, Json};
+use serve::client::{Addr, Client};
+use serve::query::QueryOptions;
+use serve::{QueryKind, Request, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use tc27x_sim::DeploymentScenario;
+use workloads::LoadLevel;
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("serve-stats-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn u64_field(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats body has no numeric `{key}`: {v:?}"))
+}
+
+#[test]
+fn stats_snapshot_exposes_queues_sheds_and_store_rates() {
+    let dir = scratch("registry");
+    let sock = dir.join("daemon.sock");
+    let server = Server::start(
+        Arc::new(mbta::ExecEngine::new(1)),
+        ServerConfig {
+            unix_socket: Some(sock.clone()),
+            tcp_addr: None,
+            state_dir: dir.join("state"),
+            workers: 1,
+            queue_cap: 16,
+            global_queue_cap: 64,
+            retry_after_ms: 25,
+            io_timeout_ms: 2_000,
+            query: QueryOptions::default(),
+        },
+    )
+    .expect("daemon must start");
+    let addr = Addr::Unix(sock);
+
+    // The same bound query twice: the first must miss the response
+    // cache and simulate, the second must be served from it — exactly
+    // one hit and one miss, so the permille rate is a known value.
+    let bound = Request {
+        id: "b".to_string(),
+        tenant: "ops".to_string(),
+        kind: QueryKind::Bound {
+            scenario: DeploymentScenario::LowTraffic,
+            level: LoadLevel::Low,
+        },
+        budget: Some(2_000),
+        strict: false,
+    };
+    let mut c = Client::connect(&addr, Duration::from_secs(120)).expect("connect");
+    for pass in 0..2 {
+        let body = c.request(&bound).expect("bound answered");
+        assert!(body.contains("\"status\":\"ok\""), "pass {pass}: {body}");
+    }
+
+    let raw = c
+        .request(&Request {
+            id: "s".to_string(),
+            tenant: "ops".to_string(),
+            kind: QueryKind::Stats,
+            budget: None,
+            strict: false,
+        })
+        .expect("stats answered");
+    let v = parse(&raw).expect("stats body is valid JSON");
+
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{raw}");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("stats"), "{raw}");
+
+    // Queue depths arrive as a per-tenant object (possibly empty once
+    // drained), not a scraped log line.
+    assert!(
+        matches!(v.get("queue_depths"), Some(Json::Obj(_))),
+        "queue_depths must be a JSON object: {raw}"
+    );
+
+    // Shed counters by cause, all zero on this quiet run but present.
+    assert_eq!(u64_field(&v, "shed"), 0, "{raw}");
+    assert_eq!(u64_field(&v, "shed_tenant_cap"), 0, "{raw}");
+    assert_eq!(u64_field(&v, "shed_global_cap"), 0, "{raw}");
+
+    // Response store: one miss (first pass), one hit (second pass).
+    assert_eq!(u64_field(&v, "cache_hits"), 1, "{raw}");
+    assert_eq!(u64_field(&v, "cache_misses"), 1, "{raw}");
+    assert_eq!(u64_field(&v, "cache_hit_permille"), 500, "{raw}");
+
+    // Engine memo store: the first pass simulated, so the memo was
+    // consulted at least once and the work actually ran.
+    assert!(
+        u64_field(&v, "memo_hits") + u64_field(&v, "memo_misses") >= 1,
+        "memo never consulted: {raw}"
+    );
+    assert!(u64_field(&v, "simulations_run") >= 1, "{raw}");
+    assert!(u64_field(&v, "memo_hit_permille") <= 1000, "{raw}");
+
+    drop(c); // close the connection so shutdown does not wait out the io timeout
+    server.trigger_shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -94,6 +94,12 @@ pub struct SimConfig {
     /// interpret-and-record as much as from replay hits, so a larger
     /// table mostly buys allocation cost on short runs.
     pub block_memo_capacity: usize,
+    /// Contention attribution ([`crate::attribution`]): charge every
+    /// SRI wait cycle to its `(victim, aggressor, slave)` triple at
+    /// grant time. Off by default — the recorder is opt-in and
+    /// zero-cost when disabled; the recorded matrix is byte-identical
+    /// across engines, memo settings and worker counts.
+    pub attribution: bool,
 }
 
 impl SimConfig {
@@ -140,6 +146,7 @@ impl SimConfig {
             engine: Engine::default(),
             block_memo: true,
             block_memo_capacity: 1024,
+            attribution: false,
         }
     }
 
@@ -199,6 +206,17 @@ impl SimConfig {
     #[must_use]
     pub fn with_block_memo_capacity(mut self, slots: usize) -> Self {
         self.block_memo_capacity = slots;
+        self
+    }
+
+    /// Variant with contention attribution toggled (builder style): the
+    /// crossbar charges every wait cycle to its `(victim, aggressor,
+    /// slave)` triple and [`crate::System::stats`] carries the matrix.
+    /// Recording never changes timing — outcomes are bit-identical with
+    /// it on or off.
+    #[must_use]
+    pub fn with_attribution(mut self, enabled: bool) -> Self {
+        self.attribution = enabled;
         self
     }
 

@@ -8,6 +8,7 @@
 //! semantics in tests.
 
 use crate::addr::SriTarget;
+use crate::attribution::AttributionMatrix;
 use crate::layout::AccessClass;
 use obs::Hist;
 use std::fmt;
@@ -116,6 +117,11 @@ pub struct SimStats {
     pub slaves: [SlaveStats; SriTarget::COUNT],
     /// Event-kernel statistics (all zero under the reference stepper).
     pub kernel: KernelStats,
+    /// Contention attribution ledger — all-zero unless the run enabled
+    /// [`crate::config::SimConfig::with_attribution`]. Deterministic:
+    /// recorded at the shared grant site, so byte-identical across
+    /// engines, memo settings and worker counts.
+    pub attribution: AttributionMatrix,
 }
 
 impl SimStats {

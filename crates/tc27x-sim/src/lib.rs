@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod attribution;
 pub mod cache;
 pub mod config;
 pub mod core_pipeline;
@@ -73,6 +74,7 @@ pub mod system;
 pub mod trace;
 
 pub use addr::{Addr, CoreId, MemMap, Region, SriTarget};
+pub use attribution::AttributionMatrix;
 pub use config::SimConfig;
 pub use counters::{DebugCounters, GroundTruth, KernelStats, SimStats, SlaveStats};
 pub use engine::{Engine, EventSource, ParseEngineError};

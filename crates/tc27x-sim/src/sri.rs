@@ -28,6 +28,7 @@
 //! kernel and the per-cycle reference stepper.
 
 use crate::addr::{CoreId, SriTarget};
+use crate::attribution::{Attribution, AttributionMatrix};
 use crate::layout::AccessClass;
 use platform::Arbitration;
 
@@ -56,6 +57,9 @@ pub struct Pending {
     /// Cycle the request was posted — grant time minus this is the
     /// exact queueing delay the crossbar imposed on the requester.
     pub posted_at: u64,
+    /// Code fetch or data access; arbiters ignore it, the attribution
+    /// ledger splits victim waits by it.
+    pub class: AccessClass,
 }
 
 /// Per-slave arbitration policy: picks which queued request a free
@@ -300,6 +304,9 @@ pub struct Sri {
     arbiters: [SlaveArbiter; SriTarget::COUNT],
     /// Priority class per core (higher wins); all-equal by default.
     priority: [u8; CoreId::COUNT],
+    /// Opt-in contention attribution ledger ([`crate::attribution`]);
+    /// `None` (the default) records nothing and costs nothing.
+    attribution: Option<Box<Attribution>>,
 }
 
 impl Sri {
@@ -332,7 +339,29 @@ impl Sri {
             slaves: Default::default(),
             arbiters: std::array::from_fn(|i| SlaveArbiter::from_policy(arbitration[i], cores)),
             priority,
+            attribution: None,
         }
+    }
+
+    /// Turns on the contention attribution ledger (idempotent; normally
+    /// driven by [`crate::config::SimConfig::with_attribution`]). Must
+    /// be enabled before the run for conservation to hold — the ledger
+    /// only sees grants issued while it exists.
+    pub fn enable_attribution(&mut self) {
+        if self.attribution.is_none() {
+            self.attribution = Some(Box::default());
+        }
+    }
+
+    /// The attribution ledger, if recording is enabled.
+    pub fn attribution(&self) -> Option<&AttributionMatrix> {
+        self.attribution.as_ref().map(|a| a.matrix())
+    }
+
+    /// Snapshot of the attribution ledger; the all-zero matrix when
+    /// recording is off.
+    pub fn attribution_matrix(&self) -> AttributionMatrix {
+        self.attribution().copied().unwrap_or_default()
     }
 
     /// The priority class of a core.
@@ -361,6 +390,7 @@ impl Sri {
             core: req.core,
             service: req.service,
             posted_at: now,
+            class: req.class,
         });
     }
 
@@ -369,7 +399,7 @@ impl Sri {
     pub fn step(&mut self, now: u64) -> [Option<Grant>; CoreId::COUNT] {
         let mut grants = [None; CoreId::COUNT];
         let priority = self.priority;
-        for (slave, arbiter) in self.slaves.iter_mut().zip(&self.arbiters) {
+        for (idx, (slave, arbiter)) in self.slaves.iter_mut().zip(&self.arbiters).enumerate() {
             if slave.busy_until > now || slave.queue.is_empty() {
                 continue;
             }
@@ -390,6 +420,11 @@ impl Sri {
             // stepper used to approximate this with).
             slave.queue_delay += now - p.posted_at;
             slave.delay_hist.observe(now - p.posted_at);
+            if let Some(attr) = self.attribution.as_deref_mut() {
+                // Same grant, same cycle, same inputs on every kernel —
+                // the ledger inherits the grant sequence's bit-identity.
+                attr.on_grant(idx, &p, now, slave.busy_until, &slave.queue);
+            }
             grants[core_idx] = Some(Grant {
                 complete_at: slave.busy_until,
             });
@@ -812,5 +847,57 @@ mod tests {
         assert_eq!(stats.delay_hist.sum(), 11);
         assert_eq!(stats.delay_hist.max(), Some(11));
         assert!(sri.slave_stats(SriTarget::Pf0).delay_hist.is_empty());
+    }
+
+    #[test]
+    fn attribution_is_off_by_default_and_charges_the_occupant_when_on() {
+        let mut sri = Sri::new();
+        sri.post(0, req(1, SriTarget::Lmu, 11));
+        sri.post(0, req(2, SriTarget::Lmu, 11));
+        sri.step(0);
+        sri.step(11);
+        assert!(sri.attribution().is_none());
+        assert!(sri.attribution_matrix().is_zero());
+
+        let mut sri = Sri::new();
+        sri.enable_attribution();
+        sri.post(0, req(1, SriTarget::Lmu, 11));
+        sri.post(0, req(2, SriTarget::Lmu, 11));
+        sri.step(0);
+        sri.step(11);
+        let m = sri.attribution().unwrap();
+        // Core 2 waited out core 1's full service; every wait cycle is
+        // blamed on core 1, none on the schedule.
+        assert_eq!(m.wait_cycles(SriTarget::Lmu, CoreId(2), CoreId(1)), 11);
+        assert_eq!(m.schedule_wait(SriTarget::Lmu, CoreId(2)), 0);
+        assert_eq!(
+            m.slave_wait(SriTarget::Lmu),
+            sri.queue_delay(SriTarget::Lmu),
+            "attributed cycles must sum to the slave's queue_delay"
+        );
+        assert_eq!(m.max_wait(SriTarget::Lmu, CoreId(2)), 11);
+        assert_eq!(
+            m.class_wait(SriTarget::Lmu, CoreId(2), AccessClass::Data),
+            11
+        );
+    }
+
+    #[test]
+    fn attribution_charges_tdma_alignment_to_the_schedule_column() {
+        let mut sri = tdma_sri(16, 3);
+        sri.enable_attribution();
+        // Core 1 posts at cycle 0 into core 0's slot; its own slot
+        // starts at 16. Nobody occupies the slave meanwhile.
+        sri.post(0, req(1, SriTarget::Pf0, 16));
+        for t in 0..=16 {
+            sri.step(t);
+        }
+        let m = sri.attribution().unwrap();
+        assert_eq!(m.schedule_wait(SriTarget::Pf0, CoreId(1)), 16);
+        assert_eq!(m.wait_cycles(SriTarget::Pf0, CoreId(1), CoreId(0)), 0);
+        assert_eq!(
+            m.slave_wait(SriTarget::Pf0),
+            sri.queue_delay(SriTarget::Pf0)
+        );
     }
 }

@@ -207,11 +207,14 @@ impl System {
     /// Creates a system with a custom configuration.
     pub fn with_config(config: SimConfig) -> Self {
         let map = MemMap::tc277();
-        let sri = Sri::with_arbitration(
+        let mut sri = Sri::with_arbitration(
             config.master_priority,
             config.arbitration,
             config.active_cores,
         );
+        if config.attribution {
+            sri.enable_attribution();
+        }
         System {
             linker: Linker::new(map.clone()),
             map,
@@ -329,6 +332,7 @@ impl System {
         SimStats {
             slaves: std::array::from_fn(|i| self.sri.slave_stats(crate::addr::SriTarget::all()[i])),
             kernel: self.kernel.clone(),
+            attribution: self.sri.attribution_matrix(),
         }
     }
 

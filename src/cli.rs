@@ -37,13 +37,13 @@
 //! deduplicated and land in the stream instead of scrolling away.
 
 use contention::{
-    ContentionModel, EvalOptions, Evaluator, FsbModel, FtcModel, Platform, ValidationPolicy,
-    Validator, WcetEstimate,
+    ContentionModel, EvalOptions, Evaluator, FsbModel, FtcModel, ObservedContention, Platform,
+    TightnessReport, ValidationPolicy, Validator, WcetEstimate,
 };
 use mbta::{BatchRunner, CampaignConfig, CampaignRunner, ExecEngine, SinkSpec, Telemetry};
 use std::path::PathBuf;
 use std::sync::Arc;
-use tc27x_sim::{CoreId, DeploymentScenario, Engine, SimConfig, System};
+use tc27x_sim::{AccessClass, CoreId, DeploymentScenario, Engine, SimConfig, SriTarget, System};
 use workloads::LoadLevel;
 
 /// A parsed invocation.
@@ -79,6 +79,14 @@ pub enum Command {
         /// Contender level; the application when `None`.
         level: Option<LoadLevel>,
     },
+    /// Attribute co-run wait cycles to aggressor cores and audit the
+    /// model bounds' tightness against the observation.
+    ContentionAttr {
+        /// Restrict to one scenario (sc1 and sc2 when `None`).
+        scenario: Option<DeploymentScenario>,
+        /// Contender load level (default: high).
+        level: LoadLevel,
+    },
     /// Print usage.
     Help,
 }
@@ -92,6 +100,7 @@ impl Command {
             Command::Bound { .. } => "bound",
             Command::Trace { .. } => "trace",
             Command::Profile { .. } => "profile",
+            Command::ContentionAttr { .. } => "contention-attr",
             Command::Help => "help",
         }
     }
@@ -214,6 +223,12 @@ pub struct Invocation {
     /// Telemetry sink (`--telemetry FILE[:FORMAT]`); disabled when
     /// `None`.
     pub telemetry: Option<SinkSpec>,
+    /// Attribution sink (`--attribution FILE`): switches the per-grant
+    /// contention attribution recorder on for every simulation and
+    /// flushes the folded matrices as JSONL `matrix` records on exit.
+    /// Attribution is observation-only, so every other output is
+    /// unchanged.
+    pub attribution: Option<PathBuf>,
     /// Simulated machine (`--platform NAME`; default: the paper's
     /// TC27x). Unlike the other global flags this one *changes
     /// results*: core placement, slave topology and arbitration all
@@ -300,6 +315,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
                 .map_err(|e| ParseError(format!("invalid --telemetry `{v}`: {e}")))
         })
         .transpose()?;
+    let attribution = take_value(&mut rest, "--attribution")?.map(PathBuf::from);
     let platform = match take_value(&mut rest, "--platform")? {
         Some(v) => platform::PlatformDesc::builtin(&v).ok_or_else(|| {
             ParseError(format!(
@@ -323,6 +339,7 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
             watchdog_millis,
         },
         telemetry,
+        attribution,
         platform,
     })
 }
@@ -413,6 +430,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 .transpose()?;
             Ok(Command::Profile { scenario, level })
         }
+        "contention-attr" => {
+            let scenario = take_option(&args[1..], "--scenario")?
+                .map(parse_scenario)
+                .transpose()?;
+            let level = take_option(&args[1..], "--level")?
+                .map(parse_level)
+                .transpose()?
+                .unwrap_or(LoadLevel::High);
+            Ok(Command::ContentionAttr { scenario, level })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown subcommand `{other}`"))),
     }
@@ -434,6 +461,11 @@ SUBCOMMANDS:
                                     dump an isolation execution trace
     profile  [--scenario S] [--level L]
                                     emit an isolation-profile CSV record
+    contention-attr [--scenario S] [--level L]
+                                    attribute co-run wait cycles to aggressor
+                                    cores and audit model-bound tightness
+                                    (observed vs budget, per access class and
+                                    slave; default: sc1 and sc2 at high load)
     help                            this text
 
 GLOBAL OPTIONS:
@@ -467,6 +499,13 @@ GLOBAL OPTIONS:
                                     for chrome://tracing) or summary; FILE `-`
                                     writes to stderr. The deterministic subset
                                     is byte-identical for any --jobs/--engine
+    --attribution FILE              record per-grant contention attribution on
+                                    every simulation and flush the folded
+                                    (slave, victim, aggressor) wait matrices to
+                                    FILE as JSONL matrix records on exit.
+                                    Observation-only: every other output is
+                                    unchanged, and the matrices are identical
+                                    for any --jobs/--engine
     --platform NAME                 simulated machine (default: tc27x, the
                                     paper's TC277). Unlike every flag above
                                     this one changes results: core placement,
@@ -495,6 +534,9 @@ pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>>
     let engine = ExecEngine::new(inv.jobs)
         .with_sim_engine(inv.settings.engine)
         .with_platform(inv.platform.clone())
+        .with_attribution(
+            inv.attribution.is_some() || matches!(inv.command, Command::ContentionAttr { .. }),
+        )
         .with_telemetry(Arc::clone(&telemetry));
     let config = CampaignConfig {
         watchdog_millis: inv.campaign.watchdog_millis,
@@ -541,6 +583,13 @@ pub fn run_invocation(inv: Invocation) -> Result<(), Box<dyn std::error::Error>>
         let flushed = telemetry.flush(spec);
         if result.is_ok() {
             flushed.map_err(|e| format!("cannot write telemetry to {}: {e}", spec.path))?;
+        }
+    }
+    if let Some(path) = inv.attribution.as_ref() {
+        let rendered = mbta::telemetry::render_attribution_jsonl(&telemetry.attribution());
+        let written = std::fs::write(path, rendered);
+        if result.is_ok() {
+            written.map_err(|e| format!("cannot write attribution to {}: {e}", path.display()))?;
         }
     }
     // Dedup summary: the first occurrence of each warning was printed
@@ -749,6 +798,94 @@ pub fn run_with_telemetry(
                 )?,
             };
             println!("{}", profile.to_record());
+            Ok(())
+        }
+        Command::ContentionAttr { scenario, level } => {
+            let desc = engine.platform();
+            let (app_core, load_core) = (CoreId(desc.app_core as u8), CoreId(desc.load_core as u8));
+            let scenarios = match scenario {
+                Some(s) => vec![s],
+                None => vec![DeploymentScenario::Scenario1, DeploymentScenario::Scenario2],
+            };
+            println!(
+                "contention attribution — platform {}, app c{} vs {level} contender c{}",
+                desc.name, app_core.0, load_core.0
+            );
+            for s in scenarios {
+                let app_spec = workloads::control_loop_on(desc, s, app_core, 42);
+                let load_spec = workloads::contender_on(desc, s, level, load_core, 7);
+                // The isolation profile feeds the Eq. 2–4 access bounds
+                // (memoized / journaled through the engine as usual).
+                let profile = engine.isolation(&app_spec, app_core)?;
+                // The attributed co-run itself runs inline: the ledger
+                // must stay per-scenario, not folded across the batch.
+                let cfg = SimConfig::from_platform(desc)
+                    .with_engine(settings.engine)
+                    .with_attribution(true);
+                let mut sys = System::with_config(cfg);
+                sys.load(app_core, &app_spec)?;
+                sys.load(load_core, &load_spec)?;
+                let out = sys.run_until(app_core)?;
+                let corun_cycles = out.counters(app_core).ccnt;
+                let stats = sys.stats();
+                let m = &stats.attribution;
+                if let Some(t) = telemetry {
+                    let job = mbta::SimJob::Corun {
+                        app: app_spec.clone(),
+                        app_core,
+                        load: load_spec.clone(),
+                        load_core,
+                    };
+                    t.record_job(
+                        mbta::job_key_on(&job, desc),
+                        &job,
+                        corun_cycles,
+                        Some(&stats),
+                    );
+                }
+                println!();
+                println!(
+                    "{s}: isolation {} cycles, co-run {} cycles",
+                    profile.counters().ccnt,
+                    corun_cycles
+                );
+                println!("  wait matrix [cycles a victim lost at each slave, by cause]");
+                print!("  {:<10}", "slave/vic");
+                for a in 0..CoreId::COUNT {
+                    print!(" {:>8}", format!("c{a}"));
+                }
+                println!(" {:>8}", "sched");
+                for t in SriTarget::all() {
+                    if !desc.slave(t.index()).present {
+                        continue;
+                    }
+                    for v in CoreId::all() {
+                        let row = m.row(t, v);
+                        print!("  {:<10}", format!("{t}/c{}", v.0));
+                        for cell in row {
+                            print!(" {cell:>8}");
+                        }
+                        println!();
+                    }
+                }
+                let mut observed = ObservedContention {
+                    contenders: 1,
+                    ..Default::default()
+                };
+                for (i, class) in [AccessClass::Code, AccessClass::Data]
+                    .into_iter()
+                    .enumerate()
+                {
+                    observed.interference[i] = m.interference_total(app_core, class);
+                    observed.grants[i] = m.class_grants_total(app_core, class);
+                }
+                for t in SriTarget::all() {
+                    observed.max_wait[t.index()] = m.max_wait(t, app_core);
+                }
+                let report =
+                    TightnessReport::audit(desc, &profile, &observed, format!("{s}/{level}"));
+                println!("{report}");
+            }
             Ok(())
         }
         Command::Trace { scenario, limit } => {
@@ -1037,6 +1174,7 @@ mod tests {
             "bound",
             "trace",
             "profile",
+            "contention-attr",
             "--jobs",
             "--strict",
             "--repair",
@@ -1047,6 +1185,7 @@ mod tests {
             "--engine",
             "--telemetry",
             "--platform",
+            "--attribution",
         ] {
             assert!(USAGE.contains(sub), "{sub}");
         }
@@ -1097,6 +1236,58 @@ mod tests {
             assert!(err.to_string().contains(name), "error must list `{name}`");
         }
         assert!(parse_invocation(&argv("calibrate --platform")).is_err());
+    }
+
+    #[test]
+    fn parses_contention_attr() {
+        assert_eq!(
+            parse(&argv("contention-attr")).unwrap(),
+            Command::ContentionAttr {
+                scenario: None,
+                level: LoadLevel::High
+            }
+        );
+        assert_eq!(
+            parse(&argv("contention-attr --scenario sc2 --level low")).unwrap(),
+            Command::ContentionAttr {
+                scenario: Some(DeploymentScenario::Scenario2),
+                level: LoadLevel::Low
+            }
+        );
+        assert!(parse(&argv("contention-attr --scenario nope")).is_err());
+        assert!(parse(&argv("contention-attr --level nope")).is_err());
+    }
+
+    #[test]
+    fn parses_attribution_flag() {
+        let inv = parse_invocation(&argv("calibrate")).unwrap();
+        assert_eq!(inv.attribution, None);
+        let inv = parse_invocation(&argv("--attribution attr.jsonl calibrate --jobs 2")).unwrap();
+        assert_eq!(inv.attribution, Some(PathBuf::from("attr.jsonl")));
+        assert_eq!(inv.command, Command::Calibrate);
+        assert!(parse_invocation(&argv("calibrate --attribution")).is_err());
+    }
+
+    /// End-to-end: `contention-attr` prints the wait matrix and a
+    /// tightness report with no violations, and `--attribution` flushes
+    /// matrix records.
+    #[test]
+    fn run_invocation_audits_tightness_and_flushes_attribution() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("aurix-cli-attr-{}.jsonl", std::process::id()));
+        let args = argv(&format!(
+            "--jobs 1 --attribution {} contention-attr --scenario sc1",
+            path.display()
+        ));
+        run_invocation(parse_invocation(&args).unwrap()).unwrap();
+        let stream = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            stream.contains("\"k\":\"matrix\""),
+            "matrix records: {stream}"
+        );
+        assert!(stream.contains("attribution.wait"));
+        assert!(stream.contains("attribution.interference"));
     }
 
     #[test]
